@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig6
+//	experiments -run all -scale quick
+//
+// Scales: quick (smoke test), standard (default), full (entire catalogue,
+// longer traces). Results print as aligned text tables — the same rows and
+// series the paper's figures plot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "experiment id to run, or 'all'")
+		scale = flag.String("scale", "standard", "quick | standard | full")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Description)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch *scale {
+	case "quick":
+		sc = harness.Quick
+	case "standard":
+		sc = harness.Standard
+	case "full":
+		sc = harness.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	runner := harness.NewRunner(sc)
+
+	var exps []harness.Experiment
+	if *run == "all" {
+		exps = harness.Experiments()
+	} else {
+		e, err := harness.Find(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tables := e.Run(runner)
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,117 @@
+// Command gazesim runs one simulation: a workload (or every workload of a
+// suite) against one prefetcher, printing IPC, speedup and the prefetch
+// metrics of §IV-A3.
+//
+// Usage:
+//
+//	gazesim -trace bwaves_s-2609 -prefetcher Gaze
+//	gazesim -suite cloud -prefetcher PMP -cores 4
+//	gazesim -traces  (list the catalogue)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prefetchers"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		traceName  = flag.String("trace", "", "workload trace name")
+		suite      = flag.String("suite", "", "run every trace of a suite")
+		pf         = flag.String("prefetcher", "Gaze", "prefetcher name (see internal/prefetchers)")
+		l2pf       = flag.String("l2", "", "optional L2 prefetcher")
+		cores      = flag.Int("cores", 1, "number of cores (same trace on each)")
+		length     = flag.Int("len", 200_000, "records generated per trace")
+		warmup     = flag.Uint64("warmup", 200_000, "warm-up instructions per core")
+		instr      = flag.Uint64("instr", 800_000, "measured instructions per core")
+		mtps       = flag.Int("mtps", 0, "override DRAM MTPS")
+		listTraces = flag.Bool("traces", false, "list the workload catalogue")
+	)
+	flag.Parse()
+
+	if *listTraces {
+		for _, info := range workload.Catalogue() {
+			fmt.Printf("%-8s %s\n", info.Suite, info.Name)
+		}
+		return
+	}
+
+	names := []string{*traceName}
+	if *suite != "" {
+		names = names[:0]
+		for _, info := range workload.Suite(*suite) {
+			names = append(names, info.Name)
+		}
+		if len(names) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+			os.Exit(1)
+		}
+	} else if *traceName == "" {
+		fmt.Fprintln(os.Stderr, "need -trace or -suite (or -traces to list)")
+		os.Exit(1)
+	}
+
+	for _, name := range names {
+		base, err := runOne(name, "none", "", *cores, *length, *warmup, *instr, *mtps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := runOne(name, *pf, *l2pf, *cores, *length, *warmup, *instr, *mtps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		speedup := 0.0
+		if base.MeanIPC() > 0 {
+			speedup = res.MeanIPC() / base.MeanIPC()
+		}
+		fmt.Printf("%-20s %-10s IPC %.3f  speedup %.3f  accuracy %.1f%%  coverage %.1f%%  late %.1f%%  issued %d\n",
+			name, *pf, res.MeanIPC(), speedup,
+			100*res.Accuracy(), 100*res.Coverage(), 100*res.LateFraction(),
+			res.IssuedPrefetches())
+	}
+}
+
+func runOne(name, pf, l2pf string, cores, length int, warmup, instr uint64, mtps int) (sim.Result, error) {
+	cfg := sim.DefaultConfig(cores)
+	cfg.WarmupInstructions = warmup
+	cfg.SimInstructions = instr
+	if mtps > 0 {
+		cfg = cfg.WithDRAMMTPS(mtps)
+	}
+	specs := make([]sim.CoreSpec, cores)
+	for i := range specs {
+		recs, err := workload.Generate(name, length)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		p, err := prefetchers.New(pf)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		spec := sim.CoreSpec{
+			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
+			L1Prefetcher: p,
+		}
+		if l2pf != "" {
+			p2, err := prefetchers.New(l2pf)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			spec.L2Prefetcher = p2
+		}
+		specs[i] = spec
+	}
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sys.Run(), nil
+}

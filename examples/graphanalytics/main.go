@@ -1,0 +1,71 @@
+// Graph analytics: the §III-C scenario. A Ligra-style BFS compute phase
+// interleaves a dense frontier stream with sparse irregular vertex
+// accesses; dense footprints misapplied to the sparse regions cause
+// over-prefetching. This example compares Gaze-PHT (characterization only,
+// dense patterns through the PHT) with full Gaze (dedicated two-stage
+// streaming module) — the Fig 10 comparison on live workloads.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/prefetchers"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	workloads := []struct {
+		name  string
+		phase string
+	}{
+		{"PageRank-1", "init phase (streaming-dominated)"},
+		{"PageRank-61", "compute phase (interleaved dense + sparse)"},
+		{"BellmanFord-34", "compute phase"},
+		{"BFS-17", "compute phase"},
+	}
+
+	fmt.Println("Ligra-style graph analytics: streaming-module effect (cf. Fig 10)")
+	fmt.Println()
+	fmt.Printf("%-16s %-38s %10s %10s %10s\n", "trace", "phase", "Gaze-PHT", "Gaze", "accuracy Δ")
+	for _, w := range workloads {
+		base := run(w.name, "none")
+		pht := run(w.name, "Gaze-PHT")
+		full := run(w.name, "Gaze")
+		fmt.Printf("%-16s %-38s %9.3fx %9.3fx %+9.1f%%\n",
+			w.name, w.phase,
+			pht.MeanIPC()/base.MeanIPC(),
+			full.MeanIPC()/base.MeanIPC(),
+			100*(full.Accuracy()-pht.Accuracy()))
+	}
+	fmt.Println()
+	fmt.Println("The dedicated streaming module (DPCT + dense counter + two-stage")
+	fmt.Println("aggressiveness) keeps dense-pattern prefetching out of the sparse")
+	fmt.Println("vertex regions that share its trigger block.")
+}
+
+func run(name, pf string) sim.Result {
+	cfg := sim.DefaultConfig(1)
+	cfg.WarmupInstructions = 100_000
+	cfg.SimInstructions = 400_000
+	recs, err := workload.Generate(name, 150_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := prefetchers.New(pf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sim.New(cfg, []sim.CoreSpec{{
+		Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
+		L1Prefetcher: p,
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Run()
+}

@@ -1,0 +1,382 @@
+// Package cache implements the set-associative cache model used at every
+// level of the simulated hierarchy (L1D, L2C, LLC).
+//
+// The model is timing-aware in a single-pass trace-driven style: each line
+// carries a readyAt cycle stamp, so a fill issued at cycle t with latency d
+// is visible immediately but costs a residual wait to any access arriving
+// before t+d. That one mechanism models MSHR merging of demands and the
+// paper's "late prefetch" definition ("a CPU access hits on an outstanding
+// prefetch request") without a discrete event queue.
+//
+// Lines also carry a prefetch bit and a fill origin, which drive the
+// paper's metrics: overall accuracy (§IV-A3) counts a prefetched line as
+// useful on its first demand touch at the level the prefetch targeted and
+// useless when evicted untouched; LLC coverage counts useful prefetches
+// whose data came from DRAM.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the level in stats output ("L1D", "L2C", "LLC").
+	Name string
+	// Sets and Ways define the geometry; capacity = Sets*Ways*64B.
+	Sets int
+	Ways int
+	// HitLatency is the access latency in CPU cycles.
+	HitLatency float64
+	// MSHRs bounds the number of outstanding misses. Zero disables the
+	// bound (used by unit tests that only exercise placement).
+	MSHRs int
+}
+
+// SizeBytes returns the cache capacity in bytes.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * mem.LineSize }
+
+// Validate reports configuration errors early instead of panicking deep in
+// a simulation.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets must be a positive power of two, got %d", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways must be positive, got %d", c.Name, c.Ways)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache %s: negative hit latency", c.Name)
+	}
+	return nil
+}
+
+// Line is one cache line's metadata.
+type line struct {
+	tag     uint64
+	vline   uint64 // virtual line number, kept for eviction notifications
+	readyAt float64
+	lruAt   uint64
+	valid   bool
+	// prefetch marks a line filled by a prefetch targeted at this level
+	// and not yet touched by a demand access.
+	prefetch bool
+	// fromDRAM marks a prefetch fill whose data came from DRAM (it would
+	// have been an off-chip miss); used for LLC coverage accounting.
+	fromDRAM bool
+}
+
+// Stats accumulates per-level counters. The embedding simulator resets
+// Stats at the warm-up boundary.
+type Stats struct {
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64
+	// PrefetchFills counts prefetch-targeted fills at this level.
+	PrefetchFills uint64
+	// UsefulPrefetches counts first demand touches of prefetched lines.
+	UsefulPrefetches uint64
+	// UselessPrefetches counts prefetched lines evicted untouched.
+	UselessPrefetches uint64
+	// LatePrefetches counts useful prefetches whose fill was still in
+	// flight at first touch.
+	LatePrefetches uint64
+	// CoveredMisses counts useful prefetches that were served from DRAM,
+	// i.e. demand misses this level would otherwise have sent off-chip.
+	CoveredMisses uint64
+}
+
+// EvictFunc observes evictions: vline is the virtual line number recorded at
+// fill time, wasPrefetch reports an untouched prefetched line.
+type EvictFunc func(vline uint64, wasPrefetch bool)
+
+// Cache is a set-associative, LRU, timing-annotated cache.
+type Cache struct {
+	cfg     Config
+	sets    []line // Sets*Ways flattened
+	ways    int
+	setMask uint64
+	clock   uint64
+	onEvict EvictFunc
+
+	// mshrFree holds the release times of each MSHR slot.
+	mshrFree []float64
+
+	Stats Stats
+}
+
+// New constructs a cache; it panics on invalid configuration (construction
+// happens at setup time where a panic is an acceptable failure mode, and
+// Validate is available for callers that prefer errors).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]line, cfg.Sets*cfg.Ways),
+		ways:    cfg.Ways,
+		setMask: uint64(cfg.Sets - 1),
+	}
+	if cfg.MSHRs > 0 {
+		c.mshrFree = make([]float64, cfg.MSHRs)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetEvictFunc installs the eviction observer.
+func (c *Cache) SetEvictFunc(f EvictFunc) { c.onEvict = f }
+
+func (c *Cache) setFor(lineNum uint64) []line {
+	idx := (lineNum & c.setMask) * uint64(c.ways)
+	return c.sets[idx : idx+uint64(c.ways)]
+}
+
+// AccessResult reports the outcome of a demand access.
+type AccessResult struct {
+	Hit bool
+	// ReadyAt is the cycle the data is available (>= access cycle when the
+	// line was in flight).
+	ReadyAt float64
+	// WasPrefetch reports that this access was the first demand touch of a
+	// prefetched line.
+	WasPrefetch bool
+	// WasLate reports a WasPrefetch touch that arrived before the fill
+	// completed (the paper's late-prefetch definition).
+	WasLate bool
+}
+
+// Access performs a demand lookup at cycle now. On a hit the LRU state is
+// updated, the prefetch bit is consumed and usefulness counters advance.
+func (c *Cache) Access(paddr mem.Addr, now float64) AccessResult {
+	ln := mem.LineNum(paddr)
+	set := c.setFor(ln)
+	c.clock++
+	c.Stats.DemandAccesses++
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == ln {
+			c.Stats.DemandHits++
+			l.lruAt = c.clock
+			res := AccessResult{Hit: true, ReadyAt: l.readyAt}
+			if l.prefetch {
+				l.prefetch = false
+				c.Stats.UsefulPrefetches++
+				res.WasPrefetch = true
+				if l.readyAt > now {
+					c.Stats.LatePrefetches++
+					res.WasLate = true
+				}
+				if l.fromDRAM {
+					c.Stats.CoveredMisses++
+				}
+			}
+			return res
+		}
+	}
+	c.Stats.DemandMisses++
+	return AccessResult{}
+}
+
+// Probe reports whether the line is present without touching LRU, prefetch
+// bits or statistics. Prefetch issue logic uses it for redundancy checks.
+func (c *Cache) Probe(paddr mem.Addr) bool {
+	ln := mem.LineNum(paddr)
+	set := c.setFor(ln)
+	for i := range set {
+		if set[i].valid && set[i].tag == ln {
+			return true
+		}
+	}
+	return false
+}
+
+// InFlight reports whether the line is present but its fill has not
+// completed by cycle now (an outstanding request).
+func (c *Cache) InFlight(paddr mem.Addr, now float64) bool {
+	ln := mem.LineNum(paddr)
+	set := c.setFor(ln)
+	for i := range set {
+		if set[i].valid && set[i].tag == ln {
+			return set[i].readyAt > now
+		}
+	}
+	return false
+}
+
+// FillOpts qualifies a Fill.
+type FillOpts struct {
+	// Prefetch marks a fill whose prefetch targeted this level.
+	Prefetch bool
+	// FromDRAM marks data served from DRAM.
+	FromDRAM bool
+	// VLine is the virtual line number, reported back on eviction.
+	VLine uint64
+}
+
+// Fill inserts a line that becomes ready at readyAt, evicting the LRU
+// victim if needed. Filling an already-present line refreshes its
+// readiness only if the new fill completes earlier.
+func (c *Cache) Fill(paddr mem.Addr, readyAt float64, opts FillOpts) {
+	ln := mem.LineNum(paddr)
+	set := c.setFor(ln)
+	c.clock++
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == ln {
+			if readyAt < l.readyAt {
+				l.readyAt = readyAt
+			}
+			// A demand fill of a line previously prefetched keeps the
+			// prefetch bit: usefulness is decided by demand *access*.
+			return
+		}
+	}
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if l.lruAt < oldest {
+			oldest = l.lruAt
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		if v.prefetch {
+			c.Stats.UselessPrefetches++
+		}
+		if c.onEvict != nil {
+			c.onEvict(v.vline, v.prefetch)
+		}
+	}
+	*v = line{
+		tag:      ln,
+		vline:    opts.VLine,
+		readyAt:  readyAt,
+		lruAt:    c.clock,
+		valid:    true,
+		prefetch: opts.Prefetch,
+		fromDRAM: opts.FromDRAM && opts.Prefetch,
+	}
+	if opts.Prefetch {
+		c.Stats.PrefetchFills++
+	}
+}
+
+// AcquireMSHR models MSHR occupancy for a miss issued at cycle now that
+// completes at completion. It returns the cycle the request can actually
+// start (>= now when all slots are busy).
+func (c *Cache) AcquireMSHR(now, completion float64) float64 {
+	start, slot := c.MSHRReserve(now)
+	if slot >= 0 {
+		c.MSHRComplete(slot, completion+(start-now))
+	}
+	return start
+}
+
+// MSHRReserve finds the earliest-available MSHR slot for a miss arriving at
+// cycle now. It returns the cycle the request may start (>= now) and the
+// slot index; the caller must follow up with MSHRComplete once the finish
+// time is known. With MSHRs disabled it returns (now, -1).
+func (c *Cache) MSHRReserve(now float64) (start float64, slot int) {
+	if c.mshrFree == nil {
+		return now, -1
+	}
+	best := 0
+	for i := 1; i < len(c.mshrFree); i++ {
+		if c.mshrFree[i] < c.mshrFree[best] {
+			best = i
+		}
+	}
+	start = now
+	if c.mshrFree[best] > start {
+		start = c.mshrFree[best]
+	}
+	return start, best
+}
+
+// MSHRComplete releases the reserved slot at cycle finish.
+func (c *Cache) MSHRComplete(slot int, finish float64) {
+	if slot < 0 || c.mshrFree == nil {
+		return
+	}
+	c.mshrFree[slot] = finish
+}
+
+// ConsumePrefetch clears a resident line's prefetch bit without counting
+// it as used or useless, returning whether the bit was set and whether the
+// line's data came from DRAM. A higher-level prefetch that is served from
+// this level inherits the attribution: the paper's overall-accuracy metric
+// counts each prefetched block once (§IV-A3).
+func (c *Cache) ConsumePrefetch(paddr mem.Addr) (wasPrefetch, fromDRAM bool) {
+	ln := mem.LineNum(paddr)
+	set := c.setFor(ln)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == ln {
+			wasPrefetch, fromDRAM = l.prefetch, l.fromDRAM
+			if l.prefetch {
+				// Transfer: the fill at the level above re-registers it.
+				c.Stats.PrefetchFills--
+				l.prefetch = false
+				l.fromDRAM = false
+			}
+			return wasPrefetch, fromDRAM
+		}
+	}
+	return false, false
+}
+
+// Touch refreshes a line's LRU position without affecting statistics or
+// prefetch bits. The prefetch-issue path uses it when a prefetch is served
+// by a lower level.
+func (c *Cache) Touch(paddr mem.Addr) {
+	ln := mem.LineNum(paddr)
+	set := c.setFor(ln)
+	c.clock++
+	for i := range set {
+		if set[i].valid && set[i].tag == ln {
+			set[i].lruAt = c.clock
+			return
+		}
+	}
+}
+
+// MSHRBusy reports how many MSHR slots are still held at cycle now. The
+// DSPatch prefetcher uses it as its bandwidth-pressure proxy.
+func (c *Cache) MSHRBusy(now float64) int {
+	n := 0
+	for _, t := range c.mshrFree {
+		if t > now {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushStats finalizes end-of-simulation accounting: every still-resident
+// untouched prefetched line counts as useless (it never helped).
+func (c *Cache) FlushStats() {
+	for i := range c.sets {
+		if c.sets[i].valid && c.sets[i].prefetch {
+			c.Stats.UselessPrefetches++
+			c.sets[i].prefetch = false
+		}
+	}
+}
+
+// ResetStats clears the statistics (used at the warm-up boundary) without
+// disturbing cache contents.
+func (c *Cache) ResetStats() { c.Stats = Stats{} }

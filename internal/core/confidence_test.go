@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestConfidenceControlRejectsUnstablePatterns drives a (trigger, second)
+// key whose tail footprint changes on every recurrence: with the
+// extension on, Gaze learns to stop predicting it.
+func TestConfidenceControlRejectsUnstablePatterns(t *testing.T) {
+	g := NewWithConfidence()
+	c := &collect{}
+	// Same first two accesses, completely different tails each time:
+	// similarity stays low, confidence decays 1 → 0.
+	tails := [][]int{{20, 30, 40}, {21, 31, 41}, {22, 32, 42}, {23, 33, 43}, {24, 34, 44}}
+	for i, tail := range tails {
+		page := uint64(0x1000 + i)
+		order := append([]int{5, 9}, tail...)
+		runRegion(g, c, 0x100, page, order)
+		g.EvictNotify(page * mem.PageSize)
+	}
+	// New region with the matching start: the pattern must be rejected.
+	before := g.InternalStats().ConfidenceRejects
+	c2 := &collect{}
+	access(g, c2, 0x100, 0x2000, 5)
+	access(g, c2, 0x100, 0x2000, 9)
+	drainAll(g, c2)
+	if g.InternalStats().ConfidenceRejects != before+1 {
+		t.Errorf("ConfidenceRejects = %d, want %d",
+			g.InternalStats().ConfidenceRejects, before+1)
+	}
+	for line := range c2.lines() {
+		if mem.PageNum(mem.Addr(line)) == 0x2000 {
+			t.Errorf("rejected pattern still prefetched line %#x", line)
+		}
+	}
+}
+
+// TestConfidenceControlKeepsStablePatterns: a perfectly recurring pattern
+// must keep full confidence and keep predicting.
+func TestConfidenceControlKeepsStablePatterns(t *testing.T) {
+	g := NewWithConfidence()
+	c := &collect{}
+	order := []int{5, 9, 20, 30, 40}
+	for i := 0; i < 6; i++ {
+		page := uint64(0x3000 + i)
+		runRegion(g, c, 0x100, page, order)
+		g.EvictNotify(page * mem.PageSize)
+	}
+	c2 := &collect{}
+	access(g, c2, 0x100, 0x4000, 5)
+	access(g, c2, 0x100, 0x4000, 9)
+	drainAll(g, c2)
+	base := uint64(0x4000) * mem.PageSize
+	for _, off := range []int{20, 30, 40} {
+		if _, ok := c2.lines()[base+uint64(off)*mem.LineSize]; !ok {
+			t.Errorf("stable pattern block %d not prefetched", off)
+		}
+	}
+	if g.InternalStats().ConfidenceRejects != 0 {
+		t.Errorf("stable pattern rejected %d times", g.InternalStats().ConfidenceRejects)
+	}
+}
+
+// TestConfidenceRecovers: after rejection, a pattern that stabilizes
+// regains confidence and predicts again.
+func TestConfidenceRecovers(t *testing.T) {
+	g := NewWithConfidence()
+	c := &collect{}
+	// Destabilize.
+	for i := 0; i < 4; i++ {
+		page := uint64(0x5000 + i)
+		runRegion(g, c, 0x100, page, []int{5, 9, 20 + i, 40 + i})
+		g.EvictNotify(page * mem.PageSize)
+	}
+	// Stabilize: repeat one tail several times (confidence climbs back).
+	for i := 0; i < 4; i++ {
+		page := uint64(0x6000 + i)
+		runRegion(g, c, 0x100, page, []int{5, 9, 50, 60})
+		g.EvictNotify(page * mem.PageSize)
+	}
+	c2 := &collect{}
+	access(g, c2, 0x100, 0x7000, 5)
+	access(g, c2, 0x100, 0x7000, 9)
+	drainAll(g, c2)
+	base := uint64(0x7000) * mem.PageSize
+	if _, ok := c2.lines()[base+50*mem.LineSize]; !ok {
+		t.Error("recovered pattern not prefetched")
+	}
+}
+
+func TestFootprintSimilarity(t *testing.T) {
+	a, b := newBitvec(64), newBitvec(64)
+	a.set(1)
+	a.set(2)
+	b.set(1)
+	b.set(2)
+	if s := footprintSimilarity(a, b); s != 1 {
+		t.Errorf("identical similarity = %v", s)
+	}
+	b.set(3)
+	b.set(4)
+	if s := footprintSimilarity(a, b); s != 0.5 {
+		t.Errorf("half similarity = %v", s)
+	}
+	empty := newBitvec(64)
+	if s := footprintSimilarity(empty, empty); s != 1 {
+		t.Errorf("empty similarity = %v", s)
+	}
+}
+
+// TestConfidenceOffByDefault: the base design never rejects.
+func TestConfidenceOffByDefault(t *testing.T) {
+	g := NewDefault()
+	c := &collect{}
+	for i := 0; i < 5; i++ {
+		page := uint64(0x8000 + i)
+		runRegion(g, c, 0x100, page, []int{5, 9, 20 + i})
+		g.EvictNotify(page * mem.PageSize)
+	}
+	c2 := &collect{}
+	access(g, c2, 0x100, 0x9000, 5)
+	access(g, c2, 0x100, 0x9000, 9)
+	drainAll(g, c2)
+	if g.InternalStats().ConfidenceRejects != 0 {
+		t.Error("base design rejected a pattern")
+	}
+	if g.InternalStats().PHTHits == 0 {
+		t.Error("base design did not predict")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+// dpct is the Dense PC Table: a tiny fully-associative LRU table of hashed
+// PCs recently observed to trigger fully-dense (spatial-streaming)
+// footprints (§III-C, Table I: 8 entries × 12-bit hashed PC).
+type dpct struct {
+	pcs   []uint16
+	lru   []uint64
+	clock uint64
+}
+
+func newDPCT(entries int) *dpct {
+	return &dpct{pcs: make([]uint16, 0, entries), lru: make([]uint64, 0, entries)}
+}
+
+// contains reports whether the hashed PC was recently recorded as dense,
+// refreshing its recency on a hit.
+func (d *dpct) contains(pc uint16) bool {
+	for i, p := range d.pcs {
+		if p == pc {
+			d.clock++
+			d.lru[i] = d.clock
+			return true
+		}
+	}
+	return false
+}
+
+// record inserts (or refreshes) a dense PC, evicting the LRU entry when
+// full.
+func (d *dpct) record(pc uint16) {
+	d.clock++
+	for i, p := range d.pcs {
+		if p == pc {
+			d.lru[i] = d.clock
+			return
+		}
+	}
+	if len(d.pcs) < cap(d.pcs) {
+		d.pcs = append(d.pcs, pc)
+		d.lru = append(d.lru, d.clock)
+		return
+	}
+	victim := 0
+	for i := 1; i < len(d.lru); i++ {
+		if d.lru[i] < d.lru[victim] {
+			victim = i
+		}
+	}
+	d.pcs[victim] = pc
+	d.lru[victim] = d.clock
+}
+
+// denseCounter is the 3-bit Dense Counter with the paper's asymmetric
+// update rule: slow increment on dense footprints, slow decrement when
+// weakly confident, fast halving when strongly confident but wrong
+// (Fig 3a, lower part).
+type denseCounter struct {
+	v   int
+	max int
+}
+
+func newDenseCounter() *denseCounter { return &denseCounter{max: 7} }
+
+// increment applies the slow +1 (saturating).
+func (dc *denseCounter) increment() {
+	if dc.v < dc.max {
+		dc.v++
+	}
+}
+
+// decrement applies the confidence-scaled decrement: DC>2 halves, else -1.
+func (dc *denseCounter) decrement() {
+	if dc.v > 2 {
+		dc.v /= 2
+	} else if dc.v > 0 {
+		dc.v--
+	}
+}
+
+// full reports saturation (highest streaming confidence).
+func (dc *denseCounter) full() bool { return dc.v == dc.max }
+
+// halfConfident reports DC > 2 (moderate streaming confidence).
+func (dc *denseCounter) halfConfident() bool { return dc.v > 2 }

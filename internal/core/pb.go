@@ -1,0 +1,103 @@
+package core
+
+import "repro/internal/prefetch"
+
+// pbState is the per-offset state in the Prefetch Buffer: four states per
+// offset as in Table I (No Prefetch, Prefetch to L1D, to L2C; LLC unused).
+type pbState uint8
+
+const (
+	pbNone pbState = iota
+	pbL2
+	pbL1
+)
+
+// prefetchBuffer is Gaze's PB: up to N regions, each with a per-offset
+// prefetch pattern. It smooths issuance (a bounded number of requests
+// drain per training event) and merges aggressiveness promotions into
+// still-pending patterns (Fig 3b, lower part).
+type prefetchBuffer struct {
+	entries []pbEntry // FIFO order: entries[0] is oldest
+	cap     int
+	blocks  int
+}
+
+type pbEntry struct {
+	region  uint64
+	states  []pbState
+	pending int
+}
+
+func newPrefetchBuffer(capacity, blocks int) *prefetchBuffer {
+	return &prefetchBuffer{cap: capacity, blocks: blocks}
+}
+
+func (pb *prefetchBuffer) find(region uint64) *pbEntry {
+	for i := range pb.entries {
+		if pb.entries[i].region == region {
+			return &pb.entries[i]
+		}
+	}
+	return nil
+}
+
+// merge records a desired prefetch state for one offset of a region,
+// keeping the more aggressive of the existing and new states (promotion
+// can upgrade L2 to L1, never downgrade).
+func (pb *prefetchBuffer) merge(region uint64, off int, st pbState) {
+	if st == pbNone || off < 0 || off >= pb.blocks {
+		return
+	}
+	e := pb.find(region)
+	if e == nil {
+		if len(pb.entries) >= pb.cap {
+			// FIFO eviction: the oldest entry's remaining requests are lost
+			// (bounded buffering, as in hardware).
+			pb.entries = pb.entries[1:]
+		}
+		pb.entries = append(pb.entries, pbEntry{
+			region: region,
+			states: make([]pbState, pb.blocks),
+		})
+		e = &pb.entries[len(pb.entries)-1]
+	}
+	if st > e.states[off] {
+		if e.states[off] == pbNone {
+			e.pending++
+		}
+		e.states[off] = st
+	}
+}
+
+// drain emits up to max pending requests, oldest region first, in offset
+// order, clearing what it emits.
+func (pb *prefetchBuffer) drain(max int, regionShift uint, issue prefetch.IssueFunc) {
+	emitted := 0
+	for i := 0; i < len(pb.entries) && emitted < max; i++ {
+		e := &pb.entries[i]
+		for off := 0; off < pb.blocks && emitted < max; off++ {
+			st := e.states[off]
+			if st == pbNone {
+				continue
+			}
+			level := prefetch.LevelL1
+			if st == pbL2 {
+				level = prefetch.LevelL2
+			}
+			issue(prefetch.Request{
+				VLine: e.region<<regionShift + uint64(off)<<6,
+				Level: level,
+			})
+			e.states[off] = pbNone
+			e.pending--
+			emitted++
+		}
+	}
+	// Compact fully-drained entries from the front.
+	for len(pb.entries) > 0 && pb.entries[0].pending == 0 {
+		pb.entries = pb.entries[1:]
+	}
+}
+
+// len returns the number of buffered regions.
+func (pb *prefetchBuffer) len() int { return len(pb.entries) }

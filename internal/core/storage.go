@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// StorageItem is one row of the Table I storage breakdown.
+type StorageItem struct {
+	Structure   string
+	Description string
+	Bits        int
+}
+
+// Bytes returns the item's size in bytes.
+func (s StorageItem) Bytes() float64 { return float64(s.Bits) / 8 }
+
+// StorageBreakdown reproduces Table I: the per-structure and total storage
+// cost of a Gaze configuration, computed from entry counts and field
+// widths.
+func (g *Gaze) StorageBreakdown() []StorageItem {
+	cfg := g.cfg
+	offBits := log2(g.blocks) // 6 bits for 64-block regions
+
+	// Field widths from Table I.
+	const (
+		regionTagBits = 36
+		lruFTATBits   = 3
+		hashedPCBits  = 12
+		phtLRUBits    = 2
+		dpctLRUBits   = 3
+	)
+	ftEntryBits := regionTagBits + lruFTATBits + hashedPCBits + offBits
+	atEntryBits := regionTagBits + lruFTATBits + hashedPCBits + 1 + // stride flag
+		2*offBits + // trigger & second
+		2*offBits + // last & penultimate
+		g.blocks + // bit vector
+		1 // valid
+	phtTagBits := offBits // second offset as tag
+	if cfg.MatchAccesses > 2 {
+		phtTagBits = offBits * (cfg.MatchAccesses - 1)
+	}
+	phtEntryBits := phtTagBits + phtLRUBits + g.blocks
+	dpctEntryBits := hashedPCBits + dpctLRUBits
+	pbEntryBits := regionTagBits + lruFTATBits + 2*g.blocks // 2b per offset
+
+	items := []StorageItem{
+		{"FT", fmt.Sprintf("%d-way; %d entries", cfg.FTWays, cfg.FTEntries),
+			cfg.FTEntries * ftEntryBits},
+		{"AT", fmt.Sprintf("%d-way; %d entries", cfg.ATWays, cfg.ATEntries),
+			cfg.ATEntries * atEntryBits},
+		{"PHT", fmt.Sprintf("%d-way; %d entries", cfg.PHTWays, cfg.PHTEntries),
+			cfg.PHTEntries * phtEntryBits},
+		{"DPCT", fmt.Sprintf("fully-assoc; %d entries", cfg.DPCTEntries),
+			cfg.DPCTEntries * dpctEntryBits},
+		{"PB", fmt.Sprintf("%d entries", cfg.PBEntries),
+			cfg.PBEntries * pbEntryBits},
+	}
+	return items
+}
+
+// TotalStorageBytes sums the breakdown (Table I reports 4.46KB for the
+// default configuration; the DC's 3 bits are omitted there too).
+func (g *Gaze) TotalStorageBytes() float64 {
+	var bits int
+	for _, item := range g.StorageBreakdown() {
+		bits += item.Bits
+	}
+	return float64(bits) / 8
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+// Package cpu provides the out-of-order core timing model.
+//
+// The model is the classic trace-driven ROB-limited approximation used by
+// analytical simulators: instructions fetch at FetchWidth per cycle, every
+// instruction's completion time is fetch time plus its execution latency
+// (memory latency for loads, ~0 for everything else), and instructions
+// retire in order at RetireWidth per cycle. An instruction cannot fetch
+// until the instruction ROBSize older than it has retired. The combination
+// reproduces what matters for prefetcher studies: short L1 hits are fully
+// hidden, independent misses overlap up to the ROB window (MLP), and long
+// DRAM stalls serialize once the ROB fills behind them — so cutting miss
+// latency via prefetching raises IPC exactly where ChampSim would show it.
+package cpu
+
+import "fmt"
+
+// Config mirrors Table II's core row.
+type Config struct {
+	FetchWidth  int
+	RetireWidth int
+	ROBSize     int
+}
+
+// DefaultConfig is the paper's core: 4-wide OoO with a 352-entry ROB.
+func DefaultConfig() Config {
+	return Config{FetchWidth: 4, RetireWidth: 4, ROBSize: 352}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.RetireWidth <= 0 || c.ROBSize <= 0 {
+		return fmt.Errorf("cpu: widths and ROB size must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Core tracks one hardware thread's timing state.
+type Core struct {
+	cfg        Config
+	fetchStep  float64 // 1/FetchWidth
+	retireStep float64 // 1/RetireWidth
+
+	// retireRing holds the retire times of the last ROBSize instructions.
+	retireRing []float64
+	pos        int
+
+	lastFetch  float64
+	lastRetire float64
+
+	instructions uint64
+
+	// measureStartInstr / measureStartCycle snapshot the warm-up boundary.
+	measureStartInstr uint64
+	measureStartCycle float64
+}
+
+// New constructs a core; panics on invalid configuration.
+func New(cfg Config) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{
+		cfg:        cfg,
+		fetchStep:  1 / float64(cfg.FetchWidth),
+		retireStep: 1 / float64(cfg.RetireWidth),
+		retireRing: make([]float64, cfg.ROBSize),
+	}
+}
+
+// NextFetch returns the cycle at which the next instruction will fetch.
+// The multi-core scheduler advances the core with the smallest NextFetch.
+func (c *Core) NextFetch() float64 {
+	f := c.lastFetch + c.fetchStep
+	if dep := c.retireRing[c.pos]; dep > f {
+		// ROB full: cannot fetch until the instruction ROBSize back retires.
+		f = dep
+	}
+	return f
+}
+
+// Execute advances the core by one instruction whose execution latency is
+// lat cycles (0 for non-memory work) and returns its fetch cycle — the
+// moment a load would have issued to the memory system.
+func (c *Core) Execute(lat float64) float64 {
+	fetch := c.NextFetch()
+	done := fetch + lat
+	retire := done
+	if m := c.lastRetire + c.retireStep; m > retire {
+		retire = m
+	}
+	c.retireRing[c.pos] = retire
+	c.pos++
+	if c.pos == len(c.retireRing) {
+		c.pos = 0
+	}
+	c.lastFetch = fetch
+	c.lastRetire = retire
+	c.instructions++
+	return fetch
+}
+
+// ExecuteRun advances the core by n back-to-back non-memory instructions.
+func (c *Core) ExecuteRun(n int) {
+	for i := 0; i < n; i++ {
+		c.Execute(0)
+	}
+}
+
+// Instructions returns the total executed instruction count.
+func (c *Core) Instructions() uint64 { return c.instructions }
+
+// Now returns the current retirement frontier (the core's notion of time).
+func (c *Core) Now() float64 { return c.lastRetire }
+
+// BeginMeasurement marks the warm-up boundary: IPC reported by IPC() covers
+// instructions executed after this call.
+func (c *Core) BeginMeasurement() {
+	c.measureStartInstr = c.instructions
+	c.measureStartCycle = c.lastRetire
+}
+
+// MeasuredInstructions returns instructions executed since BeginMeasurement.
+func (c *Core) MeasuredInstructions() uint64 {
+	return c.instructions - c.measureStartInstr
+}
+
+// IPC returns instructions per cycle over the measurement window.
+func (c *Core) IPC() float64 {
+	cycles := c.lastRetire - c.measureStartCycle
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.MeasuredInstructions()) / cycles
+}
+
+// Cycles returns elapsed cycles in the measurement window.
+func (c *Core) Cycles() float64 { return c.lastRetire - c.measureStartCycle }

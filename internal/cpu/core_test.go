@@ -1,0 +1,132 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdealIPCEqualsWidth(t *testing.T) {
+	c := New(DefaultConfig())
+	c.BeginMeasurement()
+	c.ExecuteRun(100000)
+	ipc := c.IPC()
+	if math.Abs(ipc-4) > 0.05 {
+		t.Errorf("ideal IPC = %v, want ~4", ipc)
+	}
+}
+
+func TestShortLatencyHidden(t *testing.T) {
+	// L1-hit-style loads (5 cycles) interleaved with non-mem work must not
+	// reduce IPC below ~width: the ROB hides them.
+	c := New(DefaultConfig())
+	c.BeginMeasurement()
+	for i := 0; i < 20000; i++ {
+		c.Execute(5)
+		c.ExecuteRun(3)
+	}
+	if ipc := c.IPC(); ipc < 3.5 {
+		t.Errorf("IPC with hidden L1 hits = %v, want ~4", ipc)
+	}
+}
+
+func TestLongMissesLimitedByROB(t *testing.T) {
+	// Every 100th instruction is a 400-cycle miss. With a 352-entry ROB,
+	// roughly 3.5 misses overlap, so the per-miss effective cost is
+	// ~400/3.5 ≈ 114 cycles per 100 instructions ⇒ IPC ≈ 100/(114+25).
+	c := New(DefaultConfig())
+	c.BeginMeasurement()
+	for i := 0; i < 5000; i++ {
+		c.Execute(400)
+		c.ExecuteRun(99)
+	}
+	ipc := c.IPC()
+	if ipc < 0.4 || ipc > 1.5 {
+		t.Errorf("miss-bound IPC = %v, want in (0.4, 1.5)", ipc)
+	}
+	// And a bigger ROB must raise it.
+	big := New(Config{FetchWidth: 4, RetireWidth: 4, ROBSize: 2048})
+	big.BeginMeasurement()
+	for i := 0; i < 5000; i++ {
+		big.Execute(400)
+		big.ExecuteRun(99)
+	}
+	if big.IPC() <= ipc {
+		t.Errorf("larger ROB did not raise IPC: %v vs %v", big.IPC(), ipc)
+	}
+}
+
+func TestSerializedMisses(t *testing.T) {
+	// Back-to-back dependent-style misses (one per ROB window) cannot
+	// overlap: IPC must collapse towards lat/instr ratio.
+	c := New(Config{FetchWidth: 4, RetireWidth: 4, ROBSize: 8})
+	c.BeginMeasurement()
+	for i := 0; i < 2000; i++ {
+		c.Execute(200)
+		c.ExecuteRun(7)
+	}
+	// 8-entry ROB: a 200-cycle miss every 8 instructions, no overlap
+	// (next miss fetches only after previous retires). IPC ≈ 8/200 = 0.04.
+	if ipc := c.IPC(); ipc > 0.1 {
+		t.Errorf("tiny-ROB IPC = %v, want < 0.1", ipc)
+	}
+}
+
+func TestFetchTimeMonotone(t *testing.T) {
+	c := New(DefaultConfig())
+	prev := -1.0
+	for i := 0; i < 1000; i++ {
+		var f float64
+		if i%7 == 0 {
+			f = c.Execute(300)
+		} else {
+			f = c.Execute(0)
+		}
+		if f < prev {
+			t.Fatalf("fetch time went backwards at %d: %v < %v", i, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestNextFetchMatchesExecute(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		want := c.NextFetch()
+		got := c.Execute(float64(i % 50))
+		if got != want {
+			t.Fatalf("step %d: NextFetch=%v but Execute fetched at %v", i, want, got)
+		}
+	}
+}
+
+func TestMeasurementWindow(t *testing.T) {
+	c := New(DefaultConfig())
+	c.ExecuteRun(1000) // warm-up
+	c.BeginMeasurement()
+	c.ExecuteRun(500)
+	if c.MeasuredInstructions() != 500 {
+		t.Errorf("MeasuredInstructions = %d, want 500", c.MeasuredInstructions())
+	}
+	if c.Instructions() != 1500 {
+		t.Errorf("Instructions = %d, want 1500", c.Instructions())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	for _, bad := range []Config{{}, {FetchWidth: 4}, {FetchWidth: 4, RetireWidth: 4}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestIPCZeroBeforeWork(t *testing.T) {
+	c := New(DefaultConfig())
+	c.BeginMeasurement()
+	if ipc := c.IPC(); ipc != 0 {
+		t.Errorf("IPC with no work = %v", ipc)
+	}
+}

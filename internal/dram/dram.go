@@ -1,0 +1,236 @@
+// Package dram models the off-chip memory system: channels, ranks, banks,
+// row buffers and the shared per-channel data bus. It reproduces the two
+// DRAM behaviours the paper's evaluation depends on:
+//
+//   - latency structure: row-buffer hits cost tCAS, misses pay
+//     tRP+tRCD+tCAS (Table II: 12.5ns each), so spatially dense request
+//     streams are cheaper per access than scattered ones;
+//   - bandwidth contention: every 64B transfer occupies the channel data
+//     bus for a burst, so aggressive prefetchers queue behind their own
+//     traffic and behind other cores (the effect that degrades PMP and
+//     DSPatch in the paper's 4- and 8-core experiments, Fig 14).
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config mirrors Table II's DRAM rows. The zero value is not usable; use
+// DDR4Config or fill every field.
+type Config struct {
+	Channels       int
+	RanksPerChan   int
+	BanksPerRank   int
+	MTPS           int     // mega-transfers per second (e.g. 3200)
+	BusBytes       int     // data bus width in bytes (8)
+	RowBufferBytes int     // per-bank row buffer (2048)
+	CPUGHz         float64 // CPU clock for ns→cycle conversion (4.0)
+	TRPns          float64
+	TRCDns         float64
+	TCASns         float64
+}
+
+// DDR4Config returns the paper's DDR4-3200 configuration for the given
+// channel/rank layout (Table II: 1C single channel 1 rank, 2C dual channel
+// 1 rank, 4C dual channel 2 ranks, 8C quad channel 2 ranks).
+func DDR4Config(cores int) Config {
+	cfg := Config{
+		BanksPerRank:   8,
+		MTPS:           3200,
+		BusBytes:       8,
+		RowBufferBytes: 2048,
+		CPUGHz:         4.0,
+		TRPns:          12.5,
+		TRCDns:         12.5,
+		TCASns:         12.5,
+	}
+	switch {
+	case cores <= 1:
+		cfg.Channels, cfg.RanksPerChan = 1, 1
+	case cores == 2:
+		cfg.Channels, cfg.RanksPerChan = 2, 1
+	case cores <= 4:
+		cfg.Channels, cfg.RanksPerChan = 2, 2
+	default:
+		cfg.Channels, cfg.RanksPerChan = 4, 2
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.Channels&(c.Channels-1) != 0:
+		return fmt.Errorf("dram: channels must be a positive power of two, got %d", c.Channels)
+	case c.RanksPerChan <= 0 || c.BanksPerRank <= 0:
+		return fmt.Errorf("dram: ranks/banks must be positive")
+	case c.MTPS <= 0 || c.BusBytes <= 0 || c.RowBufferBytes <= 0:
+		return fmt.Errorf("dram: MTPS/bus/row buffer must be positive")
+	case c.CPUGHz <= 0:
+		return fmt.Errorf("dram: CPU frequency must be positive")
+	}
+	return nil
+}
+
+// BurstCycles returns the CPU cycles one 64B line transfer occupies the
+// channel data bus.
+func (c Config) BurstCycles() float64 {
+	bytesPerSec := float64(c.MTPS) * 1e6 * float64(c.BusBytes)
+	seconds := float64(mem.LineSize) / bytesPerSec
+	return seconds * c.CPUGHz * 1e9
+}
+
+func (c Config) cyclesOf(ns float64) float64 { return ns * c.CPUGHz }
+
+type bank struct {
+	openRow uint64
+	hasRow  bool
+	// nextCAS is the earliest cycle the bank can issue its next column
+	// access: row hits pipeline at burst rate, row misses pay precharge +
+	// activate first.
+	nextCAS  float64
+	accesses uint64
+	rowHits  uint64
+}
+
+type channel struct {
+	banks     []bank
+	busFreeAt float64
+}
+
+// Stats holds DRAM counters.
+type Stats struct {
+	Requests uint64
+	RowHits  uint64
+	// BusBusyCycles accumulates data-bus occupancy, the utilization signal
+	// DSPatch-style bandwidth-aware policies read.
+	BusBusyCycles float64
+}
+
+// DRAM is the memory system model. It is not safe for concurrent use; the
+// simulator serializes accesses in (approximate) time order.
+type DRAM struct {
+	cfg      Config
+	channels []channel
+	rowBits  uint
+	burst    float64
+	tRP      float64
+	tRCD     float64
+	tCAS     float64
+
+	Stats Stats
+}
+
+// New constructs a DRAM model; panics on invalid configuration.
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DRAM{
+		cfg:   cfg,
+		burst: cfg.BurstCycles(),
+		tRP:   cfg.cyclesOf(cfg.TRPns),
+		tRCD:  cfg.cyclesOf(cfg.TRCDns),
+		tCAS:  cfg.cyclesOf(cfg.TCASns),
+	}
+	d.channels = make([]channel, cfg.Channels)
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, cfg.RanksPerChan*cfg.BanksPerRank)
+	}
+	bits := uint(0)
+	for s := cfg.RowBufferBytes; s > 1; s >>= 1 {
+		bits++
+	}
+	d.rowBits = bits
+	return d
+}
+
+// Config returns the active configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Access issues a 64B line read arriving at cycle `arrival` and returns the
+// cycle its data transfer completes.
+//
+// Address mapping is column:channel:bank:row — consecutive lines fill a row
+// before moving on, channels interleave above row-sized chunks, so spatial
+// streams enjoy row-buffer hits while independent streams spread across
+// banks and channels.
+func (d *DRAM) Access(paddr mem.Addr, arrival float64) float64 {
+	d.Stats.Requests++
+	ln := mem.LineNum(paddr)
+	colBits := d.rowBits - mem.LineBits // line-index bits within a row
+	rowChunk := ln >> colBits           // row-sized chunk number
+	chIdx := int(rowChunk) & (len(d.channels) - 1)
+	ch := &d.channels[chIdx]
+	chunkInChan := rowChunk >> uint(trailingBits(len(d.channels)))
+	bIdx := int(chunkInChan) % len(ch.banks)
+	b := &ch.banks[bIdx]
+	row := chunkInChan / uint64(len(ch.banks))
+
+	start := arrival
+	if b.nextCAS > start {
+		start = b.nextCAS
+	}
+	if b.hasRow && b.openRow == row {
+		b.rowHits++
+		d.Stats.RowHits++
+	} else {
+		// Precharge + activate before the column access can issue.
+		start += d.tRP + d.tRCD
+		b.openRow = row
+		b.hasRow = true
+	}
+	b.accesses++
+
+	dataStart := start + d.tCAS
+	if ch.busFreeAt > dataStart {
+		dataStart = ch.busFreeAt
+	}
+	finish := dataStart + d.burst
+	// Column accesses to an open row pipeline at burst rate.
+	b.nextCAS = start + d.burst
+	ch.busFreeAt = finish
+	d.Stats.BusBusyCycles += d.burst
+	return finish
+}
+
+// BusUtilization estimates data-bus utilization over [since, now): the
+// fraction of cycles the (aggregate) bus was transferring data. DSPatch's
+// bandwidth-aware pattern selection consumes this.
+func (d *DRAM) BusUtilization(since, now float64) float64 {
+	if now <= since {
+		return 0
+	}
+	total := (now - since) * float64(len(d.channels))
+	u := d.Stats.BusBusyCycles / total
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Pressure reports instantaneous queuing pressure at cycle now: the mean
+// number of cycles until channels go idle, normalized by the burst time.
+func (d *DRAM) Pressure(now float64) float64 {
+	var wait float64
+	for i := range d.channels {
+		if d.channels[i].busFreeAt > now {
+			wait += d.channels[i].busFreeAt - now
+		}
+	}
+	return wait / (float64(len(d.channels)) * d.burst)
+}
+
+// ResetStats clears counters at the warm-up boundary.
+func (d *DRAM) ResetStats() { d.Stats = Stats{} }
+
+func trailingBits(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestDDR4ConfigLayouts(t *testing.T) {
+	cases := []struct {
+		cores, chans, ranks int
+	}{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {8, 4, 2},
+	}
+	for _, c := range cases {
+		cfg := DDR4Config(c.cores)
+		if cfg.Channels != c.chans || cfg.RanksPerChan != c.ranks {
+			t.Errorf("%d cores: got %d channels %d ranks, want %d/%d",
+				c.cores, cfg.Channels, cfg.RanksPerChan, c.chans, c.ranks)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%d cores: invalid config: %v", c.cores, err)
+		}
+	}
+}
+
+func TestBurstCycles(t *testing.T) {
+	cfg := DDR4Config(1)
+	// 64B at 3200MT/s x 8B = 2.5ns = 10 cycles at 4GHz.
+	if b := cfg.BurstCycles(); b < 9.9 || b > 10.1 {
+		t.Errorf("BurstCycles = %v, want 10", b)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	d := New(DDR4Config(1))
+	// First access opens the row.
+	f1 := d.Access(0x100000, 0)
+	// Second access, same row, arrives after everything drained.
+	f2start := f1 + 1000
+	f2 := d.Access(0x100040, f2start)
+	missLat := f1 - 0
+	hitLat := f2 - f2start
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %v >= miss latency %v", hitLat, missLat)
+	}
+	if d.Stats.RowHits != 1 {
+		t.Errorf("RowHits = %d, want 1", d.Stats.RowHits)
+	}
+}
+
+func TestRowMissLatencyValue(t *testing.T) {
+	d := New(DDR4Config(1))
+	f := d.Access(0x100000, 0)
+	// tRP+tRCD+tCAS = 37.5ns = 150 cycles, + 10 cycle burst.
+	if f < 159 || f > 161 {
+		t.Errorf("cold access latency = %v, want ~160", f)
+	}
+}
+
+func TestBusQueuing(t *testing.T) {
+	d := New(DDR4Config(1))
+	// Two same-cycle requests to the same bank+row must serialize on the
+	// bus: second finish >= first finish + burst.
+	f1 := d.Access(0x100000, 0)
+	f2 := d.Access(0x100040, 0)
+	if f2 < f1+d.cfg.BurstCycles()-0.01 {
+		t.Errorf("no serialization: f1=%v f2=%v", f1, f2)
+	}
+}
+
+func TestMoreChannelsMoreParallelism(t *testing.T) {
+	run := func(channels int) float64 {
+		cfg := DDR4Config(1)
+		cfg.Channels = channels
+		d := New(cfg)
+		var last float64
+		// 64 concurrent requests spread over line addresses.
+		for i := 0; i < 64; i++ {
+			f := d.Access(mem.Addr(i)*64, 0)
+			if f > last {
+				last = f
+			}
+		}
+		return last
+	}
+	one := run(1)
+	four := run(4)
+	if four >= one {
+		t.Errorf("4-channel makespan %v >= 1-channel %v", four, one)
+	}
+}
+
+func TestHigherMTPSFaster(t *testing.T) {
+	run := func(mtps int) float64 {
+		cfg := DDR4Config(1)
+		cfg.MTPS = mtps
+		d := New(cfg)
+		var last float64
+		for i := 0; i < 128; i++ {
+			f := d.Access(mem.Addr(i)*64, 0)
+			if f > last {
+				last = f
+			}
+		}
+		return last
+	}
+	slow := run(800)
+	fast := run(12800)
+	if fast >= slow {
+		t.Errorf("12800MTPS makespan %v >= 800MTPS %v", fast, slow)
+	}
+}
+
+func TestBusUtilization(t *testing.T) {
+	d := New(DDR4Config(1))
+	if u := d.BusUtilization(0, 1000); u != 0 {
+		t.Errorf("idle utilization = %v", u)
+	}
+	for i := 0; i < 10; i++ {
+		d.Access(mem.Addr(i)*64, float64(i)*200)
+	}
+	u := d.BusUtilization(0, 2000)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization out of range: %v", u)
+	}
+}
+
+func TestPressure(t *testing.T) {
+	d := New(DDR4Config(1))
+	if p := d.Pressure(0); p != 0 {
+		t.Errorf("idle pressure = %v", p)
+	}
+	// Pile up requests at t=0; pressure right after must be positive.
+	for i := 0; i < 32; i++ {
+		d.Access(mem.Addr(i)*64, 0)
+	}
+	if p := d.Pressure(1); p <= 0 {
+		t.Errorf("pressure after burst = %v, want > 0", p)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		{Channels: 3, RanksPerChan: 1, BanksPerRank: 8, MTPS: 3200, BusBytes: 8, RowBufferBytes: 2048, CPUGHz: 4},
+		{Channels: 1, RanksPerChan: 0, BanksPerRank: 8, MTPS: 3200, BusBytes: 8, RowBufferBytes: 2048, CPUGHz: 4},
+		{Channels: 1, RanksPerChan: 1, BanksPerRank: 8, MTPS: 0, BusBytes: 8, RowBufferBytes: 2048, CPUGHz: 4},
+		{Channels: 1, RanksPerChan: 1, BanksPerRank: 8, MTPS: 3200, BusBytes: 8, RowBufferBytes: 2048, CPUGHz: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := New(DDR4Config(1))
+	d.Access(0, 0)
+	d.ResetStats()
+	if d.Stats.Requests != 0 || d.Stats.BusBusyCycles != 0 {
+		t.Error("stats not cleared")
+	}
+}

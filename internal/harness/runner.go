@@ -1,0 +1,249 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§IV) from the simulator: it binds workloads, prefetchers and
+// system configurations, runs the simulations (memoized and in parallel),
+// and formats the same rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/prefetchers"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scale bounds experiment cost. The paper simulates 200M+200M instructions
+// per trace on a 384-core cluster over days; synthetic stationary traces
+// converge much faster (DESIGN.md §1), so even Full here is laptop-scale.
+type Scale struct {
+	// TracesPerSuite caps traces per suite (0 = all catalogue entries).
+	TracesPerSuite int
+	// TraceLen is the number of generated records per trace.
+	TraceLen int
+	// Warmup and Sim are per-core instruction budgets.
+	Warmup uint64
+	Sim    uint64
+}
+
+// Predefined scales.
+var (
+	Quick    = Scale{TracesPerSuite: 2, TraceLen: 50_000, Warmup: 40_000, Sim: 150_000}
+	Standard = Scale{TracesPerSuite: 5, TraceLen: 120_000, Warmup: 100_000, Sim: 400_000}
+	Full     = Scale{TracesPerSuite: 0, TraceLen: 250_000, Warmup: 200_000, Sim: 800_000}
+)
+
+// Runner executes and memoizes simulations.
+type Runner struct {
+	scale Scale
+
+	mu    sync.Mutex
+	memo  map[string]sim.Result
+	limit chan struct{}
+}
+
+// NewRunner builds a runner at the given scale.
+func NewRunner(scale Scale) *Runner {
+	if scale.TraceLen == 0 {
+		scale = Standard
+	}
+	return &Runner{
+		scale: scale,
+		memo:  make(map[string]sim.Result),
+		limit: make(chan struct{}, runtime.GOMAXPROCS(0)),
+	}
+}
+
+// Scale returns the runner's scale.
+func (r *Runner) Scale() Scale { return r.scale }
+
+// config returns the default system config at this runner's scale.
+func (r *Runner) config(cores int) sim.Config {
+	cfg := sim.DefaultConfig(cores)
+	cfg.WarmupInstructions = r.scale.Warmup
+	cfg.SimInstructions = r.scale.Sim
+	return cfg
+}
+
+// Job describes one simulation: one or more cores with traces and
+// prefetchers, plus an optional config mutation.
+type Job struct {
+	// Traces holds one trace name per core.
+	Traces []string
+	// L1 holds one L1 prefetcher name per core ("" / "none" for no
+	// prefetching); a single-element slice is broadcast to all cores.
+	L1 []string
+	// L2 optionally attaches L2 prefetchers (Fig 13), broadcast like L1.
+	L2 []string
+	// ConfigKey disambiguates mutated configs in the memo cache; Mutate
+	// applies the mutation.
+	ConfigKey string
+	Mutate    func(sim.Config) sim.Config
+}
+
+func (j Job) key() string {
+	return fmt.Sprintf("%v|%v|%v|%s", j.Traces, j.L1, j.L2, j.ConfigKey)
+}
+
+func broadcast(names []string, n int) []string {
+	if len(names) == n {
+		return names
+	}
+	out := make([]string, n)
+	for i := range out {
+		if len(names) == 1 {
+			out[i] = names[0]
+		} else if i < len(names) {
+			out[i] = names[i]
+		}
+	}
+	return out
+}
+
+// Run executes one job (memoized).
+func (r *Runner) Run(j Job) sim.Result {
+	key := j.key()
+	r.mu.Lock()
+	if res, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	r.limit <- struct{}{}
+	res := r.execute(j)
+	<-r.limit
+
+	r.mu.Lock()
+	r.memo[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+func (r *Runner) execute(j Job) sim.Result {
+	cores := len(j.Traces)
+	cfg := r.config(cores)
+	if j.Mutate != nil {
+		cfg = j.Mutate(cfg)
+	}
+	l1s := broadcast(j.L1, cores)
+	l2s := broadcast(j.L2, cores)
+
+	specs := make([]sim.CoreSpec, cores)
+	for i, name := range j.Traces {
+		recs := workload.MustGenerate(name, r.scale.TraceLen)
+		spec := sim.CoreSpec{
+			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
+			L1Prefetcher: prefetchers.MustNew(l1s[i]),
+		}
+		if l2s[i] != "" && l2s[i] != "none" {
+			spec.L2Prefetcher = prefetchers.MustNew(l2s[i])
+		}
+		specs[i] = spec
+	}
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		panic(fmt.Sprintf("harness: building system for %s: %v", j.key(), err))
+	}
+	return sys.Run()
+}
+
+// RunAll executes jobs in parallel and returns results in order.
+func (r *Runner) RunAll(jobs []Job) []sim.Result {
+	results := make([]sim.Result, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// single runs one single-core (trace, prefetcher) pair with the default
+// config.
+func (r *Runner) single(traceName, pf string) sim.Result {
+	return r.Run(Job{Traces: []string{traceName}, L1: []string{pf}})
+}
+
+// Speedup returns IPC(pf)/IPC(none) for one trace.
+func (r *Runner) Speedup(traceName, pf string) float64 {
+	base := r.single(traceName, "none").MeanIPC()
+	if base == 0 {
+		return 0
+	}
+	return r.single(traceName, pf).MeanIPC() / base
+}
+
+// SuiteTraces returns the evaluated trace names of a suite at this scale.
+func (r *Runner) SuiteTraces(suite string) []string {
+	infos := workload.Suite(suite)
+	names := make([]string, 0, len(infos))
+	for _, info := range infos {
+		names = append(names, info.Name)
+	}
+	sort.Strings(names)
+	if r.scale.TracesPerSuite > 0 && len(names) > r.scale.TracesPerSuite {
+		// Deterministic spread across the suite rather than a prefix.
+		step := len(names) / r.scale.TracesPerSuite
+		picked := make([]string, 0, r.scale.TracesPerSuite)
+		for i := 0; i < r.scale.TracesPerSuite; i++ {
+			picked = append(picked, names[i*step])
+		}
+		return picked
+	}
+	return names
+}
+
+// MainSuites returns the five suites of the paper's primary evaluation.
+func MainSuites() []string {
+	return []string{"spec06", "spec17", "ligra", "parsec", "cloud"}
+}
+
+// EvalSet returns the union of all main-suite traces at this scale.
+func (r *Runner) EvalSet() []string {
+	var out []string
+	for _, s := range MainSuites() {
+		out = append(out, r.SuiteTraces(s)...)
+	}
+	return out
+}
+
+// prewarm launches the (trace, pf) sims for all combinations in parallel.
+func (r *Runner) prewarm(traces, pfs []string) {
+	var jobs []Job
+	for _, t := range traces {
+		jobs = append(jobs, Job{Traces: []string{t}, L1: []string{"none"}})
+		for _, p := range pfs {
+			jobs = append(jobs, Job{Traces: []string{t}, L1: []string{p}})
+		}
+	}
+	r.RunAll(jobs)
+}
+
+// vgazeSpeedup runs the vGaze variant with an arbitrary region byte size.
+func (r *Runner) vgazeSpeedup(traceName string, regionBytes int) float64 {
+	return r.Speedup(traceName, fmt.Sprintf("vGaze-%dB", regionBytes))
+}
+
+// gazePHTSizeSpeedup runs Gaze with a resized PHT (Fig 17b).
+func (r *Runner) gazePHTSizeSpeedup(traceName string, entries int) float64 {
+	return r.Speedup(traceName, fmt.Sprintf("Gaze-PHT%d", entries))
+}
+
+// suiteSpeedups computes per-suite geometric-mean speedups for a
+// prefetcher.
+func (r *Runner) suiteSpeedup(suite, pf string) float64 {
+	var vals []float64
+	for _, t := range r.SuiteTraces(suite) {
+		vals = append(vals, r.Speedup(t, pf))
+	}
+	return stats.Geomean(vals)
+}

@@ -1,0 +1,90 @@
+// Package mem provides address arithmetic for the simulated memory system:
+// cache-line and spatial-region (page) decomposition, block offsets within a
+// region, and a deterministic virtual-to-physical page mapping.
+//
+// The whole simulator works on byte addresses (type Addr). Spatial
+// prefetchers reason about 64-byte cache blocks within 4KB regions, i.e.
+// 64 block offsets per region, exactly as the paper does (§III).
+package mem
+
+// Addr is a byte address, virtual or physical depending on context.
+type Addr uint64
+
+// Fixed machine geometry. The paper (and ChampSim) use 64B lines; the
+// default spatial region is a 4KB page but Gaze variants support other
+// region sizes, so region helpers also exist in parameterized form.
+const (
+	LineBits = 6 // log2(64)
+	LineSize = 1 << LineBits
+
+	PageBits = 12 // log2(4096)
+	PageSize = 1 << PageBits
+
+	// BlocksPerPage is the number of cache blocks in a 4KB region (64),
+	// which is why spatial footprints fit in a uint64 bit vector.
+	BlocksPerPage = PageSize / LineSize
+)
+
+// LineAddr returns the address truncated to its cache-line base.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineNum returns the cache-line number (address >> 6).
+func LineNum(a Addr) uint64 { return uint64(a) >> LineBits }
+
+// PageNum returns the 4KB page (region) number.
+func PageNum(a Addr) uint64 { return uint64(a) >> PageBits }
+
+// PageBase returns the base address of the 4KB page containing a.
+func PageBase(a Addr) Addr { return a &^ (PageSize - 1) }
+
+// BlockOffset returns the block offset of a within its 4KB region, in
+// [0, 64). This is the paper's "offset": the distance of the block address
+// from the beginning of a region, in blocks.
+func BlockOffset(a Addr) int {
+	return int((uint64(a) >> LineBits) & (BlocksPerPage - 1))
+}
+
+// BlockAddr reconstructs the block base address for block `off` of the
+// region containing a.
+func BlockAddr(region uint64, off int) Addr {
+	return Addr(region<<PageBits) + Addr(off<<LineBits)
+}
+
+// RegionGeometry describes a spatial region of arbitrary power-of-two size,
+// used by vGaze (Fig 17a / Fig 18) where regions range from 0.5KB to 64KB.
+type RegionGeometry struct {
+	// RegionBits is log2 of the region size in bytes.
+	RegionBits uint
+}
+
+// NewRegionGeometry returns the geometry for a region of `size` bytes.
+// size must be a power of two and at least one cache line.
+func NewRegionGeometry(size int) RegionGeometry {
+	if size < LineSize || size&(size-1) != 0 {
+		panic("mem: region size must be a power of two >= 64")
+	}
+	bits := uint(0)
+	for s := size; s > 1; s >>= 1 {
+		bits++
+	}
+	return RegionGeometry{RegionBits: bits}
+}
+
+// Size returns the region size in bytes.
+func (g RegionGeometry) Size() int { return 1 << g.RegionBits }
+
+// Blocks returns the number of cache blocks per region.
+func (g RegionGeometry) Blocks() int { return 1 << (g.RegionBits - LineBits) }
+
+// RegionNum returns the region number of address a.
+func (g RegionGeometry) RegionNum(a Addr) uint64 { return uint64(a) >> g.RegionBits }
+
+// Offset returns the block offset of a within its region, in [0, Blocks()).
+func (g RegionGeometry) Offset(a Addr) int {
+	return int((uint64(a) >> LineBits) & uint64(g.Blocks()-1))
+}
+
+// BlockAddr reconstructs the block base address for block off of region.
+func (g RegionGeometry) BlockAddr(region uint64, off int) Addr {
+	return Addr(region<<g.RegionBits) + Addr(off<<LineBits)
+}

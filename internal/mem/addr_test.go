@@ -1,0 +1,178 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		in, want Addr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{4095, 4032},
+		{4096, 4096},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.in); got != c.want {
+			t.Errorf("LineAddr(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBlockOffsetRange(t *testing.T) {
+	if err := quick.Check(func(a uint64) bool {
+		off := BlockOffset(Addr(a))
+		return off >= 0 && off < BlocksPerPage
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockAddrRoundTrip(t *testing.T) {
+	if err := quick.Check(func(a uint64) bool {
+		addr := Addr(a)
+		region := PageNum(addr)
+		off := BlockOffset(addr)
+		back := BlockAddr(region, off)
+		return back == LineAddr(addr)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageDecomposition(t *testing.T) {
+	a := Addr(0x12345_678)
+	if PageNum(a) != 0x12345 {
+		t.Errorf("PageNum = %#x, want 0x12345", PageNum(a))
+	}
+	if PageBase(a) != 0x12345_000 {
+		t.Errorf("PageBase = %#x", PageBase(a))
+	}
+	if BlockOffset(a) != 0x678>>6 {
+		t.Errorf("BlockOffset = %d, want %d", BlockOffset(a), 0x678>>6)
+	}
+}
+
+func TestRegionGeometrySizes(t *testing.T) {
+	for _, size := range []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536} {
+		g := NewRegionGeometry(size)
+		if g.Size() != size {
+			t.Errorf("size %d: Size() = %d", size, g.Size())
+		}
+		if g.Blocks() != size/LineSize {
+			t.Errorf("size %d: Blocks() = %d, want %d", size, g.Blocks(), size/LineSize)
+		}
+	}
+}
+
+func TestRegionGeometry4KBMatchesPageHelpers(t *testing.T) {
+	g := NewRegionGeometry(PageSize)
+	if err := quick.Check(func(a uint64) bool {
+		addr := Addr(a)
+		return g.RegionNum(addr) == PageNum(addr) && g.Offset(addr) == BlockOffset(addr)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionGeometryRoundTrip(t *testing.T) {
+	g := NewRegionGeometry(16384)
+	if err := quick.Check(func(a uint64) bool {
+		addr := Addr(a)
+		back := g.BlockAddr(g.RegionNum(addr), g.Offset(addr))
+		return back == LineAddr(addr)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRegionGeometryPanics(t *testing.T) {
+	for _, bad := range []int{0, 1, 63, 100, 3 * 1024} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRegionGeometry(%d) did not panic", bad)
+				}
+			}()
+			NewRegionGeometry(bad)
+		}()
+	}
+}
+
+func TestTranslatorPreservesPageOffset(t *testing.T) {
+	tr := NewTranslator(42)
+	if err := quick.Check(func(a uint64) bool {
+		v := Addr(a)
+		p := tr.Translate(v)
+		return (p & (PageSize - 1)) == (v & (PageSize - 1))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslatorDeterministic(t *testing.T) {
+	tr1 := NewTranslator(7)
+	tr2 := NewTranslator(7)
+	for i := 0; i < 1000; i++ {
+		v := Addr(i * 4096)
+		if tr1.Translate(v) != tr2.Translate(v) {
+			t.Fatalf("translation not deterministic at %#x", v)
+		}
+	}
+}
+
+func TestTranslatorScattersAdjacentPages(t *testing.T) {
+	// Adjacent virtual pages must not map to adjacent physical frames for
+	// most pages; otherwise physical-address prefetchers would see virtual
+	// contiguity and the virtual-vs-physical distinction would vanish.
+	tr := NewTranslator(1)
+	adjacent := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		p0 := PageNum(tr.Translate(Addr(i) * PageSize))
+		p1 := PageNum(tr.Translate(Addr(i+1) * PageSize))
+		if p1 == p0+1 {
+			adjacent++
+		}
+	}
+	if adjacent > n/100 {
+		t.Errorf("too many adjacent frame mappings: %d/%d", adjacent, n)
+	}
+}
+
+func TestTranslatorCollisionFree(t *testing.T) {
+	tr := NewTranslator(3)
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 50000; i++ {
+		pfn := PageNum(tr.Translate(Addr(i * PageSize)))
+		if prev, ok := seen[pfn]; ok {
+			t.Fatalf("frame collision: vpages %d and %d both map to frame %#x", prev, i, pfn)
+		}
+		seen[pfn] = i
+	}
+}
+
+func TestHashPCIs12Bits(t *testing.T) {
+	if err := quick.Check(func(pc uint64) bool {
+		return HashPC(pc) < 1<<12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashPCSpreads(t *testing.T) {
+	// Sequential PCs (4-byte spaced instructions) should fill a good
+	// fraction of the 4096 buckets.
+	seen := make(map[uint16]bool)
+	for i := uint64(0); i < 4096; i++ {
+		seen[HashPC(0x400000+i*4)] = true
+	}
+	if len(seen) < 2000 {
+		t.Errorf("HashPC spreads poorly: %d/4096 distinct buckets", len(seen))
+	}
+}

@@ -1,0 +1,73 @@
+package mem
+
+// Translator maps virtual pages to physical frames. The simulator feeds
+// virtual addresses (what the L1D sees) to L1 prefetchers and physical
+// addresses below. The mapping scatters adjacent virtual pages to unrelated
+// frames, so prefetchers working in the physical address space cannot
+// exploit cross-page virtual contiguity — the property that makes vBerti's
+// and vGaze's virtual-address operation meaningful (§IV-B8).
+//
+// The mapping is a keyed Feistel permutation over a 36-bit page-number
+// space (256TB of address space), so it is bijective: two distinct virtual
+// pages can never collide on one physical frame, just like a real page
+// table.
+type Translator struct {
+	keys [4]uint32
+}
+
+const (
+	feistelHalfBits = 18 // 2 x 18 = 36-bit page number domain
+	feistelHalfMask = 1<<feistelHalfBits - 1
+	vpnMask         = 1<<(2*feistelHalfBits) - 1
+)
+
+// NewTranslator creates a translator with a deterministic per-process salt.
+// Different salts model different physical page placements.
+func NewTranslator(salt uint64) *Translator {
+	t := &Translator{}
+	x := salt
+	for i := range t.keys {
+		x = mix64(x + uint64(i) + 1)
+		t.keys[i] = uint32(x)
+	}
+	return t
+}
+
+// Translate maps a virtual address to a physical address, preserving the
+// page offset.
+func (t *Translator) Translate(v Addr) Addr {
+	vpn := PageNum(v)
+	hi := vpn &^ uint64(vpnMask) // preserve bits above the permuted domain
+	l := uint32(vpn>>feistelHalfBits) & feistelHalfMask
+	r := uint32(vpn) & feistelHalfMask
+	for _, k := range t.keys {
+		l, r = r, l^feistelRound(r, k)
+	}
+	pfn := hi | uint64(l)<<feistelHalfBits | uint64(r)
+	return Addr(pfn<<PageBits) | (v & (PageSize - 1))
+}
+
+// feistelRound is the keyed round function; any function works for
+// bijectivity, a multiplicative mix gives good diffusion.
+func feistelRound(r, k uint32) uint32 {
+	x := (r + k) * 0x9e3779b1
+	x ^= x >> 15
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	return x & feistelHalfMask
+}
+
+// mix64 is the splitmix64 finalizer: a bijective 64-bit mixing function.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashPC folds a 64-bit PC into the 12-bit hashed-PC fields used by Gaze's
+// FT/AT/DPCT entries (Table I).
+func HashPC(pc uint64) uint16 {
+	h := mix64(pc)
+	return uint16((h ^ h>>12 ^ h>>24) & 0xfff)
+}

@@ -1,0 +1,57 @@
+package prefetch
+
+// Pacer is the uniform Prefetch Buffer used by the spatial-pattern-based
+// baselines (SMS, Bingo, DSPatch, PMP): predicted patterns enter a bounded
+// FIFO and drain a few requests per observed access, so a 64-block dense
+// prediction does not flood the downstream prefetch queue in one burst.
+// The paper fine-tunes one PB design and uses it uniformly across the
+// spatial prefetchers (§IV-A2); Gaze's own PB lives in internal/core.
+type Pacer struct {
+	buf      []Request
+	capacity int
+	perDrain int
+
+	// Dropped counts requests lost to a full buffer.
+	Dropped uint64
+}
+
+// NewPacer builds a pacer holding up to capacity requests and draining
+// perDrain per Drain call.
+func NewPacer(capacity, perDrain int) *Pacer {
+	if capacity <= 0 || perDrain <= 0 {
+		panic("prefetch: pacer capacity and drain must be positive")
+	}
+	return &Pacer{capacity: capacity, perDrain: perDrain}
+}
+
+// Push buffers a request, merging duplicates (keeping the stronger level).
+func (p *Pacer) Push(req Request) {
+	for i := range p.buf {
+		if p.buf[i].VLine == req.VLine {
+			if req.Level < p.buf[i].Level {
+				p.buf[i].Level = req.Level
+			}
+			return
+		}
+	}
+	if len(p.buf) >= p.capacity {
+		p.Dropped++
+		return
+	}
+	p.buf = append(p.buf, req)
+}
+
+// Drain forwards up to perDrain buffered requests to issue.
+func (p *Pacer) Drain(issue IssueFunc) {
+	n := p.perDrain
+	if n > len(p.buf) {
+		n = len(p.buf)
+	}
+	for i := 0; i < n; i++ {
+		issue(p.buf[i])
+	}
+	p.buf = p.buf[:copy(p.buf, p.buf[n:])]
+}
+
+// Len returns the number of buffered requests.
+func (p *Pacer) Len() int { return len(p.buf) }

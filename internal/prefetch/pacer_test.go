@@ -1,0 +1,68 @@
+package prefetch
+
+import "testing"
+
+func TestPacerDrainBound(t *testing.T) {
+	p := NewPacer(16, 3)
+	for i := 0; i < 10; i++ {
+		p.Push(Request{VLine: uint64(i+1) * 64})
+	}
+	var got []Request
+	p.Drain(func(r Request) { got = append(got, r) })
+	if len(got) != 3 {
+		t.Errorf("drained %d, want 3", len(got))
+	}
+	if p.Len() != 7 {
+		t.Errorf("Len = %d, want 7", p.Len())
+	}
+	// FIFO order.
+	if got[0].VLine != 64 || got[2].VLine != 3*64 {
+		t.Errorf("drain order wrong: %v", got)
+	}
+}
+
+func TestPacerCapacityDrops(t *testing.T) {
+	p := NewPacer(2, 1)
+	p.Push(Request{VLine: 64})
+	p.Push(Request{VLine: 128})
+	p.Push(Request{VLine: 192})
+	if p.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", p.Dropped)
+	}
+}
+
+func TestPacerDupMerge(t *testing.T) {
+	p := NewPacer(8, 8)
+	p.Push(Request{VLine: 64, Level: LevelL2})
+	p.Push(Request{VLine: 64, Level: LevelL1})
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (merged)", p.Len())
+	}
+	var got []Request
+	p.Drain(func(r Request) { got = append(got, r) })
+	if got[0].Level != LevelL1 {
+		t.Error("duplicate merge did not promote level")
+	}
+}
+
+func TestPacerEmptyDrain(t *testing.T) {
+	p := NewPacer(4, 4)
+	n := 0
+	p.Drain(func(Request) { n++ })
+	if n != 0 {
+		t.Error("drained from empty pacer")
+	}
+}
+
+func TestPacerPanicsOnBadConfig(t *testing.T) {
+	for _, c := range []struct{ cap, drain int }{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPacer(%d,%d) did not panic", c.cap, c.drain)
+				}
+			}()
+			NewPacer(c.cap, c.drain)
+		}()
+	}
+}

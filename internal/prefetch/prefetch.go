@@ -1,0 +1,97 @@
+// Package prefetch defines the interface between the simulator and
+// hardware prefetchers, plus the shared building blocks most spatial
+// prefetchers are made of: set-associative LRU metadata tables and the
+// issue queue that paces prefetch requests into the memory system.
+//
+// All evaluated prefetchers are L1D prefetchers (the paper's default
+// placement, §IV-A2): they observe every demand load the L1D sees —
+// virtual address, PC and hit/miss — and issue requests for virtual line
+// addresses with a target fill level (L1 or L2; none of the evaluated
+// designs fills only the LLC).
+package prefetch
+
+// Level is the cache level a prefetch targets.
+type Level uint8
+
+const (
+	// LevelL1 fills L1D (and the levels below it).
+	LevelL1 Level = iota
+	// LevelL2 fills L2C (and LLC) but not L1D — the lower-confidence
+	// placement used by Gaze's streaming stage 1 and by PMP/vBerti.
+	LevelL2
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	if l == LevelL1 {
+		return "L1"
+	}
+	return "L2"
+}
+
+// Access describes one demand load observed at the L1D.
+type Access struct {
+	// PC is the load's program counter.
+	PC uint64
+	// VAddr is the full virtual byte address.
+	VAddr uint64
+	// PAddr is the translated physical byte address.
+	PAddr uint64
+	// Cycle is the core cycle at which the load issued.
+	Cycle float64
+	// L1Hit reports whether the access hit in the L1D.
+	L1Hit bool
+	// MissLatency is the latency the access is about to pay (0 on hits);
+	// latency-aware prefetchers (Berti) consume it.
+	MissLatency float64
+}
+
+// Request is a prefetch candidate: a virtual line address plus fill level.
+type Request struct {
+	// VLine is the virtual byte address of the target line (line-aligned).
+	VLine uint64
+	// Level selects the fill placement.
+	Level Level
+}
+
+// IssueFunc receives requests from a prefetcher during training.
+type IssueFunc func(Request)
+
+// Prefetcher is the contract every evaluated design implements.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports ("Gaze", "PMP", ...).
+	Name() string
+	// Train observes one L1D load and may issue prefetches.
+	Train(a Access, issue IssueFunc)
+	// EvictNotify reports eviction of a virtual line from the L1D.
+	// Spatial prefetchers treat it as a region-deactivation signal.
+	EvictNotify(vline uint64)
+}
+
+// BandwidthAware is implemented by prefetchers that modulate
+// aggressiveness with memory-bandwidth pressure (DSPatch). The simulator
+// injects a probe returning current DRAM pressure in [0, +inf), where >1
+// means requests queue behind the data bus.
+type BandwidthAware interface {
+	SetBandwidthProbe(func() float64)
+}
+
+// EvictObserver is implemented by prefetchers that learn from prefetch
+// usefulness feedback (the PPF half of SPP-PPF). The simulator reports
+// every L1 eviction with whether the victim was an untouched prefetched
+// line.
+type EvictObserver interface {
+	EvictDetail(vline uint64, wasUselessPrefetch bool)
+}
+
+// Nil is the no-prefetching baseline.
+type Nil struct{}
+
+// Name implements Prefetcher.
+func (Nil) Name() string { return "none" }
+
+// Train implements Prefetcher.
+func (Nil) Train(Access, IssueFunc) {}
+
+// EvictNotify implements Prefetcher.
+func (Nil) EvictNotify(uint64) {}

@@ -1,0 +1,76 @@
+package prefetch
+
+// Queue is the prefetch queue (PQ) between a prefetcher and the memory
+// system. Requests enter when the prefetcher issues them and drain at a
+// bounded rate; when the queue is full, new requests are dropped — the
+// saturation behaviour behind the paper's vBerti redundant-prefetch
+// analysis (§IV-B3): junk requests occupy slots and delay useful ones.
+type Queue struct {
+	cap       int
+	drainRate float64 // requests per cycle
+	items     []queued
+	nextSlot  float64 // earliest cycle the next drained request may issue
+
+	// Stats
+	Enqueued  uint64
+	DropsFull uint64
+	DropsDup  uint64
+}
+
+type queued struct {
+	req     Request
+	readyAt float64
+}
+
+// NewQueue builds a queue with the given capacity and drain rate
+// (requests per cycle). Both must be positive.
+func NewQueue(capacity int, drainRate float64) *Queue {
+	if capacity <= 0 || drainRate <= 0 {
+		panic("prefetch: queue capacity and drain rate must be positive")
+	}
+	return &Queue{cap: capacity, drainRate: drainRate}
+}
+
+// Push enqueues a request at cycle now. Duplicate line addresses already
+// queued are merged (keeping the more aggressive level); a full queue
+// drops the request.
+func (q *Queue) Push(req Request, now float64) {
+	for i := range q.items {
+		if q.items[i].req.VLine == req.VLine {
+			if req.Level < q.items[i].req.Level {
+				q.items[i].req.Level = req.Level
+			}
+			q.DropsDup++
+			return
+		}
+	}
+	if len(q.items) >= q.cap {
+		q.DropsFull++
+		return
+	}
+	ready := now
+	if q.nextSlot > ready {
+		ready = q.nextSlot
+	}
+	q.nextSlot = ready + 1/q.drainRate
+	q.items = append(q.items, queued{req: req, readyAt: ready})
+	q.Enqueued++
+}
+
+// PopReady removes and returns the oldest request whose issue slot has
+// arrived by cycle now.
+func (q *Queue) PopReady(now float64) (Request, float64, bool) {
+	if len(q.items) == 0 || q.items[0].readyAt > now {
+		return Request{}, 0, false
+	}
+	it := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return it.req, it.readyAt, true
+}
+
+// Len returns the number of queued requests.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Flush discards all queued requests (end of simulation).
+func (q *Queue) Flush() { q.items = q.items[:0] }

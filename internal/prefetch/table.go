@@ -1,0 +1,166 @@
+package prefetch
+
+// Table is a generic set-associative LRU metadata table — the structure
+// behind FT, AT, PHT, Bingo/SMS history tables and the prefetch buffer.
+// Entries hold a caller-defined payload V and are located by (set, tag).
+type Table[V any] struct {
+	sets  int
+	ways  int
+	ent   []tableEntry[V]
+	clock uint64
+}
+
+type tableEntry[V any] struct {
+	tag   uint64
+	lru   uint64
+	valid bool
+	val   V
+}
+
+// NewTable allocates a sets×ways table. sets must be a power of two.
+func NewTable[V any](sets, ways int) *Table[V] {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("prefetch: table sets must be a positive power of two, ways positive")
+	}
+	return &Table[V]{sets: sets, ways: ways, ent: make([]tableEntry[V], sets*ways)}
+}
+
+// Sets returns the number of sets.
+func (t *Table[V]) Sets() int { return t.sets }
+
+// Ways returns the associativity.
+func (t *Table[V]) Ways() int { return t.ways }
+
+// SetIndex maps an arbitrary key to a set index.
+func (t *Table[V]) SetIndex(key uint64) int { return int(key) & (t.sets - 1) }
+
+func (t *Table[V]) set(idx int) []tableEntry[V] {
+	base := idx * t.ways
+	return t.ent[base : base+t.ways]
+}
+
+// Lookup finds (set, tag) and refreshes its LRU position. It returns a
+// pointer to the payload, valid until the next Insert into the same set.
+func (t *Table[V]) Lookup(setIdx int, tag uint64) (*V, bool) {
+	t.clock++
+	s := t.set(setIdx & (t.sets - 1))
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].lru = t.clock
+			return &s[i].val, true
+		}
+	}
+	return nil, false
+}
+
+// Peek finds (set, tag) without refreshing LRU.
+func (t *Table[V]) Peek(setIdx int, tag uint64) (*V, bool) {
+	s := t.set(setIdx & (t.sets - 1))
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			return &s[i].val, true
+		}
+	}
+	return nil, false
+}
+
+// Insert places a payload at (set, tag), evicting the LRU entry of the set
+// when full. It returns the evicted payload (zero V when nothing valid was
+// displaced) and whether an eviction happened.
+func (t *Table[V]) Insert(setIdx int, tag uint64, val V) (evicted V, wasEvict bool) {
+	t.clock++
+	s := t.set(setIdx & (t.sets - 1))
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].val = val
+			s[i].lru = t.clock
+			return evicted, false
+		}
+		if !s[i].valid {
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if s[i].lru < oldest {
+			victim, oldest = i, s[i].lru
+		}
+	}
+	if s[victim].valid {
+		evicted, wasEvict = s[victim].val, true
+	}
+	s[victim] = tableEntry[V]{tag: tag, lru: t.clock, valid: true, val: val}
+	return evicted, wasEvict
+}
+
+// Invalidate removes (set, tag); it reports whether an entry was removed
+// and returns the removed payload.
+func (t *Table[V]) Invalidate(setIdx int, tag uint64) (V, bool) {
+	var zero V
+	s := t.set(setIdx & (t.sets - 1))
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			v := s[i].val
+			s[i] = tableEntry[V]{}
+			return v, true
+		}
+	}
+	return zero, false
+}
+
+// ScanSet iterates the valid entries of one set without touching LRU
+// state; fn returning false stops the scan. Bingo-style dual-tag lookups
+// (exact long-event match first, then approximate short-event match) use
+// this to inspect all ways of a set.
+func (t *Table[V]) ScanSet(setIdx int, fn func(tag uint64, val *V) bool) {
+	s := t.set(setIdx & (t.sets - 1))
+	for i := range s {
+		if s[i].valid {
+			if !fn(s[i].tag, &s[i].val) {
+				return
+			}
+		}
+	}
+}
+
+// TouchEntry refreshes the LRU position of (set, tag) if present.
+func (t *Table[V]) TouchEntry(setIdx int, tag uint64) {
+	t.clock++
+	s := t.set(setIdx & (t.sets - 1))
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].lru = t.clock
+			return
+		}
+	}
+}
+
+// Range calls fn for every valid entry; fn may mutate the payload through
+// the pointer. Iteration order is unspecified.
+func (t *Table[V]) Range(fn func(setIdx int, tag uint64, val *V)) {
+	for i := range t.ent {
+		if t.ent[i].valid {
+			fn(i/t.ways, t.ent[i].tag, &t.ent[i].val)
+		}
+	}
+}
+
+// Len returns the number of valid entries.
+func (t *Table[V]) Len() int {
+	n := 0
+	for i := range t.ent {
+		if t.ent[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear invalidates everything.
+func (t *Table[V]) Clear() {
+	for i := range t.ent {
+		t.ent[i] = tableEntry[V]{}
+	}
+}

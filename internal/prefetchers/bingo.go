@@ -1,0 +1,119 @@
+package prefetchers
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Bingo [Bakhshalipour et al., HPCA 2019] associates footprints with both
+// a long event (PC+Address) and a short event (PC+Offset) in one history
+// table: lookup tries the exact long match first and falls back to the
+// approximate short match — TAGE-style co-associating (§II-A).
+// Configuration per Table IV: 2KB regions, 16k-entry PHT.
+type Bingo struct {
+	tracker *regionTracker
+	pht     *prefetch.Table[bingoEntry]
+	pb      *prefetch.Pacer
+}
+
+type bingoEntry struct {
+	longHash  uint32
+	shortHash uint32
+	bits      uint64
+}
+
+// BingoConfig sizes Bingo.
+type BingoConfig struct {
+	RegionBytes int
+	PHTEntries  int
+	PHTWays     int
+}
+
+// DefaultBingoConfig is Table IV's Bingo row.
+func DefaultBingoConfig() BingoConfig {
+	return BingoConfig{RegionBytes: 2048, PHTEntries: 16384, PHTWays: 16}
+}
+
+// NewBingo builds a Bingo prefetcher.
+func NewBingo(cfg BingoConfig) *Bingo {
+	if cfg.RegionBytes == 0 {
+		cfg = DefaultBingoConfig()
+	}
+	b := &Bingo{pb: prefetch.NewPacer(256, 4)}
+	b.tracker = newRegionTracker(cfg.RegionBytes, b.learn)
+	b.pht = prefetch.NewTable[bingoEntry](cfg.PHTEntries/cfg.PHTWays, cfg.PHTWays)
+	return b
+}
+
+// Name implements prefetch.Prefetcher.
+func (*Bingo) Name() string { return "Bingo" }
+
+func (b *Bingo) hashes(pc, region uint64, off int) (long, short uint32, set int) {
+	shortKey := pc<<6 ^ uint64(off) ^ pc>>13
+	longKey := shortKey ^ region*0x9e3779b97f4a7c15
+	short = uint32(shortKey ^ shortKey>>32)
+	long = uint32(longKey ^ longKey>>32)
+	set = b.pht.SetIndex(shortKey)
+	return
+}
+
+// Train implements prefetch.Prefetcher.
+func (b *Bingo) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	defer b.pb.Drain(issue)
+	region, off, isTrigger := b.tracker.observe(a)
+	if !isTrigger {
+		return
+	}
+	long, short, set := b.hashes(a.PC, region, off)
+
+	var match *bingoEntry
+	// Pass 1: exact long-event match (high accuracy).
+	b.pht.ScanSet(set, func(_ uint64, v *bingoEntry) bool {
+		if v.longHash == long {
+			match = v
+			return false
+		}
+		return true
+	})
+	// Pass 2: approximate short-event match (higher coverage).
+	if match == nil {
+		b.pht.ScanSet(set, func(_ uint64, v *bingoEntry) bool {
+			if v.shortHash == short {
+				match = v
+				return false
+			}
+			return true
+		})
+	}
+	if match == nil {
+		return
+	}
+	base := region << b.tracker.shift
+	fp := match.bits &^ (1 << uint(off))
+	for fp != 0 {
+		bit := fp & (-fp)
+		idx := popcountBelow(bit)
+		b.pb.Push(prefetch.Request{
+			VLine: base + uint64(idx)<<mem.LineBits,
+			Level: prefetch.LevelL1,
+		})
+		fp &^= bit
+	}
+}
+
+// EvictNotify implements prefetch.Prefetcher.
+func (b *Bingo) EvictNotify(vline uint64) { b.tracker.evict(vline) }
+
+// learn stores the footprint under both events (one entry, two hashes).
+func (b *Bingo) learn(e *trkAT) {
+	if popcount(e.bits) < 2 {
+		return
+	}
+	long, short, set := b.hashes(e.pc, e.region, int(e.trigger))
+	b.pht.Insert(set, uint64(long), bingoEntry{longHash: long, shortHash: short, bits: e.bits})
+}
+
+// StorageBytes reproduces Table IV's 138.6KB Bingo budget.
+func (b *Bingo) StorageBytes() float64 { return 138.6 * 1024 }
+
+var _ prefetch.Prefetcher = (*Bingo)(nil)

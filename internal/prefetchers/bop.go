@@ -1,0 +1,113 @@
+package prefetchers
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// BOP is Best-Offset Prefetching [Michaud, HPCA 2016], the delta-
+// correlated baseline the paper's related-work section discusses (§V):
+// it scores a fixed list of candidate offsets against recent accesses and
+// prefetches with the single best-scoring offset. Included beyond the
+// paper's evaluated set to position Gaze against the classic offset-
+// prefetching line.
+type BOP struct {
+	// offsets are the candidate deltas in lines (Michaud's list uses
+	// products of small primes; a compact subset suffices here).
+	offsets []int64
+	scores  []int
+
+	// recent holds recently accessed line numbers (the RR table stand-in).
+	recent    [64]int64
+	recentPos int
+
+	best      int64
+	round     int
+	scoreMax  int
+	roundLen  int
+	badScore  int
+	learnOnly bool
+}
+
+// NewBOP builds a Best-Offset prefetcher with the canonical parameters
+// (SCORE_MAX 31, ROUND_MAX 100, BAD_SCORE 1).
+func NewBOP() *BOP {
+	offs := []int64{1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 30, 32, 36, 40, 48, 60, 64}
+	return &BOP{
+		offsets:  offs,
+		scores:   make([]int, len(offs)),
+		best:     1,
+		scoreMax: 31,
+		roundLen: 100,
+		badScore: 1,
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (*BOP) Name() string { return "BOP" }
+
+// Train implements prefetch.Prefetcher.
+func (p *BOP) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	line := int64(a.VAddr >> mem.LineBits)
+
+	// Score every candidate offset d for which line-d was seen recently:
+	// a prefetch issued at line-d with offset d would have produced this
+	// access.
+	for i, d := range p.offsets {
+		if p.sawRecently(line - d) {
+			p.scores[i]++
+			if p.scores[i] >= p.scoreMax {
+				p.finishRound(i)
+			}
+		}
+	}
+	p.round++
+	if p.round >= p.roundLen {
+		bestIdx := 0
+		for i := range p.scores {
+			if p.scores[i] > p.scores[bestIdx] {
+				bestIdx = i
+			}
+		}
+		p.finishRound(bestIdx)
+	}
+
+	p.recent[p.recentPos] = line
+	p.recentPos = (p.recentPos + 1) & 63
+
+	if !p.learnOnly {
+		target := line + p.best
+		if target > 0 {
+			issue(prefetch.Request{VLine: uint64(target) << mem.LineBits, Level: prefetch.LevelL1})
+		}
+	}
+}
+
+func (p *BOP) sawRecently(line int64) bool {
+	for _, r := range p.recent {
+		if r == line {
+			return true
+		}
+	}
+	return false
+}
+
+// finishRound elects the winning offset and resets scores. A winner below
+// BAD_SCORE turns prefetching off until a later round finds a usable
+// offset (Michaud's degree-0 mode).
+func (p *BOP) finishRound(winner int) {
+	p.learnOnly = p.scores[winner] <= p.badScore
+	p.best = p.offsets[winner]
+	for i := range p.scores {
+		p.scores[i] = 0
+	}
+	p.round = 0
+}
+
+// EvictNotify implements prefetch.Prefetcher.
+func (*BOP) EvictNotify(uint64) {}
+
+// StorageBytes: offset scoreboard + RR table, well under 1KB.
+func (p *BOP) StorageBytes() float64 { return 0.5 * 1024 }
+
+var _ prefetch.Prefetcher = (*BOP)(nil)

@@ -1,0 +1,85 @@
+package prefetchers
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func TestBOPLearnsBestOffset(t *testing.T) {
+	p := NewBOP()
+	s := &sink{}
+	base := uint64(0x700000)
+	// Stride-4-lines stream: offset 4 must win the score race and the
+	// issued requests must eventually be line+4.
+	for i := uint64(0); i < 600; i++ {
+		feed(p, s, 0x400, base+i*4*mem.LineSize)
+	}
+	if len(s.reqs) == 0 {
+		t.Fatal("BOP issued nothing")
+	}
+	// Inspect the tail of issued requests: they must use offset 4.
+	tail := s.reqs[len(s.reqs)-10:]
+	last := base + 599*4*mem.LineSize
+	hits := 0
+	for _, r := range tail {
+		delta := int64(r.VLine>>mem.LineBits) - int64(last>>mem.LineBits)
+		if delta == 4 || delta == 8 { // relative to one of the last accesses
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Errorf("BOP tail requests not at the learned offset: %+v", tail)
+	}
+}
+
+func TestBOPTurnsOffOnRandom(t *testing.T) {
+	p := NewBOP()
+	s := &sink{}
+	x := uint64(999)
+	// Random accesses: no offset scores, BOP must enter learn-only mode
+	// after the first rounds and stop issuing.
+	for i := 0; i < 2000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		feed(p, s, 0x400, 0x800000+(x%(1<<24))&^63)
+	}
+	early := len(s.reqs)
+	s.reqs = nil
+	for i := 0; i < 500; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		feed(p, s, 0x400, 0x800000+(x%(1<<24))&^63)
+	}
+	if len(s.reqs) > early && len(s.reqs) > 50 {
+		t.Errorf("BOP kept issuing on random stream: %d requests", len(s.reqs))
+	}
+}
+
+func TestBOPFactoryName(t *testing.T) {
+	p := MustNew("BOP")
+	if p.Name() != "BOP" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if st, ok := StorageBytes(p); !ok || st <= 0 {
+		t.Error("BOP storage accounting missing")
+	}
+}
+
+func TestBOPSanityOnStream(t *testing.T) {
+	// Next-line stream: offset 1 family must win; requests stay
+	// line-aligned and ahead of the stream.
+	p := NewBOP()
+	s := &sink{}
+	base := uint64(0x900000)
+	for i := uint64(0); i < 400; i++ {
+		p.Train(prefetch.Access{PC: 0x1, VAddr: base + i*mem.LineSize}, s.issue)
+	}
+	for _, r := range s.reqs {
+		if r.VLine&(mem.LineSize-1) != 0 {
+			t.Fatalf("unaligned request %#x", r.VLine)
+		}
+	}
+	if len(s.reqs) < 100 {
+		t.Errorf("BOP issued only %d requests on a dense stream", len(s.reqs))
+	}
+}

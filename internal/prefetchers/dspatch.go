@@ -1,0 +1,120 @@
+package prefetchers
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// DSPatch [Bera et al., MICRO 2019] keeps two patterns per trigger PC:
+// CovP (bitwise-OR merge, coverage-biased) and AccP (bitwise-AND merge,
+// accuracy-biased), selecting between them with memory-bandwidth
+// utilization (§II-A). Configuration per Table IV: 2KB regions, 256-entry
+// signature pattern table.
+type DSPatch struct {
+	tracker *regionTracker
+	spt     *prefetch.Table[dspatchEntry]
+	// bwProbe returns current DRAM pressure; >= bwThreshold selects the
+	// accuracy-biased pattern.
+	bwProbe     func() float64
+	bwThreshold float64
+	pb          *prefetch.Pacer
+}
+
+type dspatchEntry struct {
+	covP uint64
+	accP uint64
+	// merges counts footprints merged since the last CovP reset; CovP
+	// saturates toward all-ones over time, so it is periodically rebuilt.
+	merges int
+}
+
+// NewDSPatch builds a DSPatch prefetcher with Table IV's configuration.
+func NewDSPatch() *DSPatch {
+	d := &DSPatch{bwThreshold: 1.0, bwProbe: func() float64 { return 0 }, pb: prefetch.NewPacer(256, 4)}
+	d.tracker = newRegionTracker(2048, d.learn)
+	d.spt = prefetch.NewTable[dspatchEntry](64, 4)
+	return d
+}
+
+// Name implements prefetch.Prefetcher.
+func (*DSPatch) Name() string { return "DSPatch" }
+
+// SetBandwidthProbe implements prefetch.BandwidthAware.
+func (d *DSPatch) SetBandwidthProbe(f func() float64) { d.bwProbe = f }
+
+func (d *DSPatch) key(pc uint64) uint64 { return pc >> 2 }
+
+// Train implements prefetch.Prefetcher.
+func (d *DSPatch) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	defer d.pb.Drain(issue)
+	region, off, isTrigger := d.tracker.observe(a)
+	if !isTrigger {
+		return
+	}
+	k := d.key(a.PC)
+	e, ok := d.spt.Lookup(d.spt.SetIndex(k), k)
+	if !ok {
+		return
+	}
+	// Bandwidth-aware dual-pattern selection with bit-measure quality
+	// modulation: disagreeing footprints (empty intersection) downgrade
+	// the union pattern to L2 placement, and a union that has ballooned
+	// past half the region is discarded as noise.
+	accPop, covPop := popcount(e.accP), popcount(e.covP)
+	pattern := e.covP
+	level := prefetch.LevelL1
+	switch {
+	case accPop == 0:
+		if d.bwProbe() >= d.bwThreshold || covPop > d.tracker.blocks/2 {
+			return
+		}
+		level = prefetch.LevelL2
+	case d.bwProbe() >= d.bwThreshold || covPop > 4*accPop:
+		pattern = e.accP
+	}
+	pattern = d.tracker.rotl(pattern, off) // un-anchor at this trigger
+	pattern &^= 1 << uint(off)
+	base := region << d.tracker.shift
+	for pattern != 0 {
+		bit := pattern & (-pattern)
+		idx := popcountBelow(bit)
+		d.pb.Push(prefetch.Request{VLine: base + uint64(idx)<<mem.LineBits, Level: level})
+		pattern &^= bit
+	}
+}
+
+// EvictNotify implements prefetch.Prefetcher.
+func (d *DSPatch) EvictNotify(vline uint64) { d.tracker.evict(vline) }
+
+// learn merges a deactivated footprint into both patterns, anchored at the
+// trigger offset so patterns generalize across regions.
+func (d *DSPatch) learn(e *trkAT) {
+	if popcount(e.bits) < 2 {
+		return
+	}
+	anchored := d.tracker.rotr(e.bits, int(e.trigger))
+	k := d.key(e.pc)
+	set := d.spt.SetIndex(k)
+	if entry, ok := d.spt.Lookup(set, k); ok {
+		entry.merges++
+		if entry.merges >= 16 {
+			// Periodic rebuild: CovP saturates under OR-merging.
+			entry.covP = anchored
+			entry.accP = anchored
+			entry.merges = 0
+			return
+		}
+		entry.covP |= anchored
+		entry.accP &= anchored
+		return
+	}
+	d.spt.Insert(set, k, dspatchEntry{covP: anchored, accP: anchored})
+}
+
+// StorageBytes reproduces Table IV's 4.25KB DSPatch budget.
+func (d *DSPatch) StorageBytes() float64 { return 4.25 * 1024 }
+
+var (
+	_ prefetch.Prefetcher     = (*DSPatch)(nil)
+	_ prefetch.BandwidthAware = (*DSPatch)(nil)
+)

@@ -1,0 +1,102 @@
+package prefetchers
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prefetch"
+)
+
+// New constructs a prefetcher by its report name. Fresh state is returned
+// on every call — prefetchers are stateful and must not be shared between
+// simulations.
+//
+// Known names: none, IP-stride, SPP-PPF, IPCP-L1, vBerti, SMS, Bingo,
+// DSPatch, PMP, Gaze, Gaze-PHT, Offset, PHT4SS, SM4SS, Gaze-1acc..
+// Gaze-4acc, vGaze-<n>KB.
+func New(name string) (prefetch.Prefetcher, error) {
+	switch name {
+	case "none", "":
+		return prefetch.Nil{}, nil
+	case "IP-stride":
+		return NewIPStride(0), nil
+	case "BOP":
+		return NewBOP(), nil
+	case "SPP-PPF":
+		return NewSPPPPF(), nil
+	case "IPCP-L1", "IPCP":
+		return NewIPCP(), nil
+	case "vBerti", "Berti":
+		return NewBerti(), nil
+	case "SMS":
+		return NewSMS(DefaultSMSConfig()), nil
+	case "Bingo":
+		return NewBingo(DefaultBingoConfig()), nil
+	case "DSPatch":
+		return NewDSPatch(), nil
+	case "PMP":
+		return NewPMP(), nil
+	case "Gaze":
+		return core.NewDefault(), nil
+	case "Gaze-PHT":
+		return core.NewGazePHT(), nil
+	case "Offset":
+		return core.NewOffsetOnly(), nil
+	case "PHT4SS":
+		return core.NewPHT4SS(), nil
+	case "SM4SS":
+		return core.NewSM4SS(), nil
+	case "Gaze-1acc":
+		return core.NewGazeN(1), nil
+	case "Gaze-2acc":
+		return core.NewGazeN(2), nil
+	case "Gaze-3acc":
+		return core.NewGazeN(3), nil
+	case "Gaze-4acc":
+		return core.NewGazeN(4), nil
+	}
+	var kb int
+	if _, err := fmt.Sscanf(name, "vGaze-%dKB", &kb); err == nil && kb > 0 {
+		return core.NewVGaze(kb * 1024), nil
+	}
+	var bytes int
+	if _, err := fmt.Sscanf(name, "vGaze-%dB", &bytes); err == nil && bytes > 0 {
+		return core.NewVGaze(bytes), nil
+	}
+	var entries int
+	if _, err := fmt.Sscanf(name, "Gaze-PHT%d", &entries); err == nil && entries > 0 {
+		return core.NewWithPHTEntries(entries), nil
+	}
+	return nil, fmt.Errorf("prefetchers: unknown prefetcher %q", name)
+}
+
+// MustNew is New for known-good names.
+func MustNew(name string) prefetch.Prefetcher {
+	p, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// EvaluatedNames lists the nine prefetchers of the paper's main
+// single-core comparison (Fig 6-8), in the figures' display order.
+func EvaluatedNames() []string {
+	return []string{
+		"IP-stride", "SPP-PPF", "IPCP-L1", "vBerti",
+		"SMS", "Bingo", "DSPatch", "PMP", "Gaze",
+	}
+}
+
+// StorageBytes returns a prefetcher's metadata budget when it exposes one
+// (the Table IV column); ok is false otherwise.
+func StorageBytes(p prefetch.Prefetcher) (float64, bool) {
+	type sizer interface{ StorageBytes() float64 }
+	if s, ok := p.(sizer); ok {
+		return s.StorageBytes(), true
+	}
+	if g, ok := p.(*core.Gaze); ok {
+		return g.TotalStorageBytes(), true
+	}
+	return 0, false
+}

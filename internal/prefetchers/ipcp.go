@@ -1,0 +1,150 @@
+package prefetchers
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// IPCP [Pakalapati & Panda, ISCA 2020] classifies each instruction pointer
+// into Constant Stride (CS), Complex Stride (CPLX, signature-predicted) or
+// Global Stream (GS) and prefetches per class. Configuration per Table IV:
+// 64-entry IP table, 128-entry CSPT.
+type IPCP struct {
+	ipt  *prefetch.Table[ipcpEntry]
+	cspt []csptEntry
+
+	// Global-stream detector: recent line numbers in a small window.
+	recent     [32]int64
+	recentPos  int
+	streamHits int
+}
+
+type ipcpEntry struct {
+	lastLine int64
+	stride   int64
+	confCS   int8
+	sig      uint16
+	// streamScore tracks how often this IP rides the global stream.
+	streamScore int8
+}
+
+type csptEntry struct {
+	stride int64
+	conf   int8
+}
+
+// NewIPCP builds IPCP at Table IV's design point.
+func NewIPCP() *IPCP {
+	return &IPCP{
+		ipt:  prefetch.NewTable[ipcpEntry](16, 4),
+		cspt: make([]csptEntry, 128),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (*IPCP) Name() string { return "IPCP-L1" }
+
+// Train implements prefetch.Prefetcher.
+func (p *IPCP) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	line := int64(a.VAddr >> mem.LineBits)
+	p.updateGlobalStream(line)
+
+	set := p.ipt.SetIndex(a.PC >> 2)
+	e, ok := p.ipt.Lookup(set, a.PC)
+	if !ok {
+		p.ipt.Insert(set, a.PC, ipcpEntry{lastLine: line})
+		return
+	}
+	stride := line - e.lastLine
+	if stride != 0 {
+		// CS class learning.
+		if stride == e.stride {
+			if e.confCS < 3 {
+				e.confCS++
+			}
+		} else {
+			if e.confCS > 0 {
+				e.confCS--
+			}
+			if e.confCS == 0 {
+				e.stride = stride
+			}
+		}
+		// CPLX signature learning: previous signature predicts this stride.
+		ce := &p.cspt[e.sig&127]
+		if ce.stride == stride {
+			if ce.conf < 3 {
+				ce.conf++
+			}
+		} else {
+			if ce.conf > 0 {
+				ce.conf--
+			}
+			if ce.conf == 0 {
+				ce.stride = stride
+			}
+		}
+		e.sig = (e.sig<<3 ^ uint16(stride&0x3f)) & 0x3ff
+	}
+	// GS classification: this IP touched the global stream.
+	if p.streamHits > 24 {
+		if e.streamScore < 3 {
+			e.streamScore++
+		}
+	} else if e.streamScore > 0 {
+		e.streamScore--
+	}
+	e.lastLine = line
+
+	// Issue per class priority: GS > CS > CPLX (as in IPCP's selector).
+	switch {
+	case e.streamScore >= 2:
+		for d := int64(1); d <= 4; d++ {
+			issue(prefetch.Request{VLine: uint64(line+d) << mem.LineBits, Level: prefetch.LevelL1})
+		}
+	case e.confCS >= 2 && e.stride != 0:
+		for d := int64(1); d <= 2; d++ {
+			t := line + d*e.stride
+			if t > 0 {
+				issue(prefetch.Request{VLine: uint64(t) << mem.LineBits, Level: prefetch.LevelL1})
+			}
+		}
+	default:
+		// CPLX chain: walk the signature table up to depth 3.
+		sig, cur := e.sig, line
+		for depth := 0; depth < 3; depth++ {
+			ce := p.cspt[sig&127]
+			if ce.conf < 2 || ce.stride == 0 {
+				break
+			}
+			cur += ce.stride
+			if cur <= 0 {
+				break
+			}
+			issue(prefetch.Request{VLine: uint64(cur) << mem.LineBits, Level: prefetch.LevelL1})
+			sig = (sig<<3 ^ uint16(ce.stride&0x3f)) & 0x3ff
+		}
+	}
+}
+
+// updateGlobalStream maintains the dense-window detector.
+func (p *IPCP) updateGlobalStream(line int64) {
+	hits := 0
+	for _, prev := range p.recent {
+		d := line - prev
+		if d >= -2 && d <= 2 && d != 0 {
+			hits++
+		}
+	}
+	p.streamHits = p.streamHits - p.streamHits/8 + hits
+	p.recent[p.recentPos] = line
+	p.recentPos = (p.recentPos + 1) & 31
+}
+
+// EvictNotify implements prefetch.Prefetcher.
+func (*IPCP) EvictNotify(uint64) {}
+
+// StorageBytes reproduces Table IV's 0.7KB IPCP budget.
+func (p *IPCP) StorageBytes() float64 { return 0.7 * 1024 }
+
+var _ prefetch.Prefetcher = (*IPCP)(nil)

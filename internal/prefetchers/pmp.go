@@ -1,0 +1,130 @@
+package prefetchers
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// PMP is the Pattern Merging Prefetcher [Jiang et al., MICRO 2022]:
+// spatial patterns are characterized by the trigger Offset alone, and the
+// 32 most recent footprints per offset are merged into per-block counter
+// vectors, with two confidence thresholds steering L1 vs L2 placement.
+// Configuration per Table IV: 4KB regions, 64-entry FT/AT, 64-entry OPT,
+// 32-entry PPT, MaxConf 32, L1/L2 thresholds 0.5/0.15.
+type PMP struct {
+	tracker *regionTracker
+	// opt[trigger] is the merged counter vector for that trigger offset,
+	// anchored (rotated) at the trigger.
+	opt [64]pmpCounters
+	// ppt remembers exact footprints of recently deactivated pages for
+	// page-recurrence prediction.
+	ppt *prefetch.Table[pmpPPTEntry]
+
+	maxConf  int
+	l1Thresh float64
+	l2Thresh float64
+	pb       *prefetch.Pacer
+}
+
+type pmpCounters struct {
+	counts [64]uint8
+	merges int
+}
+
+type pmpPPTEntry struct {
+	bits uint64
+}
+
+// NewPMP builds PMP at Table IV's design point.
+func NewPMP() *PMP {
+	p := &PMP{maxConf: 32, l1Thresh: 0.5, l2Thresh: 0.15, pb: prefetch.NewPacer(256, 4)}
+	p.tracker = newRegionTracker(mem.PageSize, p.learn)
+	p.ppt = prefetch.NewTable[pmpPPTEntry](8, 4)
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (*PMP) Name() string { return "PMP" }
+
+// Train implements prefetch.Prefetcher.
+func (p *PMP) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	defer p.pb.Drain(issue)
+	region, off, isTrigger := p.tracker.observe(a)
+	if !isTrigger {
+		return
+	}
+	base := region << p.tracker.shift
+
+	// Page-recurrence path: an exact footprint for this page predicts
+	// with full confidence.
+	if e, ok := p.ppt.Lookup(p.ppt.SetIndex(region), region); ok {
+		fp := e.bits &^ (1 << uint(off))
+		for fp != 0 {
+			bit := fp & (-fp)
+			idx := popcountBelow(bit)
+			p.pb.Push(prefetch.Request{VLine: base + uint64(idx)<<mem.LineBits, Level: prefetch.LevelL1})
+			fp &^= bit
+		}
+		return
+	}
+
+	// Merged-pattern path: thresholded counter vector, rotated back from
+	// the trigger anchor.
+	cv := &p.opt[off&63]
+	if cv.merges == 0 {
+		return
+	}
+	denom := float64(cv.merges)
+	if denom > float64(p.maxConf) {
+		denom = float64(p.maxConf)
+	}
+	for i := 0; i < p.tracker.blocks; i++ {
+		conf := float64(cv.counts[i]) / denom
+		target := (off + i) & (p.tracker.blocks - 1) // un-anchor
+		if target == off {
+			continue
+		}
+		var level prefetch.Level
+		switch {
+		case conf >= p.l1Thresh:
+			level = prefetch.LevelL1
+		case conf >= p.l2Thresh:
+			level = prefetch.LevelL2
+		default:
+			continue
+		}
+		p.pb.Push(prefetch.Request{VLine: base + uint64(target)<<mem.LineBits, Level: level})
+	}
+}
+
+// EvictNotify implements prefetch.Prefetcher.
+func (p *PMP) EvictNotify(vline uint64) { p.tracker.evict(vline) }
+
+// learn merges a deactivated footprint into the trigger offset's counter
+// vector and records the exact page footprint.
+func (p *PMP) learn(e *trkAT) {
+	if popcount(e.bits) < 2 {
+		return
+	}
+	anchored := p.tracker.rotr(e.bits, int(e.trigger))
+	cv := &p.opt[e.trigger&63]
+	if cv.merges >= p.maxConf {
+		// Merging window full: decay so recent patterns dominate.
+		for i := range cv.counts {
+			cv.counts[i] /= 2
+		}
+		cv.merges /= 2
+	}
+	cv.merges++
+	for i := 0; i < p.tracker.blocks; i++ {
+		if anchored&(1<<uint(i)) != 0 && cv.counts[i] < uint8(p.maxConf) {
+			cv.counts[i]++
+		}
+	}
+	p.ppt.Insert(p.ppt.SetIndex(e.region), e.region, pmpPPTEntry{bits: e.bits})
+}
+
+// StorageBytes reproduces Table IV's 5.0KB PMP budget.
+func (p *PMP) StorageBytes() float64 { return 5.0 * 1024 }
+
+var _ prefetch.Prefetcher = (*PMP)(nil)

@@ -1,0 +1,119 @@
+package prefetchers
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// regionTracker is the FT/AT machinery shared by the spatial-pattern-based
+// baselines (SMS, Bingo, DSPatch, PMP). Unlike Gaze, these prefetchers
+// awaken prediction on the *trigger* (first) access to a region; the FT
+// still filters one-bit patterns out of learning.
+type regionTracker struct {
+	shift  uint // log2(region size)
+	blocks int
+
+	ft *prefetch.Table[trkFT]
+	at *prefetch.Table[trkAT]
+
+	// onDeactivate learns a finished region's footprint.
+	onDeactivate func(e *trkAT)
+}
+
+type trkFT struct {
+	pc      uint64
+	trigger uint16
+}
+
+// trkAT accumulates a footprint; bits is a plain uint64 because all
+// baselines use regions of at most 64 blocks (2KB or 4KB).
+type trkAT struct {
+	region  uint64
+	pc      uint64
+	trigger uint16
+	bits    uint64
+}
+
+func newRegionTracker(regionBytes int, onDeactivate func(e *trkAT)) *regionTracker {
+	shift := uint(0)
+	for s := regionBytes; s > 1; s >>= 1 {
+		shift++
+	}
+	return &regionTracker{
+		shift:        shift,
+		blocks:       regionBytes / mem.LineSize,
+		ft:           prefetch.NewTable[trkFT](8, 8),
+		at:           prefetch.NewTable[trkAT](8, 8),
+		onDeactivate: onDeactivate,
+	}
+}
+
+func (t *regionTracker) region(vaddr uint64) uint64 { return vaddr >> t.shift }
+func (t *regionTracker) offset(vaddr uint64) int {
+	return int((vaddr >> mem.LineBits) & uint64(t.blocks-1))
+}
+
+// observe updates tracking state and reports whether this access activated
+// a new region (i.e. is a trigger access).
+func (t *regionTracker) observe(a prefetch.Access) (region uint64, off int, isTrigger bool) {
+	region = t.region(a.VAddr)
+	off = t.offset(a.VAddr)
+
+	if e, ok := t.at.Lookup(t.at.SetIndex(region), region); ok {
+		e.bits |= 1 << uint(off)
+		return region, off, false
+	}
+	if fe, ok := t.ft.Lookup(t.ft.SetIndex(region), region); ok {
+		if int(fe.trigger) != off {
+			entry := trkAT{
+				region:  region,
+				pc:      fe.pc,
+				trigger: fe.trigger,
+				bits:    1<<uint(fe.trigger) | 1<<uint(off),
+			}
+			t.ft.Invalidate(t.ft.SetIndex(region), region)
+			if ev, was := t.at.Insert(t.at.SetIndex(region), region, entry); was {
+				t.onDeactivate(&ev)
+			}
+		}
+		return region, off, false
+	}
+	t.ft.Insert(t.ft.SetIndex(region), region, trkFT{pc: a.PC, trigger: uint16(off)})
+	return region, off, true
+}
+
+// evict handles an L1 eviction: a tracked region containing the line is
+// deactivated and learned.
+func (t *regionTracker) evict(vline uint64) {
+	region := vline >> t.shift
+	if e, ok := t.at.Invalidate(t.at.SetIndex(region), region); ok {
+		t.onDeactivate(&e)
+	}
+}
+
+// popcount of a footprint.
+func popcount(fp uint64) int { return bits.OnesCount64(fp) }
+
+// rotr rotates a footprint right by k within the tracker's block count,
+// anchoring bit 0 at the trigger offset (PMP/DSPatch-style pattern
+// anchoring).
+func (t *regionTracker) rotr(fp uint64, k int) uint64 {
+	n := uint(t.blocks)
+	k = k & (t.blocks - 1)
+	if k == 0 {
+		return fp
+	}
+	mask := uint64(1)<<n - 1
+	if n == 64 {
+		mask = ^uint64(0)
+	}
+	fp &= mask
+	return ((fp >> uint(k)) | (fp << (n - uint(k)))) & mask
+}
+
+// rotl is the inverse of rotr.
+func (t *regionTracker) rotl(fp uint64, k int) uint64 {
+	return t.rotr(fp, t.blocks-k&(t.blocks-1))
+}

@@ -1,0 +1,130 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the synthetic workload generators and the experiment
+// harness. Determinism matters: every paper experiment must reproduce the
+// same trace stream on every run, so the generators avoid math/rand's
+// global state and seed from stable strings.
+package rng
+
+// Source is a splitmix64-seeded xoshiro256** generator.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given 64-bit seed via splitmix64,
+// which guarantees a well-mixed nonzero state for any seed.
+func New(seed uint64) *Source {
+	var src Source
+	x := seed
+	for i := range src.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// NewFromString seeds a Source from a string (FNV-1a), so workloads can be
+// keyed by their catalogue names.
+func NewFromString(name string) *Source {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return New(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1), truncated at 64*m to bound pathological tails.
+func (r *Source) Geometric(m float64) int {
+	if m < 1 {
+		m = 1
+	}
+	p := 1 / m
+	n := 0
+	limit := int(64 * m)
+	for !r.Bool(p) && n < limit {
+		n++
+	}
+	return n + 1
+}
+
+// Zipf returns a sample in [0, n) following an approximate Zipf(s)
+// distribution, used to model skewed reuse (hot pages, hot vertices).
+func (r *Source) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF approximation for the continuous analogue; adequate for
+	// workload shaping (we need skew, not statistical exactness).
+	u := r.Float64()
+	if s == 1 {
+		s = 1.0001
+	}
+	x := float64(n)
+	v := u*(pow(x, 1-s)-1) + 1
+	idx := int(pow(v, 1/(1-s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+func pow(x, y float64) float64 {
+	// Minimal exp/log-based power to avoid importing math in hot paths is
+	// not worth it; delegate to math via small wrapper.
+	return mathPow(x, y)
+}

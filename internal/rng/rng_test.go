@@ -1,0 +1,159 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical outputs", same)
+	}
+}
+
+func TestNewFromStringDeterministic(t *testing.T) {
+	a := NewFromString("bwaves_s-2609")
+	b := NewFromString("bwaves_s-2609")
+	c := NewFromString("mcf_s-1554")
+	if a.Uint64() != b.Uint64() {
+		t.Error("same name gave different streams")
+	}
+	a2, c2 := a.Uint64(), c.Uint64()
+	if a2 == c2 {
+		t.Error("different names gave same stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(99)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(11)
+	const samples = 100000
+	sum := 0
+	for i := 0; i < samples; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / samples
+	if mean < 6.5 || mean > 9.5 {
+		t.Errorf("Geometric(8) mean = %.2f, want ~8", mean)
+	}
+}
+
+func TestGeometricMinimum(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if v := r.Geometric(1); v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(17)
+	const n = 1000
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		v := r.Zipf(n, 1.2)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Head must be much hotter than tail.
+	head, tail := 0, 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	for i := n - 10; i < n; i++ {
+		tail += counts[i]
+	}
+	if head <= tail*4 {
+		t.Errorf("Zipf not skewed: head=%d tail=%d", head, tail)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	r := New(19)
+	if v := r.Zipf(1, 1.2); v != 0 {
+		t.Errorf("Zipf(1) = %d, want 0", v)
+	}
+	if v := r.Zipf(0, 1.2); v != 0 {
+		t.Errorf("Zipf(0) = %d, want 0", v)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bool(0.3) frequency = %.3f", frac)
+	}
+}

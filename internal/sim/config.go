@@ -1,0 +1,126 @@
+// Package sim assembles the full simulated system — cores, per-core L1D
+// and L2C, shared LLC and DRAM, prefetch queues — and runs traces through
+// it, producing the metrics the paper reports: IPC/speedup, overall
+// prefetch accuracy, LLC coverage and timeliness (§IV-A3).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/mem"
+)
+
+// Config describes one simulated system (Table II defaults via
+// DefaultConfig).
+type Config struct {
+	Cores int
+	CPU   cpu.Config
+
+	L1D cache.Config // per core
+	L2C cache.Config // per core
+	LLC cache.Config // shared, already scaled to Cores
+
+	DRAM dram.Config
+
+	// PQCapacity and PQDrainRate bound the per-core prefetch queue.
+	PQCapacity  int
+	PQDrainRate float64
+
+	// WarmupInstructions run before measurement; SimInstructions are
+	// measured per core.
+	WarmupInstructions uint64
+	SimInstructions    uint64
+
+	// TranslatorSalt seeds the virtual→physical mapping; core i uses
+	// TranslatorSalt+i.
+	TranslatorSalt uint64
+}
+
+// DefaultConfig returns the paper's Table II system for the given core
+// count: 48KB/12-way L1D (5 cycles, 16 MSHRs), 512KB/8-way L2C (10 cycles,
+// 32 MSHRs), 2MB/core 16-way LLC (20 cycles, 64 MSHRs), DDR4-3200.
+func DefaultConfig(cores int) Config {
+	if cores < 1 {
+		cores = 1
+	}
+	return Config{
+		Cores: cores,
+		CPU:   cpu.DefaultConfig(),
+		L1D: cache.Config{
+			Name: "L1D", Sets: 64, Ways: 12, HitLatency: 5, MSHRs: 16,
+		},
+		L2C: cache.Config{
+			Name: "L2C", Sets: 1024, Ways: 8, HitLatency: 10, MSHRs: 32,
+		},
+		LLC: cache.Config{
+			Name: "LLC", Sets: 2048 * cores, Ways: 16, HitLatency: 20, MSHRs: 64 * cores,
+		},
+		DRAM:               dram.DDR4Config(cores),
+		PQCapacity:         32,
+		PQDrainRate:        1,
+		WarmupInstructions: 400_000,
+		SimInstructions:    1_600_000,
+		TranslatorSalt:     0x6a3e,
+	}
+}
+
+// WithLLCSizeMB returns a copy with the LLC scaled to mbPerCore megabytes
+// per core (Fig 16b). Fractional sizes (0.5MB) are supported.
+func (c Config) WithLLCSizeMB(mbPerCore float64) Config {
+	lines := int(mbPerCore * 1024 * 1024 / mem.LineSize * float64(c.Cores))
+	sets := lines / c.LLC.Ways
+	c.LLC.Sets = nextPow2(sets)
+	return c
+}
+
+// WithL2SizeKB returns a copy with per-core L2C resized (Fig 16c).
+func (c Config) WithL2SizeKB(kb int) Config {
+	lines := kb * 1024 / mem.LineSize
+	c.L2C.Sets = nextPow2(lines / c.L2C.Ways)
+	return c
+}
+
+// WithDRAMMTPS returns a copy with the DRAM transfer rate changed (Fig 16a).
+func (c Config) WithDRAMMTPS(mtps int) Config {
+	c.DRAM.MTPS = mtps
+	return c
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: cores must be >= 1")
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	for _, cc := range []cache.Config{c.L1D, c.L2C, c.LLC} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.PQCapacity <= 0 || c.PQDrainRate <= 0 {
+		return fmt.Errorf("sim: prefetch queue capacity/drain must be positive")
+	}
+	if c.SimInstructions == 0 {
+		return fmt.Errorf("sim: SimInstructions must be positive")
+	}
+	return nil
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

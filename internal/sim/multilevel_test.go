@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// l2Recorder counts what an L2-attached prefetcher observes: it must see
+// only L1-miss traffic.
+type l2Recorder struct {
+	observed int
+	issued   int
+}
+
+func (*l2Recorder) Name() string { return "l2rec" }
+func (r *l2Recorder) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	r.observed++
+	line := a.VAddr &^ (mem.LineSize - 1)
+	issue(prefetch.Request{VLine: line + 4*mem.LineSize, Level: prefetch.LevelL2})
+	r.issued++
+}
+func (*l2Recorder) EvictNotify(uint64) {}
+
+func TestL2PrefetcherSpecPath(t *testing.T) {
+	cfg := smallCfg(1)
+	rec := &l2Recorder{}
+	specs := []CoreSpec{{
+		Trace:        trace.NewLooping(trace.NewSliceReader(streamTrace(8192, 9))),
+		L1Prefetcher: nil,
+		L2Prefetcher: rec,
+	}}
+	sys, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if rec.observed == 0 {
+		t.Fatal("L2 prefetcher never trained")
+	}
+	// Its fills land at L2, never L1.
+	if res.Cores[0].L1D.PrefetchFills != 0 {
+		t.Error("L2-attached prefetcher filled L1D")
+	}
+	if res.Cores[0].L2C.PrefetchFills == 0 {
+		t.Error("L2-attached prefetcher produced no L2 fills")
+	}
+
+	// An L2 prefetcher only observes L1-miss traffic: on a cache-resident
+	// trace it must see (almost) nothing.
+	resident := make([]trace.Record, 2048)
+	for i := range resident {
+		resident[i] = trace.Record{PC: 0x400, Addr: 0x9000 + uint64(i%8)*64, NonMem: 9, Kind: trace.Load}
+	}
+	quiet := &l2Recorder{}
+	sys2, err := New(cfg, []CoreSpec{{
+		Trace:        trace.NewLooping(trace.NewSliceReader(resident)),
+		L2Prefetcher: quiet,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2.Run()
+	if quiet.observed > 16 {
+		t.Errorf("L2 prefetcher observed %d events on a cache-resident trace", quiet.observed)
+	}
+}
+
+func TestL1AndL2PrefetchersCompose(t *testing.T) {
+	// Fig 13 plumbing: both levels active simultaneously. The L1
+	// prefetcher here only re-requests demanded lines (all dropped as
+	// redundant), so L1 misses keep flowing to the L2 prefetcher.
+	cfg := smallCfg(1)
+	specs := []CoreSpec{{
+		Trace:        trace.NewLooping(trace.NewSliceReader(streamTrace(8192, 9))),
+		L1Prefetcher: redundantPF{},
+		L2Prefetcher: &l2Recorder{},
+	}}
+	sys, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run()
+	if res.Cores[0].PrefetchesRedundant == 0 {
+		t.Error("L1 prefetcher idle in composed config")
+	}
+	if res.Cores[0].L2C.PrefetchFills == 0 {
+		t.Error("L2 prefetcher idle in composed config")
+	}
+}
+
+func TestConfigSweepsChangeOutcomes(t *testing.T) {
+	// Fig 16 plumbing: bandwidth and cache-size mutations must actually
+	// move performance on a memory-bound workload.
+	recs := pointerChaseTrace(60000, 9)
+	slow := smallCfg(1).WithDRAMMTPS(800)
+	fast := smallCfg(1).WithDRAMMTPS(12800)
+	ipcSlow := runOne(t, slow, recs, nil).Cores[0].IPC
+	ipcFast := runOne(t, fast, recs, nil).Cores[0].IPC
+	if ipcFast <= ipcSlow {
+		t.Errorf("12800MTPS IPC %.3f <= 800MTPS %.3f", ipcFast, ipcSlow)
+	}
+
+	// A 768KB working set fits an 8MB LLC but thrashes a 0.5MB one. The
+	// window must cover several sweeps so the big LLC's hits materialize:
+	// 12000 lines re-swept, ~10 instructions per access.
+	llcCfg := smallCfg(1)
+	llcCfg.WarmupInstructions = 130_000
+	llcCfg.SimInstructions = 250_000
+	ws := make([]trace.Record, 0, 36000)
+	for i := 0; i < 36000; i++ {
+		ws = append(ws, trace.Record{
+			PC: 0x400, Addr: 0x40000000 + uint64(i%12000)*64, NonMem: 9, Kind: trace.Load,
+		})
+	}
+	ipcSmall := runOne(t, llcCfg.WithLLCSizeMB(0.5), ws, nil).Cores[0].IPC
+	ipcBig := runOne(t, llcCfg.WithLLCSizeMB(8), ws, nil).Cores[0].IPC
+	if ipcBig <= ipcSmall {
+		t.Errorf("8MB-LLC IPC %.3f <= 0.5MB-LLC %.3f", ipcBig, ipcSmall)
+	}
+}
+
+func TestStoresAccessCacheWithoutTraining(t *testing.T) {
+	recs := make([]trace.Record, 4096)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC: 0x400, Addr: 0x50000000 + uint64(i)*64, NonMem: 9, Kind: trace.Store,
+		}
+	}
+	pf := &evictRecorder{}
+	trainCounter := &countingPF{}
+	res := runOne(t, smallCfg(1), recs, trainCounter)
+	_ = pf
+	if trainCounter.trains != 0 {
+		t.Errorf("stores trained the prefetcher %d times", trainCounter.trains)
+	}
+	if res.Cores[0].L1D.DemandAccesses == 0 {
+		t.Error("stores did not access the cache")
+	}
+}
+
+type countingPF struct{ trains int }
+
+func (*countingPF) Name() string { return "counting" }
+func (c *countingPF) Train(prefetch.Access, prefetch.IssueFunc) {
+	c.trains++
+}
+func (*countingPF) EvictNotify(uint64) {}

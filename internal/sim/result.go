@@ -1,0 +1,130 @@
+package sim
+
+import "repro/internal/cache"
+
+// CoreResult holds per-core measurements over the measurement window.
+type CoreResult struct {
+	// IPC is instructions per cycle at the moment the core reached its
+	// instruction target.
+	IPC float64
+	// Instructions is the measured instruction count.
+	Instructions uint64
+
+	// L1D and L2C are the private cache counters.
+	L1D cache.Stats
+	L2C cache.Stats
+
+	// PrefetchesIssued counts requests actually injected into the memory
+	// system (after queue and redundancy filtering), per target level.
+	PrefetchesIssuedL1 uint64
+	PrefetchesIssuedL2 uint64
+	// PrefetchesRedundant counts requests dropped because the target line
+	// was already resident at (or above) the target level.
+	PrefetchesRedundant uint64
+	// PQDropsFull / PQDropsDup mirror the queue counters.
+	PQDropsFull uint64
+	PQDropsDup  uint64
+}
+
+// Result aggregates a full simulation.
+type Result struct {
+	Cores []CoreResult
+	// LLC holds the shared-cache counters over the measurement window.
+	LLC cache.Stats
+	// DRAMRequests and DRAMRowHitRate summarize the memory system.
+	DRAMRequests   uint64
+	DRAMRowHitRate float64
+}
+
+// MeanIPC returns the arithmetic mean of per-core IPCs.
+func (r Result) MeanIPC() float64 {
+	if len(r.Cores) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range r.Cores {
+		s += c.IPC
+	}
+	return s / float64(len(r.Cores))
+}
+
+// Accuracy returns the paper's overall accuracy: useful prefetched blocks
+// at L1D and L2C over all prefetched blocks at both levels
+// ((na+ma)/(na+nb+ma+mb), §IV-A3).
+func (r Result) Accuracy() float64 {
+	var useful, useless uint64
+	for _, c := range r.Cores {
+		useful += c.L1D.UsefulPrefetches + c.L2C.UsefulPrefetches
+		useless += c.L1D.UselessPrefetches + c.L2C.UselessPrefetches
+	}
+	total := useful + useless
+	if total == 0 {
+		return 0
+	}
+	return float64(useful) / float64(total)
+}
+
+// Coverage returns LLC miss coverage: the fraction of would-be off-chip
+// demand misses eliminated by prefetching. Covered misses are useful
+// prefetches whose data was fetched from DRAM.
+func (r Result) Coverage() float64 {
+	var covered uint64
+	for _, c := range r.Cores {
+		covered += c.L1D.CoveredMisses + c.L2C.CoveredMisses
+	}
+	denom := covered + r.LLC.DemandMisses
+	if denom == 0 {
+		return 0
+	}
+	return float64(covered) / float64(denom)
+}
+
+// LateFraction returns the share of useful prefetches that were late
+// (demand arrived while the fill was still in flight).
+func (r Result) LateFraction() float64 {
+	var useful, late uint64
+	for _, c := range r.Cores {
+		useful += c.L1D.UsefulPrefetches + c.L2C.UsefulPrefetches
+		late += c.L1D.LatePrefetches + c.L2C.LatePrefetches
+	}
+	if useful == 0 {
+		return 0
+	}
+	return float64(late) / float64(useful)
+}
+
+// IssuedPrefetches returns the total prefetches injected into the memory
+// system across cores and levels.
+func (r Result) IssuedPrefetches() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.PrefetchesIssuedL1 + c.PrefetchesIssuedL2
+	}
+	return n
+}
+
+// L1MPKI returns demand L1D misses per kilo-instruction (averaged over
+// cores).
+func (r Result) L1MPKI() float64 {
+	var misses, instr uint64
+	for _, c := range r.Cores {
+		misses += c.L1D.DemandMisses
+		instr += c.Instructions
+	}
+	if instr == 0 {
+		return 0
+	}
+	return 1000 * float64(misses) / float64(instr)
+}
+
+// LLCMPKI returns shared-LLC demand misses per kilo-instruction.
+func (r Result) LLCMPKI() float64 {
+	var instr uint64
+	for _, c := range r.Cores {
+		instr += c.Instructions
+	}
+	if instr == 0 {
+		return 0
+	}
+	return 1000 * float64(r.LLC.DemandMisses) / float64(instr)
+}

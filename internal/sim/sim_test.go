@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// streamTrace builds a stride-1 load stream touching `lines` consecutive
+// cache lines with gap non-memory instructions between loads.
+func streamTrace(lines int, gap int) []trace.Record {
+	recs := make([]trace.Record, lines)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC:     0x400100,
+			Addr:   0x10000000 + uint64(i)*mem.LineSize,
+			NonMem: uint16(gap),
+			Kind:   trace.Load,
+		}
+	}
+	return recs
+}
+
+// pointerChaseTrace revisits random-looking lines over a large footprint so
+// that every access misses everywhere (no reuse, no spatial locality).
+func pointerChaseTrace(n int, gap int) []trace.Record {
+	recs := make([]trace.Record, n)
+	x := uint64(0x12345)
+	for i := range recs {
+		x = x*6364136223846793005 + 1442695040888963407
+		recs[i] = trace.Record{
+			PC:     0x400200,
+			Addr:   0x20000000 + (x%(1<<28))&^63,
+			NonMem: uint16(gap),
+			Kind:   trace.Load,
+		}
+	}
+	return recs
+}
+
+func smallCfg(cores int) Config {
+	cfg := DefaultConfig(cores)
+	cfg.WarmupInstructions = 5_000
+	cfg.SimInstructions = 40_000
+	return cfg
+}
+
+func runOne(t *testing.T, cfg Config, recs []trace.Record, pf prefetch.Prefetcher) Result {
+	t.Helper()
+	specs := []CoreSpec{{
+		Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
+		L1Prefetcher: pf,
+	}}
+	sys, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Run()
+}
+
+// nextLinePF is a minimal next-line prefetcher used to exercise the
+// prefetch path without depending on the real prefetcher implementations.
+type nextLinePF struct{ degree int }
+
+func (nextLinePF) Name() string { return "nextline-test" }
+func (p nextLinePF) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	line := a.VAddr &^ (mem.LineSize - 1)
+	for d := 1; d <= p.degree; d++ {
+		issue(prefetch.Request{VLine: line + uint64(d)*mem.LineSize, Level: prefetch.LevelL1})
+	}
+}
+func (nextLinePF) EvictNotify(uint64) {}
+
+func TestRunCompletesAndCountsInstructions(t *testing.T) {
+	cfg := smallCfg(1)
+	res := runOne(t, cfg, streamTrace(4096, 9), nil)
+	if len(res.Cores) != 1 {
+		t.Fatalf("cores = %d", len(res.Cores))
+	}
+	if res.Cores[0].Instructions < cfg.SimInstructions {
+		t.Errorf("measured %d instructions, want >= %d", res.Cores[0].Instructions, cfg.SimInstructions)
+	}
+	if res.Cores[0].IPC <= 0 {
+		t.Errorf("IPC = %v", res.Cores[0].IPC)
+	}
+}
+
+func TestCacheFriendlyIPCNearWidth(t *testing.T) {
+	// Tiny footprint (fits in L1) ⇒ all hits ⇒ IPC near fetch width.
+	recs := make([]trace.Record, 64)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x400000, Addr: 0x5000 + uint64(i%8)*64, NonMem: 9, Kind: trace.Load}
+	}
+	res := runOne(t, smallCfg(1), recs, nil)
+	if res.Cores[0].IPC < 3.0 {
+		t.Errorf("cache-resident IPC = %v, want ~4", res.Cores[0].IPC)
+	}
+}
+
+func TestMemoryBoundIPCLow(t *testing.T) {
+	res := runOne(t, smallCfg(1), pointerChaseTrace(100000, 9), nil)
+	if res.Cores[0].IPC > 2.0 {
+		t.Errorf("pointer-chase IPC = %v, want well below peak", res.Cores[0].IPC)
+	}
+	if res.LLCMPKI() < 1 {
+		t.Errorf("pointer chase LLC MPKI = %v, want memory-intensive (>1)", res.LLCMPKI())
+	}
+}
+
+func TestNextLinePrefetchSpeedsUpStreaming(t *testing.T) {
+	cfg := smallCfg(1)
+	recs := streamTrace(8192, 9)
+	base := runOne(t, cfg, recs, nil)
+	pf := runOne(t, cfg, recs, nextLinePF{degree: 4})
+	if pf.Cores[0].IPC <= base.Cores[0].IPC*1.05 {
+		t.Errorf("next-line gave no speedup: %.3f vs %.3f", pf.Cores[0].IPC, base.Cores[0].IPC)
+	}
+	if pf.Accuracy() < 0.8 {
+		t.Errorf("streaming next-line accuracy = %v, want high", pf.Accuracy())
+	}
+	if pf.Coverage() <= 0.2 {
+		t.Errorf("streaming next-line coverage = %v, want substantial", pf.Coverage())
+	}
+}
+
+func TestUselessPrefetchesHurtAccuracy(t *testing.T) {
+	// Next-line on a pointer chase: almost every prefetch is useless.
+	res := runOne(t, smallCfg(1), pointerChaseTrace(60000, 9), nextLinePF{degree: 4})
+	if res.Accuracy() > 0.3 {
+		t.Errorf("pointer-chase next-line accuracy = %v, want low", res.Accuracy())
+	}
+	if res.IssuedPrefetches() == 0 {
+		t.Error("no prefetches issued")
+	}
+}
+
+func TestAccuracyWithinBounds(t *testing.T) {
+	for _, recs := range [][]trace.Record{streamTrace(4096, 5), pointerChaseTrace(30000, 5)} {
+		res := runOne(t, smallCfg(1), recs, nextLinePF{degree: 2})
+		if a := res.Accuracy(); a < 0 || a > 1 {
+			t.Errorf("accuracy out of range: %v", a)
+		}
+		if cv := res.Coverage(); cv < 0 || cv > 1 {
+			t.Errorf("coverage out of range: %v", cv)
+		}
+		if lf := res.LateFraction(); lf < 0 || lf > 1 {
+			t.Errorf("late fraction out of range: %v", lf)
+		}
+	}
+}
+
+func TestMultiCoreContention(t *testing.T) {
+	// The same memory-intensive trace on 4 cores must yield lower per-core
+	// IPC than alone (shared DRAM), with the paper's Table II scaling.
+	single := runOne(t, smallCfg(1), pointerChaseTrace(60000, 9), nil)
+
+	cfg := smallCfg(4)
+	specs := make([]CoreSpec, 4)
+	for i := range specs {
+		specs[i] = CoreSpec{Trace: trace.NewLooping(trace.NewSliceReader(pointerChaseTrace(60000, 9)))}
+	}
+	sys, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := sys.Run()
+	if len(multi.Cores) != 4 {
+		t.Fatalf("cores = %d", len(multi.Cores))
+	}
+	if multi.MeanIPC() >= single.Cores[0].IPC {
+		t.Errorf("4-core mean IPC %.3f >= single-core %.3f: no contention modelled",
+			multi.MeanIPC(), single.Cores[0].IPC)
+	}
+}
+
+func TestRedundantPrefetchesDropped(t *testing.T) {
+	// A prefetcher that targets the line just demanded must be filtered.
+	res := runOne(t, smallCfg(1), streamTrace(64, 9), redundantPF{})
+	if res.Cores[0].PrefetchesRedundant == 0 {
+		t.Error("no redundant drops recorded")
+	}
+	if res.Cores[0].PrefetchesIssuedL1 != 0 {
+		t.Errorf("redundant prefetches issued: %d", res.Cores[0].PrefetchesIssuedL1)
+	}
+}
+
+type redundantPF struct{}
+
+func (redundantPF) Name() string { return "redundant-test" }
+func (redundantPF) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	issue(prefetch.Request{VLine: a.VAddr &^ (mem.LineSize - 1), Level: prefetch.LevelL1})
+}
+func (redundantPF) EvictNotify(uint64) {}
+
+func TestL2LevelPrefetchCountedAtL2(t *testing.T) {
+	res := runOne(t, smallCfg(1), streamTrace(8192, 9), l2LinePF{})
+	if res.Cores[0].PrefetchesIssuedL2 == 0 {
+		t.Fatal("no L2 prefetches issued")
+	}
+	if res.Cores[0].L2C.UsefulPrefetches == 0 {
+		t.Error("L2-targeted prefetches never useful on a stream")
+	}
+	if res.Cores[0].L1D.PrefetchFills != 0 {
+		t.Error("L2-targeted prefetch filled L1")
+	}
+}
+
+type l2LinePF struct{}
+
+func (l2LinePF) Name() string { return "l2line-test" }
+func (l2LinePF) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	line := a.VAddr &^ (mem.LineSize - 1)
+	issue(prefetch.Request{VLine: line + 2*mem.LineSize, Level: prefetch.LevelL2})
+}
+func (l2LinePF) EvictNotify(uint64) {}
+
+func TestEvictNotifyDelivered(t *testing.T) {
+	// A footprint far larger than L1 guarantees evictions.
+	pf := &evictRecorder{}
+	runOne(t, smallCfg(1), streamTrace(16384, 4), pf)
+	if pf.evictions == 0 {
+		t.Error("no eviction notifications delivered")
+	}
+}
+
+type evictRecorder struct{ evictions int }
+
+func (*evictRecorder) Name() string                              { return "evict-test" }
+func (*evictRecorder) Train(prefetch.Access, prefetch.IssueFunc) {}
+func (e *evictRecorder) EvictNotify(uint64)                      { e.evictions++ }
+
+func TestConfigResizers(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if got := cfg.WithLLCSizeMB(0.5).LLC.Sets * cfg.LLC.Ways * 64; got != 512*1024 {
+		t.Errorf("0.5MB LLC = %d bytes", got)
+	}
+	if got := cfg.WithL2SizeKB(128).L2C.Sets * cfg.L2C.Ways * 64; got != 128*1024 {
+		t.Errorf("128KB L2 = %d bytes", got)
+	}
+	if cfg.WithDRAMMTPS(800).DRAM.MTPS != 800 {
+		t.Error("WithDRAMMTPS did not apply")
+	}
+}
+
+func TestNewValidatesSpecs(t *testing.T) {
+	cfg := smallCfg(2)
+	if _, err := New(cfg, []CoreSpec{{}}); err == nil {
+		t.Error("mismatched spec count accepted")
+	}
+	if _, err := New(cfg, []CoreSpec{{}, {}}); err == nil {
+		t.Error("nil traces accepted")
+	}
+	bad := cfg
+	bad.SimInstructions = 0
+	if _, err := New(bad, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := smallCfg(1)
+		specs := []CoreSpec{{
+			Trace:        trace.NewLooping(trace.NewSliceReader(streamTrace(2048, 9))),
+			L1Prefetcher: nextLinePF{degree: 2},
+		}}
+		sys, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	a, b := run(), run()
+	if a.Cores[0].IPC != b.Cores[0].IPC || a.Accuracy() != b.Accuracy() {
+		t.Errorf("non-deterministic results: %+v vs %+v", a.Cores[0], b.Cores[0])
+	}
+}

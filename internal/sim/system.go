@@ -1,0 +1,375 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// CoreSpec binds one core's trace and prefetchers.
+type CoreSpec struct {
+	// Trace supplies the core's instruction stream. It must not return
+	// io.EOF before the instruction budget is reached — wrap finite traces
+	// in trace.Looping (the paper replays traces that end early).
+	Trace trace.Reader
+	// L1Prefetcher observes L1D loads (nil = no prefetching).
+	L1Prefetcher prefetch.Prefetcher
+	// L2Prefetcher optionally observes L2C demand accesses (Fig 13
+	// multi-level configurations); its requests fill the L2C.
+	L2Prefetcher prefetch.Prefetcher
+}
+
+type coreState struct {
+	idx  int
+	core *cpu.Core
+	l1   *cache.Cache
+	l2   *cache.Cache
+	tr   *mem.Translator
+
+	pf  prefetch.Prefetcher
+	pq  *prefetch.Queue
+	pf2 prefetch.Prefetcher
+	pq2 *prefetch.Queue
+
+	reader trace.Reader
+
+	measuring bool
+	done      bool
+
+	issuedL1  uint64
+	issuedL2  uint64
+	redundant uint64
+
+	snapshot CoreResult
+}
+
+// System holds a fully assembled simulation. Construct with New, attach
+// core specs, then call Run.
+type System struct {
+	cfg   Config
+	cores []*coreState
+	llc   *cache.Cache
+	dram  *dram.DRAM
+}
+
+// New builds a system for the given specs. len(specs) must equal
+// cfg.Cores.
+func New(cfg Config, specs []CoreSpec) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d core specs for %d cores", len(specs), cfg.Cores)
+	}
+	s := &System{
+		cfg:  cfg,
+		llc:  cache.New(cfg.LLC),
+		dram: dram.New(cfg.DRAM),
+	}
+	for i, spec := range specs {
+		if spec.Trace == nil {
+			return nil, fmt.Errorf("sim: core %d has no trace", i)
+		}
+		pf := spec.L1Prefetcher
+		if pf == nil {
+			pf = prefetch.Nil{}
+		}
+		c := &coreState{
+			idx:    i,
+			core:   cpu.New(cfg.CPU),
+			l1:     cache.New(cfg.L1D),
+			l2:     cache.New(cfg.L2C),
+			tr:     mem.NewTranslator(cfg.TranslatorSalt + uint64(i)),
+			pf:     pf,
+			pq:     prefetch.NewQueue(cfg.PQCapacity, cfg.PQDrainRate),
+			reader: spec.Trace,
+		}
+		if spec.L2Prefetcher != nil {
+			c.pf2 = spec.L2Prefetcher
+			c.pq2 = prefetch.NewQueue(cfg.PQCapacity, cfg.PQDrainRate)
+		}
+		// Region-deactivation signal: L1 evictions reach the L1 prefetcher.
+		thePF := pf
+		if eo, ok := pf.(prefetch.EvictObserver); ok {
+			c.l1.SetEvictFunc(func(vline uint64, wasPrefetch bool) {
+				eo.EvictDetail(vline, wasPrefetch)
+				thePF.EvictNotify(vline)
+			})
+		} else {
+			c.l1.SetEvictFunc(func(vline uint64, _ bool) { thePF.EvictNotify(vline) })
+		}
+		// Bandwidth-aware prefetchers read DRAM pressure.
+		if ba, ok := pf.(prefetch.BandwidthAware); ok {
+			core := c
+			ba.SetBandwidthProbe(func() float64 { return s.dram.Pressure(core.core.Now()) })
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// Run executes the simulation until every core has completed its measured
+// instruction budget, and returns the aggregated result.
+func (s *System) Run() Result {
+	warmupsPending := len(s.cores)
+	if s.cfg.WarmupInstructions == 0 {
+		for _, c := range s.cores {
+			c.measuring = true
+		}
+		warmupsPending = 0
+		s.resetSharedStats()
+	}
+	running := len(s.cores)
+	for running > 0 {
+		c := s.nextCore()
+		s.step(c)
+
+		if !c.measuring && c.core.Instructions() >= s.cfg.WarmupInstructions {
+			c.measuring = true
+			c.core.BeginMeasurement()
+			c.l1.ResetStats()
+			c.l2.ResetStats()
+			c.issuedL1, c.issuedL2, c.redundant = 0, 0, 0
+			c.pq.Enqueued, c.pq.DropsFull, c.pq.DropsDup = 0, 0, 0
+			if c.pq2 != nil {
+				c.pq2.Enqueued, c.pq2.DropsFull, c.pq2.DropsDup = 0, 0, 0
+			}
+			warmupsPending--
+			if warmupsPending == 0 {
+				s.resetSharedStats()
+			}
+		}
+		if c.measuring && !c.done && c.core.MeasuredInstructions() >= s.cfg.SimInstructions {
+			c.done = true
+			running--
+			c.l1.FlushStats()
+			c.l2.FlushStats()
+			c.snapshot = CoreResult{
+				IPC:                 c.core.IPC(),
+				Instructions:        c.core.MeasuredInstructions(),
+				L1D:                 c.l1.Stats,
+				L2C:                 c.l2.Stats,
+				PrefetchesIssuedL1:  c.issuedL1,
+				PrefetchesIssuedL2:  c.issuedL2,
+				PrefetchesRedundant: c.redundant,
+				PQDropsFull:         c.pq.DropsFull,
+				PQDropsDup:          c.pq.DropsDup,
+			}
+		}
+	}
+	res := Result{LLC: s.llc.Stats}
+	for _, c := range s.cores {
+		res.Cores = append(res.Cores, c.snapshot)
+	}
+	res.DRAMRequests = s.dram.Stats.Requests
+	if s.dram.Stats.Requests > 0 {
+		res.DRAMRowHitRate = float64(s.dram.Stats.RowHits) / float64(s.dram.Stats.Requests)
+	}
+	return res
+}
+
+func (s *System) resetSharedStats() {
+	s.llc.ResetStats()
+	s.dram.ResetStats()
+}
+
+// nextCore picks the core with the earliest next fetch cycle — the global
+// time interleaving that makes shared LLC/DRAM contention meaningful.
+func (s *System) nextCore() *coreState {
+	best := s.cores[0]
+	if len(s.cores) == 1 {
+		return best
+	}
+	bt := best.core.NextFetch()
+	for _, c := range s.cores[1:] {
+		if t := c.core.NextFetch(); t < bt {
+			best, bt = c, t
+		}
+	}
+	return best
+}
+
+// step advances one core by one trace record (its non-memory run plus the
+// memory access).
+func (s *System) step(c *coreState) {
+	rec, err := c.reader.Next()
+	if err != nil {
+		// Traces are expected to be endless (Looping); treat exhaustion as
+		// pure non-memory work so the run still terminates.
+		c.core.ExecuteRun(64)
+		return
+	}
+	c.core.ExecuteRun(int(rec.NonMem))
+
+	t := c.core.NextFetch()
+	s.drainPQ(c, t)
+
+	lat, l1hit := s.demandAccess(c, rec.Addr, t)
+	c.core.Execute(lat)
+
+	if rec.Kind == trace.Load {
+		missLat := 0.0
+		if !l1hit {
+			missLat = lat
+		}
+		c.pf.Train(prefetch.Access{
+			PC:          rec.PC,
+			VAddr:       rec.Addr,
+			PAddr:       uint64(c.tr.Translate(mem.Addr(rec.Addr))),
+			Cycle:       t,
+			L1Hit:       l1hit,
+			MissLatency: missLat,
+		}, func(req prefetch.Request) { c.pq.Push(req, t) })
+
+		if c.pf2 != nil && !l1hit {
+			// The L2 prefetcher sees the access stream that reaches L2C.
+			c.pf2.Train(prefetch.Access{
+				PC:          rec.PC,
+				VAddr:       rec.Addr,
+				PAddr:       uint64(c.tr.Translate(mem.Addr(rec.Addr))),
+				Cycle:       t,
+				L1Hit:       false,
+				MissLatency: missLat,
+			}, func(req prefetch.Request) { c.pq2.Push(req, t) })
+		}
+	}
+}
+
+// drainPQ issues every queued prefetch whose pacing slot arrived by cycle
+// now, for both the L1 and (when present) L2 prefetch queues.
+func (s *System) drainPQ(c *coreState, now float64) {
+	for {
+		req, at, ok := c.pq.PopReady(now)
+		if !ok {
+			break
+		}
+		s.issuePrefetch(c, req, at)
+	}
+	if c.pq2 == nil {
+		return
+	}
+	for {
+		req, at, ok := c.pq2.PopReady(now)
+		if !ok {
+			break
+		}
+		// L2-attached prefetchers fill the L2C regardless of request level.
+		req.Level = prefetch.LevelL2
+		s.issuePrefetch(c, req, at)
+	}
+}
+
+// demandAccess walks the hierarchy for a demand access issued at cycle t
+// and returns (latency, l1Hit).
+func (s *System) demandAccess(c *coreState, vaddr uint64, t float64) (float64, bool) {
+	paddr := c.tr.Translate(mem.Addr(vaddr))
+	vline := vaddr &^ (mem.LineSize - 1)
+
+	res := c.l1.Access(paddr, t)
+	if res.Hit {
+		lat := s.cfg.L1D.HitLatency
+		if res.ReadyAt > t {
+			lat += res.ReadyAt - t
+		}
+		return lat, true
+	}
+
+	// L1 miss: occupy an L1 MSHR for the duration.
+	start, slot := c.l1.MSHRReserve(t)
+	t2 := start + s.cfg.L1D.HitLatency
+
+	var ready float64
+	res2 := c.l2.Access(paddr, t2)
+	if res2.Hit {
+		ready = t2 + s.cfg.L2C.HitLatency
+		if res2.ReadyAt > ready {
+			ready = res2.ReadyAt
+		}
+	} else {
+		t3 := t2 + s.cfg.L2C.HitLatency
+		res3 := s.llc.Access(paddr, t3)
+		if res3.Hit {
+			ready = t3 + s.cfg.LLC.HitLatency
+			if res3.ReadyAt > ready {
+				ready = res3.ReadyAt
+			}
+		} else {
+			arr := t3 + s.cfg.LLC.HitLatency
+			st, llcSlot := s.llc.MSHRReserve(arr)
+			finish := s.dram.Access(paddr, st)
+			s.llc.MSHRComplete(llcSlot, finish)
+			ready = finish
+			s.llc.Fill(paddr, ready, cache.FillOpts{VLine: vline})
+		}
+		c.l2.Fill(paddr, ready, cache.FillOpts{VLine: vline})
+	}
+	c.l1.MSHRComplete(slot, ready)
+	c.l1.Fill(paddr, ready, cache.FillOpts{VLine: vline})
+	return ready - t, false
+}
+
+// issuePrefetch injects one prefetch request into the memory system at
+// cycle t.
+func (s *System) issuePrefetch(c *coreState, req prefetch.Request, t float64) {
+	paddr := c.tr.Translate(mem.Addr(req.VLine))
+
+	// Redundancy check at the target level: spatial prefetchers avoid
+	// re-fetching resident blocks (the check vBerti lacks, §IV-B3).
+	if req.Level == prefetch.LevelL1 {
+		if c.l1.Probe(paddr) {
+			c.redundant++
+			return
+		}
+	} else if c.l2.Probe(paddr) {
+		c.redundant++
+		return
+	}
+
+	// Locate the data.
+	var ready float64
+	fromDRAM := false
+	switch {
+	case req.Level == prefetch.LevelL1 && c.l2.Probe(paddr):
+		c.l2.Touch(paddr)
+		// An L2-resident prefetched line promoted to L1 transfers its
+		// attribution: it is counted once, at the L1 where it lands.
+		if was, fd := c.l2.ConsumePrefetch(paddr); was {
+			fromDRAM = fd
+		}
+		ready = t + s.cfg.L1D.HitLatency + s.cfg.L2C.HitLatency
+	case s.llc.Probe(paddr):
+		s.llc.Touch(paddr)
+		ready = t + s.cfg.L2C.HitLatency + s.cfg.LLC.HitLatency
+	default:
+		arr := t + s.cfg.L2C.HitLatency + s.cfg.LLC.HitLatency
+		st, llcSlot := s.llc.MSHRReserve(arr)
+		finish := s.dram.Access(paddr, st)
+		s.llc.MSHRComplete(llcSlot, finish)
+		ready = finish
+		fromDRAM = true
+		s.llc.Fill(paddr, ready, cache.FillOpts{VLine: req.VLine})
+	}
+
+	if req.Level == prefetch.LevelL1 {
+		// L1-destined prefetches hold an L1 MSHR while in flight,
+		// throttling over-aggressive prefetchers against demand traffic.
+		st, slot := c.l1.MSHRReserve(t)
+		if st > ready {
+			ready = st
+		}
+		c.l1.MSHRComplete(slot, ready)
+		if !c.l2.Probe(paddr) {
+			c.l2.Fill(paddr, ready, cache.FillOpts{VLine: req.VLine})
+		}
+		c.l1.Fill(paddr, ready, cache.FillOpts{Prefetch: true, FromDRAM: fromDRAM, VLine: req.VLine})
+		c.issuedL1++
+	} else {
+		c.l2.Fill(paddr, ready, cache.FillOpts{Prefetch: true, FromDRAM: fromDRAM, VLine: req.VLine})
+		c.issuedL2++
+	}
+}

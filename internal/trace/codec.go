@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format (all little-endian-free varints):
+//
+//	magic   "GZTR\x01"
+//	records repeated:
+//	  kindAndNonMem varint  (kind in low bit, NonMem in the rest)
+//	  pcDelta       signed varint (delta from previous PC)
+//	  addrDelta     signed varint (delta from previous Addr)
+//
+// Delta + varint encoding keeps streaming traces compact (~3-6 bytes per
+// record) which matters for the cmd/tracegen round-trip tooling.
+
+var magic = [5]byte{'G', 'Z', 'T', 'R', 1}
+
+// Writer encodes records to an io.Writer.
+type Writer struct {
+	w        *bufio.Writer
+	prevPC   uint64
+	prevAddr uint64
+	buf      [binary.MaxVarintLen64]byte
+	started  bool
+}
+
+// NewWriter creates a trace writer and emits the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	head := uint64(r.NonMem)<<1 | uint64(r.Kind&1)
+	if err := w.putUvarint(head); err != nil {
+		return err
+	}
+	if err := w.putVarint(int64(r.PC - w.prevPC)); err != nil {
+		return err
+	}
+	if err := w.putVarint(int64(r.Addr - w.prevAddr)); err != nil {
+		return err
+	}
+	w.prevPC, w.prevAddr = r.PC, r.Addr
+	w.started = true
+	return nil
+}
+
+// Flush writes any buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+func (w *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+func (w *Writer) putVarint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// FileReader decodes a binary trace stream produced by Writer.
+type FileReader struct {
+	r        *bufio.Reader
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewFileReader validates the header and returns a trace Reader.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrCorrupt
+	}
+	return &FileReader{r: br}, nil
+}
+
+// Next implements Reader.
+func (f *FileReader) Next() (Record, error) {
+	head, err := binary.ReadUvarint(f.r)
+	if err == io.EOF {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, ErrCorrupt
+	}
+	pcD, err := binary.ReadVarint(f.r)
+	if err != nil {
+		return Record{}, ErrCorrupt
+	}
+	addrD, err := binary.ReadVarint(f.r)
+	if err != nil {
+		return Record{}, ErrCorrupt
+	}
+	nonMem := head >> 1
+	if nonMem > 0xffff {
+		return Record{}, ErrCorrupt
+	}
+	f.prevPC += uint64(pcD)
+	f.prevAddr += uint64(addrD)
+	return Record{
+		PC:     f.prevPC,
+		Addr:   f.prevAddr,
+		NonMem: uint16(nonMem),
+		Kind:   Kind(head & 1),
+	}, nil
+}

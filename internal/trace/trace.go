@@ -1,0 +1,122 @@
+// Package trace defines the instruction-trace model consumed by the
+// simulator. A trace is a stream of Records; each Record describes one
+// memory instruction (load or store) preceded by NonMem non-memory
+// instructions. This compact form is equivalent to a full instruction trace
+// for a timing model whose non-memory instructions all cost one issue slot.
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Kind classifies the memory operation of a Record.
+type Kind uint8
+
+const (
+	// Load is a demand data load; prefetchers train on these (§III-A:
+	// "Gaze is trained on cache loads").
+	Load Kind = iota
+	// Store is a data store; it accesses the cache but does not train
+	// spatial prefetchers in this model.
+	Store
+)
+
+// Record is one memory instruction plus the run of non-memory instructions
+// that precede it in program order.
+type Record struct {
+	// PC is the program counter of the memory instruction.
+	PC uint64
+	// Addr is the virtual byte address accessed.
+	Addr uint64
+	// NonMem is the number of non-memory instructions immediately before
+	// this one; it sets the trace's memory intensity (MPKI).
+	NonMem uint16
+	// Kind is Load or Store.
+	Kind Kind
+}
+
+// Instructions returns the number of instructions this record accounts for.
+func (r Record) Instructions() int { return int(r.NonMem) + 1 }
+
+// Reader yields trace records in program order. Next returns io.EOF when
+// the trace is exhausted.
+type Reader interface {
+	Next() (Record, error)
+}
+
+// ErrCorrupt reports a malformed encoded trace.
+var ErrCorrupt = errors.New("trace: corrupt encoding")
+
+// SliceReader replays an in-memory record slice.
+type SliceReader struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceReader returns a Reader over recs.
+func NewSliceReader(recs []Record) *SliceReader { return &SliceReader{recs: recs} }
+
+// Next implements Reader.
+func (s *SliceReader) Next() (Record, error) {
+	if s.pos >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Reset rewinds the reader to the beginning.
+func (s *SliceReader) Reset() { s.pos = 0 }
+
+// Looping wraps a resettable source so it never returns io.EOF: when the
+// underlying trace ends it is replayed from the start. This mirrors the
+// paper's methodology ("if a trace reaches its end before the simulator has
+// executed enough instructions, it is replayed from the start").
+type Looping struct {
+	src   resettable
+	wraps int
+}
+
+type resettable interface {
+	Reader
+	Reset()
+}
+
+// NewLooping wraps src in a looping reader.
+func NewLooping(src *SliceReader) *Looping { return &Looping{src: src} }
+
+// Next implements Reader; it only fails if the underlying trace is empty.
+func (l *Looping) Next() (Record, error) {
+	r, err := l.src.Next()
+	if err == io.EOF {
+		l.src.Reset()
+		l.wraps++
+		r, err = l.src.Next()
+		if err == io.EOF {
+			return Record{}, errors.New("trace: looping over empty trace")
+		}
+	}
+	return r, err
+}
+
+// Wraps reports how many times the trace has restarted.
+func (l *Looping) Wraps() int { return l.wraps }
+
+// Collect drains up to max records from r into a slice. max <= 0 collects
+// until EOF.
+func Collect(r Reader, max int) ([]Record, error) {
+	var out []Record
+	for max <= 0 || len(out) < max {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

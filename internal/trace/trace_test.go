@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			PC:     0x400000 + uint64(i%7)*4,
+			Addr:   0x10000000 + uint64(i)*64,
+			NonMem: uint16(i % 13),
+			Kind:   Kind(i % 2),
+		}
+	}
+	return recs
+}
+
+func TestSliceReader(t *testing.T) {
+	recs := sampleRecords(10)
+	r := NewSliceReader(recs)
+	got, err := Collect(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("collected %d records, want 10", len(got))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestSliceReaderReset(t *testing.T) {
+	r := NewSliceReader(sampleRecords(3))
+	if _, err := Collect(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	got, _ := Collect(r, 0)
+	if len(got) != 3 {
+		t.Errorf("after Reset, collected %d", len(got))
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	r := NewSliceReader(sampleRecords(100))
+	got, err := Collect(r, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Errorf("Collect(max=7) returned %d", len(got))
+	}
+}
+
+func TestLoopingWraps(t *testing.T) {
+	recs := sampleRecords(4)
+	l := NewLooping(NewSliceReader(recs))
+	for i := 0; i < 10; i++ {
+		rec, err := l.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec != recs[i%4] {
+			t.Fatalf("loop step %d: got %+v want %+v", i, rec, recs[i%4])
+		}
+	}
+	if l.Wraps() != 2 {
+		t.Errorf("Wraps() = %d, want 2", l.Wraps())
+	}
+}
+
+func TestLoopingEmptyTrace(t *testing.T) {
+	l := NewLooping(NewSliceReader(nil))
+	if _, err := l.Next(); err == nil {
+		t.Error("expected error on empty looping trace")
+	}
+}
+
+func TestRecordInstructions(t *testing.T) {
+	r := Record{NonMem: 9}
+	if r.Instructions() != 10 {
+		t.Errorf("Instructions() = %d, want 10", r.Instructions())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	recs := sampleRecords(1000)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(fr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint64, addrs []uint64, nonmems []uint16) bool {
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(nonmems) < n {
+			n = len(nonmems)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{PC: pcs[i], Addr: addrs[i], NonMem: nonmems[i], Kind: Kind(i % 2)}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, rec := range recs {
+			if w.Write(rec) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		fr, err := NewFileReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(fr, 0)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileReaderBadMagic(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("NOPE\x01xxx"))); err == nil {
+		t.Error("expected error on bad magic")
+	}
+}
+
+func TestFileReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(Record{PC: 1, Addr: 2, NonMem: 3})
+	_ = w.Flush()
+	data := buf.Bytes()
+	// Truncate mid-record.
+	fr, err := NewFileReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); err == nil {
+		t.Error("expected corrupt/EOF error on truncated record")
+	}
+}
+
+func TestCodecCompactness(t *testing.T) {
+	// Sequential access traces should compress well below 8 bytes/record.
+	recs := make([]Record, 10000)
+	for i := range recs {
+		recs[i] = Record{PC: 0x400100, Addr: uint64(i) * 64, NonMem: 10}
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, rec := range recs {
+		_ = w.Write(rec)
+	}
+	_ = w.Flush()
+	perRec := float64(buf.Len()) / float64(len(recs))
+	if perRec > 8 {
+		t.Errorf("encoding too large: %.1f bytes/record", perRec)
+	}
+}

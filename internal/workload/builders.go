@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// build dispatches to the kind-specific builder.
+func build(g *gen, n int) {
+	switch g.spec.kind {
+	case kindStream:
+		buildStream(g, n)
+	case kindMixedSpatial:
+		buildMixedSpatial(g, n)
+	case kindIrregular:
+		buildIrregular(g, n)
+	case kindGraphInit:
+		buildGraphInit(g, n)
+	case kindGraphCompute:
+		buildGraphCompute(g, n)
+	case kindCloud:
+		buildCloud(g, n)
+	case kindServer:
+		buildServer(g, n)
+	case kindClient:
+		buildClient(g, n)
+	default:
+		buildMixedSpatial(g, n)
+	}
+}
+
+// stream models one array traversal: contiguous virtual pages visited in
+// order, each page fully (or stride-d) touched front to back. Re-passes
+// over the same range model repeated sweeps (bwaves-style), which resident
+// data turns into the redundant-prefetch scenario of §IV-B3.
+type stream struct {
+	pc        uint64
+	pages     []uint64 // current range
+	pageIdx   int
+	passes    int // remaining re-passes over the same range
+	rangeLen  int
+	reuseProb float64
+	stride    int
+}
+
+func (g *gen) newStream(rangeLen int, reuseProb float64, stride int) *stream {
+	if stride < 1 {
+		stride = 1
+	}
+	return &stream{
+		pc:        g.pcPool(1)[0],
+		rangeLen:  rangeLen,
+		reuseProb: reuseProb,
+		stride:    stride,
+	}
+}
+
+// nextRegion returns the next page-sized region activation of the stream.
+func (s *stream) nextRegion(g *gen) *regionStream {
+	if s.pageIdx >= len(s.pages) {
+		if s.passes > 0 && len(s.pages) > 0 {
+			s.passes--
+		} else {
+			// Allocate a fresh contiguous range.
+			s.pages = s.pages[:0]
+			for i := 0; i < s.rangeLen; i++ {
+				s.pages = append(s.pages, g.freshPage())
+			}
+			s.passes = 0
+			if g.r.Bool(s.reuseProb) {
+				s.passes = 1 + g.r.Intn(2)
+			}
+		}
+		s.pageIdx = 0
+	}
+	page := s.pages[s.pageIdx]
+	s.pageIdx++
+	order := make([]int, 0, mem.BlocksPerPage/s.stride)
+	for o := 0; o < mem.BlocksPerPage; o += s.stride {
+		order = append(order, o)
+	}
+	return &regionStream{page: page, pcs: []uint64{s.pc}, order: order}
+}
+
+func buildStream(g *gen, n int) {
+	nStreams := 2 + int(3*g.spec.intensity)
+	streams := make([]*stream, nStreams)
+	for i := range streams {
+		streams[i] = g.newStream(48+g.r.Intn(32), g.spec.reuse, g.spec.strideBlocks)
+	}
+	g.interleave(nStreams, n, func(slot int) *regionStream {
+		return streams[slot%nStreams].nextRegion(g)
+	})
+}
+
+func buildMixedSpatial(g *gen, n int) {
+	// Family structure: ambiguity controls how many families share a
+	// trigger offset (fotonik3d-like workloads are highly ambiguous).
+	groups := 1
+	if g.spec.ambiguity > 0 {
+		groups = 1 + int(g.spec.ambiguity*4)
+	}
+	triggers := 10
+	fams := g.familySet(groups, triggers, 2, 6, 24)
+	str := g.newStream(32, g.spec.reuse, 1)
+	noise := noiseOpts{early: 0.03, tail: 0.25}
+	g.interleave(6, n, func(slot int) *regionStream {
+		if slot == 0 {
+			// Slot 0 is the dedicated streaming component.
+			return str.nextRegion(g)
+		}
+		f := fams[g.r.Intn(len(fams))]
+		page := g.distantFreshPage()
+		if g.r.Bool(0.3) {
+			page = g.revisitPage()
+		}
+		return g.activate(f, page, noise)
+	})
+}
+
+func buildIrregular(g *gen, n int) {
+	// Pointer chasing over a large working set with temporal (sequence)
+	// repetition but no spatial structure: regions see 1-3 scattered
+	// blocks, so spatial prefetchers should mostly stand down.
+	wsPages := int(3000 * g.spec.intensity)
+	if wsPages < 256 {
+		wsPages = 256
+	}
+	pages := make([]uint64, wsPages)
+	for i := range pages {
+		pages[i] = g.distantFreshPage()
+	}
+	type step struct {
+		page uint64
+		off  int
+	}
+	seqLen := n / 3
+	if seqLen < 1024 {
+		seqLen = 1024
+	}
+	seq := make([]step, seqLen)
+	for i := range seq {
+		seq[i] = step{page: pages[g.r.Intn(wsPages)], off: g.r.Intn(mem.BlocksPerPage)}
+	}
+	pcs := g.pcPool(24)
+	pos := 0
+	for len(g.recs) < n {
+		st := seq[pos%seqLen]
+		if g.r.Bool(0.08) { // occasional novel access off the canonical walk
+			st = step{page: pages[g.r.Intn(wsPages)], off: g.r.Intn(mem.BlocksPerPage)}
+		}
+		pc := pcs[pos%len(pcs)]
+		g.emit(pc, uint64(mem.BlockAddr(st.page, st.off)), trace.Load)
+		// Pointer-chased nodes are heap objects that often span a couple
+		// of cache lines: a short spatial run follows ~a quarter of the
+		// jumps, which is what keeps spatial prefetchers from losing
+		// outright on mcf-like codes (their declines are bounded, Fig 11).
+		if g.r.Bool(0.25) && st.off+1 < mem.BlocksPerPage {
+			g.emit(pc, uint64(mem.BlockAddr(st.page, st.off+1)), trace.Load)
+		}
+		pos++
+	}
+}
+
+func buildGraphInit(g *gen, n int) {
+	// Data preparation: allocating and filling vertex/edge arrays —
+	// almost pure streaming (Fig 10's small-suffix Ligra traces).
+	nStreams := 3
+	streams := make([]*stream, nStreams)
+	for i := range streams {
+		streams[i] = g.newStream(64, 0.1, 1)
+	}
+	sparsePCs := g.pcPool(2)
+	g.interleave(nStreams+1, n, func(slot int) *regionStream {
+		if slot == nStreams {
+			// One slot of occasional metadata lookups.
+			return &regionStream{
+				page:  g.revisitPage(),
+				pcs:   sparsePCs,
+				order: []int{g.r.Intn(mem.BlocksPerPage)},
+			}
+		}
+		return streams[slot].nextRegion(g)
+	})
+}
+
+func buildGraphCompute(g *gen, n int) {
+	// The §III-C scenario: a dense frontier stream (trigger 0, second 1,
+	// fully dense) interleaved with neighbour runs (short sequential
+	// bursts at random pages) and sparse vertex-state touches whose
+	// trigger block is often 0 but whose footprint is nearly empty — the
+	// regions a naively-applied dense pattern floods with useless
+	// prefetches.
+	frontier := g.newStream(48, 0.15, 1)
+	runPC := g.pcPool(1)[0]
+	vertexPCs := g.pcPool(3)
+	sparsity := 0.30 + 0.25*g.intensityClamp01()
+	g.interleave(6, n, func(slot int) *regionStream {
+		if slot == 0 {
+			// The frontier traversal owns one slot.
+			return frontier.nextRegion(g)
+		}
+		roll := g.r.Float64()
+		switch {
+		case roll < 0.02:
+			return frontier.nextRegion(g)
+		case roll < 0.18+0.52*(1-sparsity)+0.2:
+			// Neighbour run: 3-14 consecutive blocks somewhere random.
+			length := 3 + g.r.Intn(12)
+			start := g.r.Intn(mem.BlocksPerPage - length)
+			page := g.distantFreshPage()
+			if g.r.Bool(0.45) {
+				page = g.revisitPage()
+			}
+			return &regionStream{
+				page:  page,
+				pcs:   []uint64{runPC},
+				order: sequentialOrder(start, start+length-1),
+			}
+		default:
+			// Sparse vertex-state region; trigger frequently at block 0.
+			first := 0
+			if !g.r.Bool(0.5) {
+				first = g.r.Intn(mem.BlocksPerPage)
+			}
+			count := 1 + g.r.Intn(3)
+			order := []int{first}
+			for len(order) < count+1 {
+				off := g.r.Intn(mem.BlocksPerPage)
+				if off != first && (len(order) < 2 || off != order[1]) {
+					// Keep the second offset away from 1 so these regions
+					// are distinguishable from streaming starts.
+					if len(order) == 1 && off == 1 {
+						continue
+					}
+					order = append(order, off)
+				}
+			}
+			page := g.revisitPage()
+			if g.r.Bool(0.5) {
+				page = g.distantFreshPage()
+			}
+			return &regionStream{page: page, pcs: vertexPCs, order: order}
+		}
+	})
+}
+
+func buildCloud(g *gen, n int) {
+	// Scale-out server behaviour: many footprint families with shared
+	// trigger offsets (coarse keys collide), rotating trigger PCs and
+	// slow pattern churn (fine-grained PC keys must relearn), plus a hot
+	// code/data set and a light streaming component.
+	fams := g.familySet(5, 8, 4, 4, 16)
+	hot := make([]uint64, 24)
+	for i := range hot {
+		hot[i] = g.distantFreshPage()
+	}
+	hotPCs := g.pcPool(6)
+	str := g.newStream(16, 0.2, 1)
+	noise := noiseOpts{early: 0.04, tail: 0.3}
+	activations := 0
+	g.interleave(8, n, func(slot int) *regionStream {
+		if slot == 0 {
+			return str.nextRegion(g)
+		}
+		roll := g.r.Float64()
+		switch {
+		case roll < 0.66:
+			activations++
+			f := fams[g.r.Intn(len(fams))]
+			if activations%240 == 0 {
+				fams[g.r.Intn(len(fams))].churn(g)
+			}
+			page := g.distantFreshPage()
+			if g.r.Bool(0.35) {
+				page = g.revisitPage()
+			}
+			return g.activate(f, page, noise)
+		default:
+			// Hot-set touch: near-certain cache hits (server locality).
+			page := hot[g.r.Zipf(len(hot), 1.3)]
+			return &regionStream{
+				page:  page,
+				pcs:   hotPCs,
+				order: []int{g.r.Intn(8)},
+			}
+		}
+	})
+}
+
+func buildServer(g *gen, n int) {
+	// QMM srv: instruction-miss-bound in reality; for the data side this
+	// means a small hot working set (low LLC data MPKI) plus occasional
+	// sparse irregular touches. Prefetchers find little to cover; bad
+	// ones pollute the small caches.
+	hot := make([]uint64, 48)
+	for i := range hot {
+		hot[i] = g.distantFreshPage()
+	}
+	hotPCs := g.pcPool(8)
+	fams := g.familySet(4, 6, 3, 3, 8)
+	noise := noiseOpts{early: 0.06, tail: 0.35}
+	g.interleave(4, n, func(slot int) *regionStream {
+		roll := g.r.Float64()
+		switch {
+		case roll < 0.86:
+			page := hot[g.r.Zipf(len(hot), 1.2)]
+			return &regionStream{
+				page:  page,
+				pcs:   hotPCs,
+				order: []int{g.r.Intn(mem.BlocksPerPage)},
+			}
+		case roll < 0.86+0.09:
+			f := fams[g.r.Intn(len(fams))]
+			return g.activate(f, g.distantFreshPage(), noise)
+		default:
+			return &regionStream{
+				page:  g.distantFreshPage(),
+				pcs:   hotPCs,
+				order: g.distinctOffsets(1 + g.r.Intn(2)),
+			}
+		}
+	})
+}
+
+func buildClient(g *gen, n int) {
+	// QMM clt: memory-intensive compute — streaming and strided sweeps
+	// with a moderate mixed-region component.
+	s1 := g.newStream(48, 0.25, 1)
+	s2 := g.newStream(48, 0.1, 2)
+	fams := g.familySet(1, 8, 2, 8, 24)
+	noise := noiseOpts{early: 0.03, tail: 0.2}
+	g.interleave(5, n, func(slot int) *regionStream {
+		if slot == 0 || slot == 1 {
+			return s1.nextRegion(g)
+		}
+		if slot == 2 {
+			return s2.nextRegion(g)
+		}
+		roll := g.r.Float64()
+		switch {
+		case roll < 0.3:
+			return s1.nextRegion(g)
+		default:
+			f := fams[g.r.Intn(len(fams))]
+			page := g.distantFreshPage()
+			if g.r.Bool(0.3) {
+				page = g.revisitPage()
+			}
+			return g.activate(f, page, noise)
+		}
+	})
+}
+
+// intensityClamp01 maps intensity into [0,1] for builders that use it as a
+// mixing ratio rather than a size multiplier.
+func (g *gen) intensityClamp01() float64 {
+	v := g.spec.intensity
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,265 @@
+package workload
+
+import "fmt"
+
+// registry maps trace names to their generation profiles. Names mirror the
+// paper's trace naming so figures can reference the same labels
+// (Fig 9-12, 15, 17, 18 all cite traces by these names).
+var registry = map[string]profile{}
+
+func reg(name string, p profile) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate trace name %q", name))
+	}
+	if p.gapMean < 1 {
+		p.gapMean = 1
+	}
+	if p.intensity == 0 {
+		p.intensity = 1
+	}
+	if p.strideBlocks == 0 {
+		p.strideBlocks = 1
+	}
+	registry[name] = p
+}
+
+func init() {
+	registerSPEC06()
+	registerSPEC17()
+	registerLigra()
+	registerPARSEC()
+	registerCloud()
+	registerGAP()
+	registerQMM()
+}
+
+func registerSPEC06() {
+	s := func(name string, p profile) {
+		p.suite = "spec06"
+		reg(name, p)
+	}
+	// Streaming-dominated HPC codes.
+	s("bwaves-1963", profile{kind: kindStream, gapMean: 6, reuse: 0.5})
+	s("bwaves-677", profile{kind: kindStream, gapMean: 7, reuse: 0.4})
+	s("GemsFDTD-1169", profile{kind: kindStream, gapMean: 6, reuse: 0.2, strideBlocks: 1})
+	s("GemsFDTD-1211", profile{kind: kindStream, gapMean: 5, reuse: 0.2, strideBlocks: 2})
+	s("lbm-1274", profile{kind: kindStream, gapMean: 4, reuse: 0.05, intensity: 1.4})
+	s("lbm-94", profile{kind: kindStream, gapMean: 4, reuse: 0.05, intensity: 1.2})
+	s("leslie3d-134", profile{kind: kindStream, gapMean: 6, reuse: 0.3})
+	s("leslie3d-149", profile{kind: kindStream, gapMean: 6, reuse: 0.3})
+	s("leslie3d-271", profile{kind: kindStream, gapMean: 5, reuse: 0.35})
+	s("libquantum-714", profile{kind: kindStream, gapMean: 7, reuse: 0.6})
+	s("libquantum-1343", profile{kind: kindStream, gapMean: 7, reuse: 0.6})
+	s("zeusmp-300", profile{kind: kindStream, gapMean: 6, reuse: 0.2, strideBlocks: 2})
+	// Mixed spatial-pattern codes.
+	s("cactusADM-1804", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.2})
+	s("cactusADM-734", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.2})
+	s("milc-127", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.3})
+	s("milc-360", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.3})
+	s("soplex-66", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.4})
+	s("soplex-247", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.4})
+	s("sphinx3-417", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.3, reuse: 0.3})
+	s("sphinx3-883", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.3, reuse: 0.3})
+	s("wrf-196", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.2, reuse: 0.2})
+	s("wrf-816", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.2, reuse: 0.2})
+	s("wrf-1254", profile{kind: kindStream, gapMean: 6, reuse: 0.25})
+	s("zeusmp-100", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.2})
+	s("gcc-13", profile{kind: kindMixedSpatial, gapMean: 8, ambiguity: 0.5})
+	s("bzip2-183", profile{kind: kindMixedSpatial, gapMean: 8, ambiguity: 0.3})
+	s("hmmer-7", profile{kind: kindMixedSpatial, gapMean: 9, ambiguity: 0.2})
+	s("h264ref-30", profile{kind: kindMixedSpatial, gapMean: 9, ambiguity: 0.3})
+	s("gobmk-76", profile{kind: kindMixedSpatial, gapMean: 10, ambiguity: 0.4, intensity: 0.6})
+	// Irregular codes.
+	s("mcf-46", profile{kind: kindIrregular, gapMean: 5, intensity: 1.4})
+	s("mcf-158", profile{kind: kindIrregular, gapMean: 5, intensity: 1.4})
+	s("omnetpp-188", profile{kind: kindIrregular, gapMean: 7, intensity: 0.9})
+	s("omnetpp-4", profile{kind: kindIrregular, gapMean: 7, intensity: 0.9})
+	s("astar-23", profile{kind: kindIrregular, gapMean: 7, intensity: 0.8})
+	s("astar-359", profile{kind: kindIrregular, gapMean: 7, intensity: 0.8})
+	s("perlbench-105", profile{kind: kindIrregular, gapMean: 9, intensity: 0.6})
+	s("sjeng-358", profile{kind: kindIrregular, gapMean: 10, intensity: 0.6})
+	s("xalancbmk-148", profile{kind: kindIrregular, gapMean: 8, intensity: 0.8})
+	s("gcc-56", profile{kind: kindIrregular, gapMean: 9, intensity: 0.7})
+}
+
+func registerSPEC17() {
+	s := func(name string, p profile) {
+		p.suite = "spec17"
+		reg(name, p)
+	}
+	// Streaming HPC.
+	s("bwaves_s-891", profile{kind: kindStream, gapMean: 6, reuse: 0.5})
+	s("bwaves_s-1740", profile{kind: kindStream, gapMean: 5, reuse: 0.5})
+	s("bwaves_s-2609", profile{kind: kindStream, gapMean: 5, reuse: 0.55})
+	s("lbm_s-2676", profile{kind: kindStream, gapMean: 4, reuse: 0.05, intensity: 1.4})
+	s("roms_s-294", profile{kind: kindStream, gapMean: 6, reuse: 0.3})
+	s("roms_s-523", profile{kind: kindStream, gapMean: 5, reuse: 0.3})
+	s("roms_s-1070", profile{kind: kindStream, gapMean: 6, reuse: 0.25, strideBlocks: 2})
+	s("wrf_s-8065", profile{kind: kindStream, gapMean: 6, reuse: 0.25})
+	s("cam4_s-490", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.2, reuse: 0.2})
+	s("cam4_s-1905", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.25, reuse: 0.2})
+	s("pop2_s-17", profile{kind: kindStream, gapMean: 6, reuse: 0.3, strideBlocks: 1})
+	s("pop2_s-503", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.2})
+	// fotonik3d: the paper's Fig 2 workload — highly trigger-ambiguous
+	// recurring footprints with strong internal temporal order.
+	s("fotonik3d_s-1176", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.8})
+	s("fotonik3d_s-7084", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.8})
+	s("fotonik3d_s-8225", profile{kind: kindMixedSpatial, gapMean: 5, ambiguity: 0.85})
+	s("fotonik3d_s-10881", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.85})
+	s("cactuBSSN_s-2421", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.3, reuse: 0.2})
+	s("cactuBSSN_s-3477", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.3, reuse: 0.2})
+	s("imagick_s-4872", profile{kind: kindMixedSpatial, gapMean: 8, ambiguity: 0.2})
+	s("nab_s-12521", profile{kind: kindMixedSpatial, gapMean: 8, ambiguity: 0.25})
+	s("gcc_s-404", profile{kind: kindMixedSpatial, gapMean: 8, ambiguity: 0.5})
+	s("gcc_s-734", profile{kind: kindMixedSpatial, gapMean: 8, ambiguity: 0.5})
+	s("gcc_s-1850", profile{kind: kindMixedSpatial, gapMean: 8, ambiguity: 0.45})
+	s("gcc_s-2226", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.5})
+	// Irregular.
+	s("mcf_s-484", profile{kind: kindIrregular, gapMean: 5, intensity: 1.4})
+	s("mcf_s-665", profile{kind: kindIrregular, gapMean: 5, intensity: 1.3})
+	s("mcf_s-994", profile{kind: kindIrregular, gapMean: 5, intensity: 1.3})
+	s("mcf_s-1536", profile{kind: kindIrregular, gapMean: 5, intensity: 1.4})
+	s("mcf_s-1554", profile{kind: kindIrregular, gapMean: 5, intensity: 1.5})
+	s("omnetpp_s-141", profile{kind: kindIrregular, gapMean: 7, intensity: 0.9})
+	s("omnetpp_s-874", profile{kind: kindIrregular, gapMean: 7, intensity: 0.9})
+	s("xalancbmk_s-10", profile{kind: kindIrregular, gapMean: 7, intensity: 0.9})
+	s("xalancbmk_s-202", profile{kind: kindIrregular, gapMean: 7, intensity: 1.0})
+	s("xz_s-2302", profile{kind: kindIrregular, gapMean: 8, intensity: 0.8})
+	s("xz_s-3167", profile{kind: kindIrregular, gapMean: 8, intensity: 0.8})
+	s("deepsjeng_s-690", profile{kind: kindIrregular, gapMean: 10, intensity: 0.6})
+	s("leela_s-800", profile{kind: kindIrregular, gapMean: 10, intensity: 0.6})
+	s("perlbench_s-570", profile{kind: kindIrregular, gapMean: 9, intensity: 0.6})
+	s("exchange2_s-1712", profile{kind: kindServer, gapMean: 12, intensity: 0.5})
+}
+
+func registerLigra() {
+	s := func(name string, p profile) {
+		p.suite = "ligra"
+		reg(name, p)
+	}
+	// Per-algorithm trace numbers; small suffixes are the data-preparation
+	// (init) phase, larger ones the compute phase (§IV-B2, Fig 10).
+	algos := []struct {
+		name       string
+		initNums   []int
+		compNums   []int
+		sparsity   float64 // compute-phase irregular share (intensity knob)
+		computeGap float64
+	}{
+		{"PageRank", []int{1, 3}, []int{19, 61, 80}, 0.5, 5},
+		{"PageRank.D", []int{3}, []int{24, 52}, 0.6, 5},
+		{"BC", []int{4, 5}, []int{27, 33}, 0.7, 6},
+		{"BellmanFord", []int{4}, []int{25, 34}, 0.6, 6},
+		{"BFS", []int{5}, []int{17, 23}, 0.7, 6},
+		{"BFS.B", []int{5}, []int{18}, 0.7, 6},
+		{"BFSCC", []int{1}, []int{17}, 0.7, 6},
+		{"Components", []int{4}, []int{24, 30}, 0.6, 6},
+		{"Components.S", []int{4}, []int{21, 22}, 0.6, 6},
+		{"CF", []int{2}, []int{155, 185}, 0.4, 5},
+		{"MIS", []int{3}, []int{17, 25}, 0.6, 6},
+		{"Triangle", []int{1}, []int{4, 6}, 0.5, 6},
+		{"Radii", []int{3}, []int{17}, 0.6, 6},
+		{"KCore", []int{5}, []int{21, 29}, 0.6, 6},
+	}
+	count := 0
+	for _, a := range algos {
+		for _, n := range a.initNums {
+			s(fmt.Sprintf("%s-%d", a.name, n), profile{kind: kindGraphInit, gapMean: 6})
+			count++
+		}
+		for _, n := range a.compNums {
+			s(fmt.Sprintf("%s-%d", a.name, n),
+				profile{kind: kindGraphCompute, gapMean: a.computeGap, intensity: a.sparsity})
+			count++
+		}
+	}
+	// Pad with additional compute-phase traces to reach the paper's 67.
+	extra := []string{
+		"PageRank-100", "PageRank-120", "BC-41", "BC-55", "BellmanFord-47",
+		"BellmanFord-60", "BFS-31", "BFSCC-29", "Components-44", "Components.S-37",
+		"CF-201", "MIS-33", "Triangle-9", "Radii-25", "KCore-37", "PageRank.D-70",
+		"BFS.B-26", "PageRank-140", "BC-68", "BellmanFord-72", "Components-58",
+		"CF-230", "MIS-41", "Triangle-12", "Radii-33", "KCore-45", "BFSCC-35",
+		"Components.S-49", "PageRank.D-88", "BFS-44", "BFS.B-31", "PageRank-160",
+		"BellmanFord-85",
+	}
+	for i, name := range extra {
+		if count >= 67 {
+			break
+		}
+		s(name, profile{kind: kindGraphCompute, gapMean: 5.5, intensity: 0.4 + 0.05*float64(i%7)})
+		count++
+	}
+}
+
+func registerPARSEC() {
+	s := func(name string, p profile) {
+		p.suite = "parsec"
+		reg(name, p)
+	}
+	s("canneal-1", profile{kind: kindIrregular, gapMean: 6, intensity: 1.2})
+	s("facesim-2", profile{kind: kindMixedSpatial, gapMean: 7, ambiguity: 0.2, reuse: 0.3})
+	s("facesim-22", profile{kind: kindMixedSpatial, gapMean: 6, ambiguity: 0.2, reuse: 0.3})
+	s("streamcluster-5", profile{kind: kindStream, gapMean: 5, reuse: 0.6})
+}
+
+func registerCloud() {
+	s := func(name string, p profile) {
+		p.suite = "cloud"
+		reg(name, p)
+	}
+	apps := []struct {
+		app   string
+		ps    []int
+		cs    []int
+		kind  kind
+		gap   float64
+		inten float64
+	}{
+		{"cassandra", []int{0, 1, 2}, []int{0, 1, 2, 3}, kindCloud, 8, 1.0},
+		{"cloud9", []int{0, 1, 5}, []int{0, 1, 2, 3}, kindCloud, 9, 0.9},
+		{"nutch", []int{0, 3, 4}, []int{0, 1, 2, 3}, kindCloud, 8, 1.0},
+		{"classification", []int{0, 1}, []int{0, 1, 2, 3}, kindMixedSpatial, 7, 1.0},
+		{"stream", []int{0, 1}, []int{0, 1, 2, 3}, kindClient, 6, 1.0},
+	}
+	for _, a := range apps {
+		for _, p := range a.ps {
+			for _, c := range a.cs {
+				prof := profile{kind: a.kind, gapMean: a.gap, intensity: a.inten}
+				if a.kind == kindMixedSpatial {
+					prof.ambiguity = 0.7
+				}
+				s(fmt.Sprintf("%s-p%dc%d", a.app, p, c), prof)
+			}
+		}
+	}
+}
+
+func registerGAP() {
+	s := func(name string, p profile) {
+		p.suite = "gap"
+		reg(name, p)
+	}
+	// twitter (twi) is the irregular power-law graph, web-sk-2005 (web)
+	// has much stronger locality.
+	s("cc.twi.10", profile{kind: kindGraphCompute, gapMean: 5, intensity: 0.8})
+	s("cc.web.10", profile{kind: kindGraphCompute, gapMean: 5, intensity: 0.3})
+	s("pr.twi.10", profile{kind: kindGraphCompute, gapMean: 5, intensity: 0.7})
+	s("pr.web.10", profile{kind: kindGraphCompute, gapMean: 5, intensity: 0.25})
+	s("tc.twi.10", profile{kind: kindGraphCompute, gapMean: 6, intensity: 0.8})
+	s("tc.web.10", profile{kind: kindGraphCompute, gapMean: 6, intensity: 0.35})
+}
+
+func registerQMM() {
+	s := func(name string, p profile) {
+		reg(name, p)
+	}
+	for _, n := range []string{"09", "27", "40", "46", "67"} {
+		s("srv."+n, profile{suite: "qmm.srv", kind: kindServer, gapMean: 14, intensity: 0.7})
+	}
+	s("clt.fp.06", profile{suite: "qmm.clt", kind: kindClient, gapMean: 5})
+	s("clt.fp.08", profile{suite: "qmm.clt", kind: kindClient, gapMean: 5})
+	s("clt.int.01", profile{suite: "qmm.clt", kind: kindClient, gapMean: 6})
+	s("clt.int.19", profile{suite: "qmm.clt", kind: kindClient, gapMean: 6})
+	s("clt.int.31", profile{suite: "qmm.clt", kind: kindClient, gapMean: 6})
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// kind selects the generation template for a workload.
+type kind uint8
+
+const (
+	// kindStream: long stride-1 (or strided) traversals over fresh pages —
+	// bwaves/lbm/leslie3d-style spatial streaming.
+	kindStream kind = iota
+	// kindMixedSpatial: recurring spatial footprint families (moderate
+	// density) plus a streaming component — typical SPEC behaviour.
+	kindMixedSpatial
+	// kindIrregular: pointer chasing over a large footprint with temporal
+	// (but not spatial) repetition — mcf/canneal/omnetpp.
+	kindIrregular
+	// kindGraphInit: data-preparation phase of graph workloads — nearly
+	// pure streaming (Ligra traces with small suffix numbers, Fig 10).
+	kindGraphInit
+	// kindGraphCompute: frontier-driven compute phase — dense streaming
+	// regions interleaved with sparse irregular regions whose trigger
+	// block is often 0 (the §III-C over-prefetch hazard).
+	kindGraphCompute
+	// kindCloud: server workloads — many footprint families, ambiguous
+	// trigger offsets, rotating trigger PCs, pattern churn (Fig 1's
+	// CloudSuite axis).
+	kindCloud
+	// kindServer: QMM srv — small hot working set, low data MPKI, sparse
+	// irregular region activations (prefetchers should stand down).
+	kindServer
+	// kindClient: QMM clt — memory-intensive compute, streaming heavy.
+	kindClient
+)
+
+// profile parameterizes a named workload.
+type profile struct {
+	suite string
+	kind  kind
+	// gapMean is the mean number of non-memory instructions per load.
+	gapMean float64
+	// intensity scales footprint/stream sizes (1.0 = template default).
+	intensity float64
+	// ambiguity in [0,1] controls how strongly footprint families share
+	// trigger offsets (mixed-spatial workloads; fotonik3d-like = high).
+	ambiguity float64
+	// reuse is the probability a stream re-sweeps its previous range.
+	reuse float64
+	// strideBlocks is the stream stride in blocks (default 1).
+	strideBlocks int
+}
+
+// gen drives record generation for one workload.
+type gen struct {
+	name string
+	spec profile
+	r    *rng.Source
+
+	recs []trace.Record
+
+	// nextFreshPage hands out previously untouched 4KB pages.
+	nextFreshPage uint64
+	// recentPages is a ring of recently used pages for revisits.
+	recentPages []uint64
+}
+
+const (
+	// loadPCBase is where generated load PCs start; spacing keeps distinct
+	// logical load sites on distinct PCs.
+	loadPCBase = 0x0000_7000_0040_0000
+	// dataBase is where generated data pages start.
+	dataBase = 0x0000_1000_0000_0000
+)
+
+func (g *gen) records(n int) []trace.Record {
+	g.recs = make([]trace.Record, 0, n)
+	g.nextFreshPage = dataBase >> mem.PageBits
+	build(g, n)
+	if len(g.recs) > n {
+		g.recs = g.recs[:n]
+	}
+	return g.recs
+}
+
+// emit appends one load record.
+func (g *gen) emit(pc, addr uint64, kind trace.Kind) {
+	gap := g.r.Geometric(g.spec.gapMean) - 1
+	if gap > 1000 {
+		gap = 1000
+	}
+	g.recs = append(g.recs, trace.Record{
+		PC:     pc,
+		Addr:   addr,
+		NonMem: uint16(gap),
+		Kind:   kind,
+	})
+}
+
+// freshPage returns a never-before-used page number. Consecutive calls
+// return consecutive virtual pages (streams look contiguous in virtual
+// space; the simulator's translator scatters them physically).
+func (g *gen) freshPage() uint64 {
+	p := g.nextFreshPage
+	g.nextFreshPage++
+	g.rememberPage(p)
+	return p
+}
+
+// distantFreshPage returns an unused page far from the streaming range, so
+// irregular allocations do not accidentally extend streams.
+func (g *gen) distantFreshPage() uint64 {
+	// Jump the allocation cursor by a random gap.
+	g.nextFreshPage += uint64(2 + g.r.Intn(64))
+	return g.freshPage()
+}
+
+func (g *gen) rememberPage(p uint64) {
+	const window = 512
+	if len(g.recentPages) < window {
+		g.recentPages = append(g.recentPages, p)
+		return
+	}
+	g.recentPages[g.r.Intn(window)] = p
+}
+
+// revisitPage returns a recently used page, or a fresh one when history is
+// empty.
+func (g *gen) revisitPage() uint64 {
+	if len(g.recentPages) == 0 {
+		return g.freshPage()
+	}
+	return g.recentPages[g.r.Intn(len(g.recentPages))]
+}
+
+// regionStream is one in-flight region activation: a sequence of block
+// offsets accessed in pattern order on a concrete page.
+type regionStream struct {
+	page  uint64
+	pcs   []uint64 // pcs[i] is the PC of the i-th access
+	order []int    // block offsets in access order
+	pos   int
+}
+
+func (rs *regionStream) done() bool { return rs.pos >= len(rs.order) }
+
+func (rs *regionStream) next() (pc, addr uint64) {
+	off := rs.order[rs.pos]
+	pc = rs.pcs[rs.pos%len(rs.pcs)]
+	rs.pos++
+	return pc, uint64(mem.BlockAddr(rs.page, off))
+}
+
+// interleave runs a pool of region streams, emitting one access at a time
+// from a randomly chosen active stream and refilling exhausted slots from
+// makeStream (which receives the slot index, so slot-pinned sources like
+// array streams keep exactly one active region each), until total accesses
+// have been emitted. This models several simultaneously active regions,
+// which is what the 64-entry FT/AT structures contend with.
+func (g *gen) interleave(pool int, total int, makeStream func(slot int) *regionStream) {
+	active := make([]*regionStream, pool)
+	for i := range active {
+		active[i] = makeStream(i)
+	}
+	for emitted := 0; emitted < total; emitted++ {
+		i := g.r.Intn(len(active))
+		rs := active[i]
+		pc, addr := rs.next()
+		g.emit(pc, addr, trace.Load)
+		if rs.done() {
+			active[i] = makeStream(i)
+		}
+	}
+}
+
+// sequentialOrder returns [first, first+1, ..., last].
+func sequentialOrder(first, last int) []int {
+	out := make([]int, 0, last-first+1)
+	for o := first; o <= last; o++ {
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package workload
+
+import "repro/internal/mem"
+
+// family is a recurring spatial footprint pattern: a set of block offsets
+// accessed in a canonical temporal order, reached through a pool of
+// trigger PCs. Families are the synthetic analogue of the paper's Fig 2:
+// when a pattern recurs, both its spatial footprint and its internal
+// access order recur.
+type family struct {
+	// triggerPCs rotate across activations: server code reaches the same
+	// data-structure walk from many call sites, which is what forces
+	// PC-keyed characterizations (SMS/Bingo/DSPatch) to relearn patterns
+	// Gaze's (trigger, second) key already knows.
+	triggerPCs []uint64
+	// order lists block offsets in access order; order[0] is the trigger
+	// offset, order[1] the second offset.
+	order []int
+}
+
+func (f *family) trigger() int { return f.order[0] }
+func (f *family) second() int  { return f.order[1] }
+
+// newFamily builds a family with the given first two offsets, total
+// density (number of touched blocks, >= 2) and trigger-PC pool.
+func (g *gen) newFamily(trigger, second, density int, pcs []uint64) *family {
+	if density < 2 {
+		density = 2
+	}
+	if density > mem.BlocksPerPage {
+		density = mem.BlocksPerPage
+	}
+	used := make(map[int]bool, density)
+	used[trigger], used[second] = true, true
+	order := make([]int, 0, density)
+	order = append(order, trigger, second)
+	for len(order) < density {
+		off := g.r.Intn(mem.BlocksPerPage)
+		if !used[off] {
+			used[off] = true
+			order = append(order, off)
+		}
+	}
+	return &family{triggerPCs: pcs, order: order}
+}
+
+// churn re-randomizes the tail of the footprint (everything after the
+// first two accesses), modelling pattern drift in long-running servers.
+func (f *family) churn(g *gen) {
+	if len(f.order) <= 2 {
+		return
+	}
+	used := map[int]bool{f.order[0]: true, f.order[1]: true}
+	tail := f.order[2:]
+	for i := range tail {
+		if g.r.Bool(0.5) {
+			for {
+				off := g.r.Intn(mem.BlocksPerPage)
+				if !used[off] {
+					tail[i] = off
+					break
+				}
+			}
+		}
+		used[tail[i]] = true
+	}
+}
+
+// noiseOpts control per-activation deviation from the canonical pattern.
+type noiseOpts struct {
+	// early is the probability the first two accesses deviate (out-of-
+	// order interference hitting the region start — this is what breaks
+	// strict matching and what the backup stride path compensates for).
+	early float64
+	// tail is the probability some later accesses deviate.
+	tail float64
+}
+
+// activate instantiates a family on a page with per-activation noise.
+func (g *gen) activate(f *family, page uint64, noise noiseOpts) *regionStream {
+	order := make([]int, len(f.order))
+	copy(order, f.order)
+	if len(order) > 2 && g.r.Bool(noise.tail) {
+		// Swap a couple of tail positions and occasionally drop the last.
+		i := 2 + g.r.Intn(len(order)-2)
+		j := 2 + g.r.Intn(len(order)-2)
+		order[i], order[j] = order[j], order[i]
+		if g.r.Bool(0.3) {
+			order = order[:len(order)-1]
+		}
+	}
+	if len(order) > 2 && g.r.Bool(noise.early) {
+		order[1], order[2] = order[2], order[1]
+	}
+	pc := f.triggerPCs[g.r.Intn(len(f.triggerPCs))]
+	return &regionStream{page: page, pcs: []uint64{pc}, order: order}
+}
+
+// pcPool allocates n distinct load PCs.
+func (g *gen) pcPool(n int) []uint64 {
+	pcs := make([]uint64, n)
+	for i := range pcs {
+		pcs[i] = loadPCBase + uint64(g.r.Intn(1<<20))*16
+	}
+	return pcs
+}
+
+// distinctOffsets draws n distinct block offsets.
+func (g *gen) distinctOffsets(n int) []int {
+	perm := g.r.Perm(mem.BlocksPerPage)
+	return perm[:n]
+}
+
+// familySet builds the catalogue of footprint families for a workload.
+//
+// groups×triggers families are produced: families in the same trigger
+// column share a trigger offset (ambiguous for Offset/PMP keying) and
+// families in the same PC group share trigger PCs (ambiguous for
+// DSPatch's PC keying); the second offset uniquely resolves the family
+// within a trigger column, which is exactly the information Gaze's
+// (trigger=index, second=tag) PHT key exploits.
+func (g *gen) familySet(groups, triggers int, pcsPerGroup, minDensity, maxDensity int) []*family {
+	trigOffs := g.distinctOffsets(triggers)
+	fams := make([]*family, 0, groups*triggers)
+	for gi := 0; gi < groups; gi++ {
+		pcs := g.pcPool(pcsPerGroup)
+		for ti := 0; ti < triggers; ti++ {
+			trigger := trigOffs[ti]
+			// Distinct second per group within a trigger column.
+			second := (trigger + 1 + gi*5 + ti) % mem.BlocksPerPage
+			if second == trigger {
+				second = (second + 1) % mem.BlocksPerPage
+			}
+			density := minDensity
+			if maxDensity > minDensity {
+				density += g.r.Intn(maxDensity - minDensity)
+			}
+			fams = append(fams, g.newFamily(trigger, second, density, pcs))
+		}
+	}
+	return fams
+}
