@@ -9,6 +9,11 @@
 // Scales: quick (smoke test), standard (default), full (entire catalogue,
 // longer traces). Results print as aligned text tables — the same rows and
 // series the paper's figures plot.
+//
+// Simulation results persist in a content-addressed store (-cache-dir,
+// default $GAZE_CACHE_DIR or the user cache dir), so re-running an
+// experiment — or running a different experiment that shares jobs — does
+// near-zero simulation work. -no-cache keeps everything in memory.
 package main
 
 import (
@@ -17,14 +22,19 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		run   = flag.String("run", "", "experiment id to run, or 'all'")
-		scale = flag.String("scale", "standard", "quick | standard | full")
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		scale    = flag.String("scale", "standard", "quick | standard | full")
+		cacheDir = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
+		noCache  = flag.Bool("no-cache", false, "disable the persisted result store")
+		progress = flag.Bool("progress", true, "report sweep progress and ETA on stderr")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -39,19 +49,26 @@ func main() {
 		return
 	}
 
-	var sc harness.Scale
-	switch *scale {
-	case "quick":
-		sc = harness.Quick
-	case "standard":
-		sc = harness.Standard
-	case "full":
-		sc = harness.Full
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+	sc, err := engine.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	runner := harness.NewRunner(sc)
+
+	opts := engine.Options{Scale: sc, Workers: *workers}
+	if !*noCache {
+		store, err := engine.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+	if *progress {
+		opts.Progress = engine.StderrProgress
+	}
+	eng := engine.New(opts)
+	runner := harness.FromEngine(eng)
 
 	var exps []harness.Experiment
 	if *run == "all" {
@@ -73,4 +90,8 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	c := eng.Counters()
+	fmt.Fprintf(os.Stderr, "engine: %d simulated, %d from store, %d from memo\n",
+		c.Simulated, c.StoreHits, c.MemoHits)
 }

@@ -1,0 +1,79 @@
+// Command gazeserve serves simulations over HTTP, batching every request
+// through one shared experiment engine so concurrent and repeated queries
+// coalesce onto memoized — and disk-persisted — results.
+//
+// Usage:
+//
+//	gazeserve                         # listen on :8321, standard scale
+//	gazeserve -addr :9000 -scale quick
+//	gazeserve -no-cache               # in-memory memoization only
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /traces       workload catalogue (?suite= filters)
+//	GET  /prefetchers  the paper's evaluated prefetcher names
+//	GET  /stats        engine scale + cache counters + store size
+//	POST /simulate     {"trace","prefetcher","l2","cores"} → §IV-A3 metrics
+//	POST /sweep        {"suite"|"traces","prefetchers"} → rows + geomeans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8321", "listen address")
+		scale    = flag.String("scale", "standard", "quick | standard | full")
+		cacheDir = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
+		noCache  = flag.Bool("no-cache", false, "disable the persisted result store")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 0, "sweep scheduling seed")
+	)
+	flag.Parse()
+
+	sc, err := engine.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	opts := engine.Options{Scale: sc, Workers: *workers, Seed: *seed}
+	if !*noCache {
+		store, err := engine.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Store = store
+		log.Printf("gazeserve: result store at %s (%d entries)", store.Dir(), store.Len())
+	}
+	eng := engine.New(opts)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(server.New(eng).Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("gazeserve: listening on %s (scale %s)", *addr, *scale)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

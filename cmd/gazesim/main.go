@@ -7,6 +7,10 @@
 //	gazesim -trace bwaves_s-2609 -prefetcher Gaze
 //	gazesim -suite cloud -prefetcher PMP -cores 4
 //	gazesim -traces  (list the catalogue)
+//
+// gazesim shares the experiment engine's persisted result store with
+// cmd/experiments and gazeserve, so repeating a run — at any entry point —
+// is instant. -no-cache opts out.
 package main
 
 import (
@@ -14,9 +18,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/prefetchers"
+	"repro/internal/engine"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -31,6 +34,8 @@ func main() {
 		warmup     = flag.Uint64("warmup", 200_000, "warm-up instructions per core")
 		instr      = flag.Uint64("instr", 800_000, "measured instructions per core")
 		mtps       = flag.Int("mtps", 0, "override DRAM MTPS")
+		cacheDir   = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
+		noCache    = flag.Bool("no-cache", false, "disable the persisted result store")
 		listTraces = flag.Bool("traces", false, "list the workload catalogue")
 	)
 	flag.Parse()
@@ -57,61 +62,80 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The default system scales the shared LLC by the core count, and
+	// cache geometry must stay a power of two.
+	if *cores < 1 || *cores&(*cores-1) != 0 {
+		fmt.Fprintf(os.Stderr, "-cores must be a power of two >= 1 (got %d)\n", *cores)
+		os.Exit(1)
+	}
+	// A zero TraceLen would make the engine silently substitute the whole
+	// Standard scale, discarding the -warmup/-instr flags.
+	if *length < 1 || *instr < 1 {
+		fmt.Fprintln(os.Stderr, "-len and -instr must be >= 1")
+		os.Exit(1)
+	}
+
+	opts := engine.Options{
+		Scale: engine.Scale{TraceLen: *length, Warmup: *warmup, Sim: *instr},
+	}
+	// Suite runs can take minutes; report sweep progress like
+	// cmd/experiments does so the terminal isn't silent until the end.
+	if len(names) > 1 {
+		opts.Progress = engine.StderrProgress
+	}
+	if !*noCache {
+		store, err := engine.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+	eng := engine.New(opts)
+
+	// Batch every (baseline, prefetcher) pair of the whole invocation
+	// through one shard-parallel sweep, then print rows in order.
+	var jobs []engine.Job
 	for _, name := range names {
-		base, err := runOne(name, "none", "", *cores, *length, *warmup, *instr, *mtps)
-		if err != nil {
+		base, target := jobsFor(name, *pf, *l2pf, *cores, *mtps)
+		// Job.Validate is the engine's canonical invariant (traces
+		// exist, prefetcher names construct); the engine panics on jobs
+		// that skip it.
+		if err := target.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		res, err := runOne(name, *pf, *l2pf, *cores, *length, *warmup, *instr, *mtps)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		speedup := 0.0
-		if base.MeanIPC() > 0 {
-			speedup = res.MeanIPC() / base.MeanIPC()
-		}
+		jobs = append(jobs, base, target)
+	}
+	results := eng.RunAll(jobs)
+
+	for i, name := range names {
+		base, res := results[2*i], results[2*i+1]
 		fmt.Printf("%-20s %-10s IPC %.3f  speedup %.3f  accuracy %.1f%%  coverage %.1f%%  late %.1f%%  issued %d\n",
-			name, *pf, res.MeanIPC(), speedup,
+			name, *pf, res.MeanIPC(), engine.Speedup(res, base),
 			100*res.Accuracy(), 100*res.Coverage(), 100*res.LateFraction(),
 			res.IssuedPrefetches())
 	}
 }
 
-func runOne(name, pf, l2pf string, cores, length int, warmup, instr uint64, mtps int) (sim.Result, error) {
-	cfg := sim.DefaultConfig(cores)
-	cfg.WarmupInstructions = warmup
-	cfg.SimInstructions = instr
+// jobsFor builds the no-prefetch baseline and the target job for one
+// trace, replicated across cores.
+func jobsFor(name, pf, l2pf string, cores, mtps int) (base, target engine.Job) {
+	traces := make([]string, cores)
+	for i := range traces {
+		traces[i] = name
+	}
+	target = engine.Job{Traces: traces, L1: []string{pf}}
+	if l2pf != "" {
+		target.L2 = []string{l2pf}
+	}
 	if mtps > 0 {
-		cfg = cfg.WithDRAMMTPS(mtps)
+		target.ConfigKey = fmt.Sprintf("mtps=%d", mtps)
+		target.Mutate = mutateMTPS(mtps)
 	}
-	specs := make([]sim.CoreSpec, cores)
-	for i := range specs {
-		recs, err := workload.Generate(name, length)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		p, err := prefetchers.New(pf)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		spec := sim.CoreSpec{
-			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
-			L1Prefetcher: p,
-		}
-		if l2pf != "" {
-			p2, err := prefetchers.New(l2pf)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			spec.L2Prefetcher = p2
-		}
-		specs[i] = spec
-	}
-	sys, err := sim.New(cfg, specs)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return sys.Run(), nil
+	return target.Baseline(), target
+}
+
+func mutateMTPS(mtps int) func(sim.Config) sim.Config {
+	return func(cfg sim.Config) sim.Config { return cfg.WithDRAMMTPS(mtps) }
 }

@@ -1,0 +1,86 @@
+// Example server demonstrates the gazeserve HTTP API end to end without
+// any external setup: it starts the service in-process on a loopback
+// port, then acts as a client — one POST /simulate, the same request
+// again (served from the engine's memo, so it returns instantly), and a
+// POST /sweep over a small trace × prefetcher grid.
+//
+// Against a separately running `gazeserve` binary, the same requests work
+// unchanged; point the http calls at its -addr instead.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	// Serve on an ephemeral loopback port. Quick scale keeps the demo in
+	// seconds; a persisted store would make re-runs instant too, but the
+	// example stays in-memory to leave no files behind.
+	eng := engine.New(engine.Options{Scale: engine.Quick})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, server.New(eng).Handler()) //nolint:errcheck
+	base := "http://" + ln.Addr().String()
+	fmt.Println("gazeserve listening on", base)
+
+	simReq := map[string]any{"trace": "lbm-1274", "prefetcher": "Gaze"}
+
+	start := time.Now()
+	var sim1 server.SimulateResponse
+	post(base+"/simulate", simReq, &sim1)
+	fmt.Printf("\nPOST /simulate (cold) in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %s + %s: IPC %.3f, speedup %.3f, accuracy %.1f%%, coverage %.1f%%\n",
+		sim1.Traces[0], sim1.Prefetcher, sim1.IPC, sim1.Speedup, 100*sim1.Accuracy, 100*sim1.Coverage)
+
+	start = time.Now()
+	var sim2 server.SimulateResponse
+	post(base+"/simulate", simReq, &sim2)
+	fmt.Printf("POST /simulate (memoized) in %v — same IPC: %v\n",
+		time.Since(start).Round(time.Millisecond), sim1.IPC == sim2.IPC)
+
+	var sweep server.SweepResponse
+	post(base+"/sweep", map[string]any{
+		"traces":      []string{"lbm-1274", "bwaves_s-2609"},
+		"prefetchers": []string{"IP-stride", "PMP", "Gaze"},
+	}, &sweep)
+	fmt.Println("\nPOST /sweep rows:")
+	for _, row := range sweep.Rows {
+		fmt.Printf("  %-16s %-10s speedup %.3f\n", row.Traces[0], row.Prefetcher, row.Speedup)
+	}
+	fmt.Println("geomean speedups:")
+	for _, pf := range []string{"IP-stride", "PMP", "Gaze"} {
+		fmt.Printf("  %-10s %.3f\n", pf, sweep.GeomeanSpeedup[pf])
+	}
+}
+
+// post sends v as JSON and decodes the response into out.
+func post(url string, v, out any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		log.Fatalf("POST %s: %s (%s)", url, resp.Status, e["error"])
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+// Package engine executes prefetcher simulations as cacheable experiment
+// jobs. It is the shared substrate under internal/harness (paper tables),
+// cmd/gazesim and cmd/experiments (CLIs) and cmd/gazeserve (HTTP): every
+// entry point describes work as Jobs, and the engine deduplicates them
+// through an in-process memo, an optional content-addressed disk store
+// (instant repeated sweeps across processes), and a shard-parallel sweep
+// executor with deterministic scheduling and progress/ETA reporting.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/prefetchers"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scale bounds experiment cost. The paper simulates 200M+200M instructions
+// per trace on a 384-core cluster over days; synthetic stationary traces
+// converge much faster (DESIGN.md §1), so even Full here is laptop-scale.
+type Scale struct {
+	// TracesPerSuite caps traces per suite (0 = all catalogue entries).
+	TracesPerSuite int
+	// TraceLen is the number of generated records per trace.
+	TraceLen int
+	// Warmup and Sim are per-core instruction budgets.
+	Warmup uint64
+	Sim    uint64
+}
+
+// Predefined scales.
+var (
+	Quick    = Scale{TracesPerSuite: 2, TraceLen: 50_000, Warmup: 40_000, Sim: 150_000}
+	Standard = Scale{TracesPerSuite: 5, TraceLen: 120_000, Warmup: 100_000, Sim: 400_000}
+	Full     = Scale{TracesPerSuite: 0, TraceLen: 250_000, Warmup: 200_000, Sim: 800_000}
+)
+
+// ScaleByName maps the CLI spelling of a scale to its definition.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "standard":
+		return Standard, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("engine: unknown scale %q (want quick, standard or full)", name)
+}
+
+// Job describes one simulation: one or more cores with traces and
+// prefetchers, plus an optional config mutation.
+type Job struct {
+	// Traces holds one trace name per core.
+	Traces []string
+	// L1 holds one L1 prefetcher name per core ("" / "none" for no
+	// prefetching); a single-element slice is broadcast to all cores.
+	L1 []string
+	// L2 optionally attaches L2 prefetchers (Fig 13), broadcast like L1.
+	L2 []string
+	// ConfigKey names the config mutation in cache keys; Mutate applies
+	// it. Two jobs with different mutations MUST use different ConfigKeys
+	// — the function itself cannot be hashed, so the key is what keeps
+	// the memo and the disk store sound.
+	ConfigKey string
+	Mutate    func(sim.Config) sim.Config
+}
+
+// Key identifies the job within one engine (scale is engine-wide).
+func (j Job) Key() string {
+	return fmt.Sprintf("%v|%v|%v|%s", j.Traces, j.L1, j.L2, j.ConfigKey)
+}
+
+// Fingerprint identifies the job across processes: it folds in every
+// scale knob that changes the simulation outcome (TracesPerSuite only
+// selects jobs, it never alters one, so it is excluded — a Quick and a
+// Full sweep share entries for identical jobs at equal budgets).
+func (j Job) Fingerprint(scale Scale) string {
+	return fmt.Sprintf("len=%d|warm=%d|sim=%d|%s",
+		scale.TraceLen, scale.Warmup, scale.Sim, j.Key())
+}
+
+// Validate reports whether the job can execute: every trace is in the
+// catalogue, every prefetcher name constructs, and the core count keeps
+// the default cache geometry a power of two. Entry points MUST call it on
+// untrusted input — execute treats an invalid job as programmer error and
+// panics.
+func (j Job) Validate() error {
+	n := len(j.Traces)
+	if n == 0 {
+		return fmt.Errorf("engine: job has no traces")
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("engine: core count must be a power of two, got %d", n)
+	}
+	for _, tr := range j.Traces {
+		if !workload.Exists(tr) {
+			return fmt.Errorf("engine: unknown trace %q", tr)
+		}
+	}
+	for _, name := range append(Broadcast(j.L1, n), Broadcast(j.L2, n)...) {
+		if name == "" || name == "none" {
+			continue
+		}
+		if _, err := prefetchers.New(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Baseline returns the job's no-prefetch counterpart: same traces and
+// config mutation, L1/L2 prefetching disabled. Its result is the
+// denominator of every speedup the harness, CLIs and server report.
+func (j Job) Baseline() Job {
+	return Job{Traces: j.Traces, L1: []string{"none"}, ConfigKey: j.ConfigKey, Mutate: j.Mutate}
+}
+
+// Speedup returns res.MeanIPC()/base.MeanIPC(), or 0 when the baseline
+// did not run.
+func Speedup(res, base sim.Result) float64 {
+	if base.MeanIPC() == 0 {
+		return 0
+	}
+	return res.MeanIPC() / base.MeanIPC()
+}
+
+// Broadcast expands a 1-element name slice to n cores, leaving exact-length
+// slices untouched and padding short ones with "".
+func Broadcast(names []string, n int) []string {
+	if len(names) == n {
+		return names
+	}
+	out := make([]string, n)
+	for i := range out {
+		if len(names) == 1 {
+			out[i] = names[0]
+		} else if i < len(names) {
+			out[i] = names[i]
+		}
+	}
+	return out
+}
+
+// Progress reports sweep advancement after each completed job.
+type Progress struct {
+	// Done and Total count jobs within the current RunAll sweep.
+	Done, Total int
+	// Cached reports whether the job was served from the memo or store.
+	Cached bool
+	// Key is the completed job's Key.
+	Key string
+	// Elapsed is the time since the sweep started; Remaining is the ETA
+	// extrapolated from the mean per-job cost so far.
+	Elapsed, Remaining time.Duration
+}
+
+// StderrProgress renders a one-line sweep status on stderr, suitable for
+// Options.Progress in CLIs. The trailing spaces wipe leftovers from a
+// longer previous line; the carriage return keeps it on one line until
+// the sweep completes.
+func StderrProgress(p Progress) {
+	fmt.Fprintf(os.Stderr, "\rsweep %d/%d  elapsed %v  eta %v   ",
+		p.Done, p.Total, p.Elapsed.Round(time.Second), p.Remaining.Round(time.Second))
+	if p.Done == p.Total {
+		fmt.Fprint(os.Stderr, "\n")
+	}
+}
+
+// Counters tallies where results came from.
+type Counters struct {
+	// MemoHits were served from the in-process memo.
+	MemoHits uint64
+	// StoreHits were loaded from the persisted store.
+	StoreHits uint64
+	// Simulated were computed by running the simulator.
+	Simulated uint64
+}
+
+// Options configures an Engine. The zero value is usable: Standard scale,
+// no persistence, GOMAXPROCS workers.
+type Options struct {
+	// Scale applies to every job; a zero TraceLen selects Standard.
+	Scale Scale
+	// Store persists results across processes (nil = in-memory only).
+	Store *Store
+	// Workers bounds concurrent simulations and sweep shards
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives per-shard deterministic scheduling in RunAll.
+	Seed uint64
+	// Progress, when set, observes every RunAll job completion. Calls are
+	// serialized engine-wide; Done/Total describe the sweep that
+	// completed the job, so concurrent RunAll calls interleave their
+	// counts. StderrProgress is a ready-made renderer for CLIs.
+	Progress func(Progress)
+}
+
+// Engine executes and memoizes simulations. It is safe for concurrent use.
+type Engine struct {
+	scale    Scale
+	store    *Store
+	seed     uint64
+	workers  int
+	progress func(Progress)
+
+	limit chan struct{}
+
+	// progMu serializes progress callbacks across concurrent sweeps.
+	progMu sync.Mutex
+
+	mu       sync.Mutex
+	memo     map[string]sim.Result
+	inflight map[string]chan struct{}
+	counters Counters
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	if opts.Scale.TraceLen == 0 {
+		opts.Scale = Standard
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		scale:    opts.Scale,
+		store:    opts.Store,
+		seed:     opts.Seed,
+		workers:  opts.Workers,
+		progress: opts.Progress,
+		limit:    make(chan struct{}, opts.Workers),
+		memo:     make(map[string]sim.Result),
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+// Scale returns the engine's scale.
+func (e *Engine) Scale() Scale { return e.scale }
+
+// Store returns the engine's persisted store (nil when in-memory only).
+func (e *Engine) Store() *Store { return e.store }
+
+// Counters returns a snapshot of the cache counters.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters
+}
+
+// Run executes one job, deduplicated three ways: concurrent identical jobs
+// coalesce onto one execution, repeated jobs hit the in-process memo, and
+// repeated jobs across processes hit the persisted store.
+func (e *Engine) Run(j Job) sim.Result {
+	res, _ := e.run(j)
+	return res
+}
+
+func (e *Engine) run(j Job) (res sim.Result, cached bool) {
+	key := j.Key()
+	for {
+		e.mu.Lock()
+		if r, ok := e.memo[key]; ok {
+			e.counters.MemoHits++
+			e.mu.Unlock()
+			return r, true
+		}
+		ch, busy := e.inflight[key]
+		if !busy {
+			ch = make(chan struct{})
+			e.inflight[key] = ch
+			e.mu.Unlock()
+			break
+		}
+		e.mu.Unlock()
+		<-ch
+	}
+
+	// If execute panics (programmer error — inputs are validated before
+	// jobs are built), still wake single-flight waiters and drop the
+	// inflight claim so the engine isn't poisoned for the key; the panic
+	// itself propagates to the caller.
+	completed := false
+	defer func() {
+		e.mu.Lock()
+		if completed {
+			e.memo[key] = res
+			if cached {
+				e.counters.StoreHits++
+			} else {
+				e.counters.Simulated++
+			}
+		}
+		ch := e.inflight[key]
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(ch)
+	}()
+
+	if e.store != nil {
+		if r, ok := e.store.Get(j.Fingerprint(e.scale)); ok {
+			res, cached = r, true
+		}
+	}
+	if !cached {
+		e.limit <- struct{}{}
+		defer func() { <-e.limit }()
+		res = e.execute(j)
+	}
+	if !cached && e.store != nil {
+		// Persistence is best-effort: a read-only cache dir must not
+		// fail the sweep.
+		e.store.Put(j.Fingerprint(e.scale), res) //nolint:errcheck
+	}
+	completed = true
+	return res, cached
+}
+
+// config returns the default system config at this engine's scale.
+func (e *Engine) config(cores int) sim.Config {
+	cfg := sim.DefaultConfig(cores)
+	cfg.WarmupInstructions = e.scale.Warmup
+	cfg.SimInstructions = e.scale.Sim
+	return cfg
+}
+
+func (e *Engine) execute(j Job) sim.Result {
+	cores := len(j.Traces)
+	cfg := e.config(cores)
+	if j.Mutate != nil {
+		cfg = j.Mutate(cfg)
+	}
+	l1s := Broadcast(j.L1, cores)
+	l2s := Broadcast(j.L2, cores)
+
+	specs := make([]sim.CoreSpec, cores)
+	for i, name := range j.Traces {
+		recs := workload.MustGenerate(name, e.scale.TraceLen)
+		spec := sim.CoreSpec{
+			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
+			L1Prefetcher: prefetchers.MustNew(l1s[i]),
+		}
+		if l2s[i] != "" && l2s[i] != "none" {
+			spec.L2Prefetcher = prefetchers.MustNew(l2s[i])
+		}
+		specs[i] = spec
+	}
+	sys, err := sim.New(cfg, specs)
+	if err != nil {
+		panic(fmt.Sprintf("engine: building system for %s: %v", j.Key(), err))
+	}
+	return sys.Run()
+}
+
+// RunAll executes a sweep: jobs are split round-robin into one shard per
+// worker, each shard walks its jobs in an order drawn from its own
+// deterministic RNG (seeded from Options.Seed and the shard index, so
+// identical sweeps schedule identically while expensive jobs spread across
+// shards), and every completion feeds the Progress callback with an ETA.
+// Results are returned in input order.
+func (e *Engine) RunAll(jobs []Job) []sim.Result {
+	results := make([]sim.Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	shards := e.workers
+	if shards > len(jobs) {
+		shards = len(jobs)
+	}
+	order := make([][]int, shards)
+	for i := range jobs {
+		order[i%shards] = append(order[i%shards], i)
+	}
+
+	start := time.Now()
+	var (
+		done, simulated int
+		wg              sync.WaitGroup
+	)
+	report := func(j Job, cached bool) {
+		if e.progress == nil {
+			return
+		}
+		e.progMu.Lock()
+		defer e.progMu.Unlock()
+		done++
+		if !cached {
+			simulated++
+		}
+		elapsed := time.Since(start)
+		// Extrapolate from simulated completions only: cache hits finish
+		// in microseconds, and averaging them in would make a resumed
+		// sweep's ETA absurdly optimistic. Assuming every remaining job
+		// simulates overestimates instead, and shrinks as hits drain.
+		var remaining time.Duration
+		if simulated > 0 {
+			remaining = time.Duration(float64(elapsed) / float64(simulated) * float64(len(jobs)-done))
+		}
+		e.progress(Progress{
+			Done: done, Total: len(jobs), Cached: cached, Key: j.Key(),
+			Elapsed: elapsed, Remaining: remaining,
+		})
+	}
+
+	// A panic inside a bare goroutine would kill the whole process (and
+	// gazeserve with it) — capture the first one and re-raise it on the
+	// caller's goroutine, where net/http's handler recover can see it.
+	var (
+		panicOnce sync.Once
+		panicked  any
+	)
+	for s := range order {
+		wg.Add(1)
+		go func(shard int, idx []int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			src := rng.New(e.seed ^ (uint64(shard+1) * 0x9e3779b97f4a7c15))
+			for _, k := range src.Perm(len(idx)) {
+				i := idx[k]
+				res, cached := e.run(jobs[i])
+				results[i] = res
+				report(jobs[i], cached)
+			}
+		}(s, order[s])
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return results
+}

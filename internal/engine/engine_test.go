@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tiny keeps engine tests fast: one short trace, tiny budgets.
+var tiny = Scale{TracesPerSuite: 1, TraceLen: 10_000, Warmup: 5_000, Sim: 20_000}
+
+func tinyJob(pf string) Job {
+	return Job{Traces: []string{"lbm-1274"}, L1: []string{pf}}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	e := New(Options{Scale: tiny})
+	a := e.Run(tinyJob("IP-stride"))
+	b := e.Run(tinyJob("IP-stride"))
+	if a.MeanIPC() != b.MeanIPC() {
+		t.Error("memoized results differ")
+	}
+	c := e.Counters()
+	if c.Simulated != 1 || c.MemoHits != 1 {
+		t.Errorf("counters = %+v, want 1 simulated / 1 memo hit", c)
+	}
+}
+
+func TestStoreHitAcrossEngines(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := New(Options{Scale: tiny, Store: store})
+	a := first.Run(tinyJob("IP-stride"))
+	if c := first.Counters(); c.Simulated != 1 {
+		t.Fatalf("first engine counters = %+v", c)
+	}
+
+	// A fresh engine simulates nothing: the persisted store answers.
+	second := New(Options{Scale: tiny, Store: store})
+	b := second.Run(tinyJob("IP-stride"))
+	c := second.Counters()
+	if c.Simulated != 0 || c.StoreHits != 1 {
+		t.Errorf("second engine counters = %+v, want 0 simulated / 1 store hit", c)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("store round-trip changed the result:\n%+v\n%+v", a, b)
+	}
+
+	// A different scale must not reuse the entry.
+	bigger := tiny
+	bigger.Sim *= 2
+	third := New(Options{Scale: bigger, Store: store})
+	third.Run(tinyJob("IP-stride"))
+	if c := third.Counters(); c.Simulated != 1 {
+		t.Errorf("scaled-up engine counters = %+v, want a recompute", c)
+	}
+}
+
+func TestConcurrentIdenticalJobsCoalesce(t *testing.T) {
+	e := New(Options{Scale: tiny})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Run(tinyJob("IP-stride"))
+		}()
+	}
+	wg.Wait()
+	if c := e.Counters(); c.Simulated != 1 {
+		t.Errorf("counters = %+v, want exactly 1 simulation for 8 identical jobs", c)
+	}
+}
+
+func TestRunAllOrderAndProgress(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		events []Progress
+	)
+	e := New(Options{Scale: tiny, Workers: 2, Progress: func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}})
+	jobs := []Job{tinyJob("none"), tinyJob("IP-stride"), tinyJob("BOP"), tinyJob("none")}
+	results := e.RunAll(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Results are in input order: identical jobs get identical results.
+	if !reflect.DeepEqual(results[0], results[3]) {
+		t.Error("duplicate jobs returned different results")
+	}
+	if results[0].MeanIPC() <= 0 || results[1].MeanIPC() <= 0 {
+		t.Error("results look empty")
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("progress events = %d, want %d", len(events), len(jobs))
+	}
+	last := events[len(events)-1]
+	if last.Done != len(jobs) || last.Total != len(jobs) {
+		t.Errorf("final progress = %+v", last)
+	}
+	for i, p := range events {
+		if p.Done != i+1 {
+			t.Errorf("event %d: Done = %d, want %d", i, p.Done, i+1)
+		}
+	}
+}
+
+func TestRunAllDeterministicSharding(t *testing.T) {
+	jobs := []Job{tinyJob("none"), tinyJob("IP-stride"), tinyJob("BOP")}
+	run := func() []sim.Result {
+		return New(Options{Scale: tiny, Workers: 2, Seed: 7}).RunAll(jobs)
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Error("identical seeds produced different sweep results")
+	}
+}
+
+func TestFingerprintSeparatesScaleAndConfig(t *testing.T) {
+	j := tinyJob("Gaze")
+	a := j.Fingerprint(tiny)
+	b := j.Fingerprint(Standard)
+	if a == b {
+		t.Error("fingerprint ignores scale")
+	}
+	mutated := j
+	mutated.ConfigKey = "mtps=1600"
+	if mutated.Fingerprint(tiny) == a {
+		t.Error("fingerprint ignores ConfigKey")
+	}
+	// TracesPerSuite only selects jobs; equal budgets must share entries.
+	wider := tiny
+	wider.TracesPerSuite = 99
+	if j.Fingerprint(wider) != a {
+		t.Error("fingerprint depends on TracesPerSuite")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for name, want := range map[string]Scale{"quick": Quick, "standard": Standard, "full": Full} {
+		got, err := ScaleByName(name)
+		if err != nil || got != want {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, got, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if got := Broadcast([]string{"x"}, 3); len(got) != 3 || got[2] != "x" {
+		t.Errorf("broadcast = %v", got)
+	}
+	if got := Broadcast([]string{"a", "b"}, 2); got[0] != "a" || got[1] != "b" {
+		t.Errorf("exact-length broadcast = %v", got)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	good := Job{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	bad := []Job{
+		{}, // no traces
+		{Traces: []string{"lbm-1274", "lbm-1274", "lbm-1274"}},                   // non-pow2 cores
+		{Traces: []string{"no-such-trace"}},                                      // unknown trace
+		{Traces: []string{"lbm-1274"}, L1: []string{"xx"}},                       // unknown L1
+		{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}, L2: []string{"xx"}}, // unknown L2
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted an invalid job", j.Key())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// storeVersion invalidates every persisted record when the simulator's
+// observable behaviour changes (config defaults, metric definitions,
+// workload generators). Bump it instead of asking users to wipe caches.
+const storeVersion = 1
+
+// Store is a content-addressed, disk-persisted result cache. Keys are
+// fingerprints of everything that determines a simulation's outcome
+// (scale, traces, prefetchers, config mutations); values are sim.Result
+// records stored as JSON under dir/<hh>/<hash>.json where hh is the first
+// byte of the SHA-256 key hash. Writes are atomic (temp file + rename), so
+// concurrent engines sharing one directory never observe torn records.
+//
+// A Store is safe for concurrent use; the zero value is not usable — call
+// Open.
+type Store struct {
+	dir string
+
+	// entries counts persisted records: initialized by one walk at Open,
+	// then maintained incrementally so Len never rescans the directory.
+	// Other processes sharing the directory can make it drift; it is a
+	// monitoring number, not a correctness input.
+	entries atomic.Int64
+}
+
+// DefaultDir returns the store directory used when none is configured:
+// $GAZE_CACHE_DIR if set, else <user cache dir>/gaze-repro, else a
+// directory under os.TempDir.
+func DefaultDir() string {
+	if d := os.Getenv("GAZE_CACHE_DIR"); d != "" {
+		return d
+	}
+	if base, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(base, "gaze-repro")
+	}
+	return filepath.Join(os.TempDir(), "gaze-repro")
+}
+
+// Open creates (if needed) and returns the store rooted at dir. An empty
+// dir selects DefaultDir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: opening result store: %w", err)
+	}
+	s := &Store{dir: dir}
+	s.entries.Store(int64(s.countEntries()))
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// record is the on-disk schema. Key is stored in full so hash collisions
+// and cross-version reuse are detected on read rather than silently
+// returning a wrong result.
+type record struct {
+	Version int        `json:"version"`
+	Key     string     `json:"key"`
+	Result  sim.Result `json:"result"`
+}
+
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) path(key string) string {
+	h := hashKey(key)
+	return filepath.Join(s.dir, h[:2], h[2:]+".json")
+}
+
+// Get returns the persisted result for key. Corrupted, stale-version or
+// colliding entries are deleted and reported as a miss, so a damaged cache
+// heals itself through recomputation.
+func (s *Store) Get(key string) (sim.Result, bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil ||
+		rec.Version != storeVersion || rec.Key != key {
+		if os.Remove(p) == nil {
+			s.entries.Add(-1)
+		}
+		return sim.Result{}, false
+	}
+	return rec.Result, true
+}
+
+// Put persists the result for key, replacing any previous entry.
+func (s *Store) Put(key string, res sim.Result) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("engine: writing result store: %w", err)
+	}
+	data, err := json.MarshalIndent(record{Version: storeVersion, Key: key, Result: res}, "", "\t")
+	if err != nil {
+		return fmt.Errorf("engine: encoding result: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("engine: writing result store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: writing result store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: writing result store: %w", err)
+	}
+	_, statErr := os.Stat(p)
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: writing result store: %w", err)
+	}
+	if statErr != nil { // the rename created the entry rather than replacing it
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// Len returns the number of persisted entries (counted at Open, tracked
+// incrementally after).
+func (s *Store) Len() int { return int(s.entries.Load()) }
+
+// countEntries walks the store once (at Open), counting records and
+// sweeping temp files orphaned by killed processes. The age guard keeps
+// it from deleting a concurrent engine's in-flight write.
+func (s *Store) countEntries() int {
+	const staleAfter = time.Hour
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		switch {
+		case filepath.Ext(path) == ".json":
+			n++
+		case strings.HasPrefix(d.Name(), ".tmp-"):
+			if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > staleAfter {
+				os.Remove(path)
+			}
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+func sampleResult() sim.Result {
+	return sim.Result{
+		Cores: []sim.CoreResult{{
+			IPC:          1.234,
+			Instructions: 150_000,
+			L1D:          cache.Stats{DemandAccesses: 10, DemandMisses: 3, UsefulPrefetches: 2},
+			L2C:          cache.Stats{DemandMisses: 1, UselessPrefetches: 1},
+		}},
+		LLC:            cache.Stats{DemandMisses: 7},
+		DRAMRequests:   42,
+		DRAMRowHitRate: 0.625,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("stored entry missing")
+	}
+	if got.MeanIPC() != want.MeanIPC() || got.Accuracy() != want.Accuracy() ||
+		got.DRAMRequests != want.DRAMRequests || got.LLC.DemandMisses != want.LLC.DemandMisses {
+		t.Errorf("round-trip mismatch: got %+v want %+v", got, want)
+	}
+	if n := s.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+}
+
+func TestStoreCorruptedEntryRecovers(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path("k1")
+	if err := os.WriteFile(p, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("corrupted entry returned a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("corrupted entry not deleted")
+	}
+	// The store must accept a fresh Put for the same key afterwards.
+	if err := s.Put("k1", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); !ok {
+		t.Error("recomputed entry missing after recovery")
+	}
+}
+
+func TestStoreRejectsVersionAndKeyMismatch(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	// A record stored under k1's hash path but claiming a different key
+	// (hash collision, or a tool writing the wrong file) must miss.
+	data, err := os.ReadFile(s.path("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("k1"),
+		[]byte(string(data[:len(data)-1])+`}`), 0o644); err != nil { // keep JSON valid
+		t.Fatal(err)
+	}
+	forged := []byte(`{"version":1,"key":"other","result":{}}`)
+	if err := os.WriteFile(s.path("k1"), forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Error("key-mismatched record returned a hit")
+	}
+
+	stale := []byte(`{"version":999,"key":"k2","result":{}}`)
+	if err := os.MkdirAll(filepath.Dir(s.path("k2")), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("k2"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k2"); ok {
+		t.Error("stale-version record returned a hit")
+	}
+}
+
+func TestDefaultDirEnvOverride(t *testing.T) {
+	t.Setenv("GAZE_CACHE_DIR", "/tmp/gaze-test-cache")
+	if d := DefaultDir(); d != "/tmp/gaze-test-cache" {
+		t.Errorf("DefaultDir = %q", d)
+	}
+}

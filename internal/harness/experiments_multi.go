@@ -104,7 +104,7 @@ func Fig14(r *Runner) []stats.Table {
 // homoTraces picks the homogeneous-mix trace set at this scale.
 func (r *Runner) homoTraces() []string {
 	picks := []string{"lbm-1274", "bwaves_s-2609", "PageRank-61", "cassandra-p0c0", "mcf_s-1554", "leslie3d-134"}
-	if r.scale.TracesPerSuite > 0 && r.scale.TracesPerSuite < 3 {
+	if s := r.Scale(); s.TracesPerSuite > 0 && s.TracesPerSuite < 3 {
 		picks = picks[:4]
 	}
 	return picks

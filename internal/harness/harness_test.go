@@ -174,17 +174,6 @@ func TestHeteroMixesDeterministic(t *testing.T) {
 	}
 }
 
-func TestBroadcast(t *testing.T) {
-	got := broadcast([]string{"x"}, 3)
-	if len(got) != 3 || got[2] != "x" {
-		t.Errorf("broadcast = %v", got)
-	}
-	got = broadcast([]string{"a", "b"}, 2)
-	if got[0] != "a" || got[1] != "b" {
-		t.Errorf("exact-length broadcast = %v", got)
-	}
-}
-
 func TestGeomeanStats(t *testing.T) {
 	if g := stats.Geomean([]float64{1, 4}); g != 2 {
 		t.Errorf("Geomean(1,4) = %v", g)

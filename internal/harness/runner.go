@@ -1,171 +1,62 @@
 // Package harness regenerates every table and figure of the paper's
 // evaluation (§IV) from the simulator: it binds workloads, prefetchers and
-// system configurations, runs the simulations (memoized and in parallel),
+// system configurations, runs the simulations through the shared
+// experiment engine (memoized, optionally disk-persisted, shard-parallel),
 // and formats the same rows/series the paper reports.
 package harness
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
-	"repro/internal/prefetchers"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// Scale bounds experiment cost. The paper simulates 200M+200M instructions
-// per trace on a 384-core cluster over days; synthetic stationary traces
-// converge much faster (DESIGN.md §1), so even Full here is laptop-scale.
-type Scale struct {
-	// TracesPerSuite caps traces per suite (0 = all catalogue entries).
-	TracesPerSuite int
-	// TraceLen is the number of generated records per trace.
-	TraceLen int
-	// Warmup and Sim are per-core instruction budgets.
-	Warmup uint64
-	Sim    uint64
-}
+// Scale bounds experiment cost; see engine.Scale.
+type Scale = engine.Scale
 
-// Predefined scales.
+// Predefined scales, re-exported from the engine.
 var (
-	Quick    = Scale{TracesPerSuite: 2, TraceLen: 50_000, Warmup: 40_000, Sim: 150_000}
-	Standard = Scale{TracesPerSuite: 5, TraceLen: 120_000, Warmup: 100_000, Sim: 400_000}
-	Full     = Scale{TracesPerSuite: 0, TraceLen: 250_000, Warmup: 200_000, Sim: 800_000}
+	Quick    = engine.Quick
+	Standard = engine.Standard
+	Full     = engine.Full
 )
 
-// Runner executes and memoizes simulations.
+// Job describes one simulation; see engine.Job.
+type Job = engine.Job
+
+// Runner layers the paper's experiment vocabulary (suites, speedups,
+// sweeps) over an engine.Engine, which supplies memoization, the
+// persisted result store, and shard-parallel execution.
 type Runner struct {
-	scale Scale
-
-	mu    sync.Mutex
-	memo  map[string]sim.Result
-	limit chan struct{}
+	eng *engine.Engine
 }
 
-// NewRunner builds a runner at the given scale.
+// NewRunner builds a runner at the given scale with in-memory memoization
+// only (hermetic — what tests and benchmarks want). Use FromEngine to
+// attach a persisted store.
 func NewRunner(scale Scale) *Runner {
-	if scale.TraceLen == 0 {
-		scale = Standard
-	}
-	return &Runner{
-		scale: scale,
-		memo:  make(map[string]sim.Result),
-		limit: make(chan struct{}, runtime.GOMAXPROCS(0)),
-	}
+	return FromEngine(engine.New(engine.Options{Scale: scale}))
 }
+
+// FromEngine wraps an existing engine, inheriting its scale, store and
+// progress reporting.
+func FromEngine(e *engine.Engine) *Runner { return &Runner{eng: e} }
+
+// Engine returns the underlying engine.
+func (r *Runner) Engine() *engine.Engine { return r.eng }
 
 // Scale returns the runner's scale.
-func (r *Runner) Scale() Scale { return r.scale }
-
-// config returns the default system config at this runner's scale.
-func (r *Runner) config(cores int) sim.Config {
-	cfg := sim.DefaultConfig(cores)
-	cfg.WarmupInstructions = r.scale.Warmup
-	cfg.SimInstructions = r.scale.Sim
-	return cfg
-}
-
-// Job describes one simulation: one or more cores with traces and
-// prefetchers, plus an optional config mutation.
-type Job struct {
-	// Traces holds one trace name per core.
-	Traces []string
-	// L1 holds one L1 prefetcher name per core ("" / "none" for no
-	// prefetching); a single-element slice is broadcast to all cores.
-	L1 []string
-	// L2 optionally attaches L2 prefetchers (Fig 13), broadcast like L1.
-	L2 []string
-	// ConfigKey disambiguates mutated configs in the memo cache; Mutate
-	// applies the mutation.
-	ConfigKey string
-	Mutate    func(sim.Config) sim.Config
-}
-
-func (j Job) key() string {
-	return fmt.Sprintf("%v|%v|%v|%s", j.Traces, j.L1, j.L2, j.ConfigKey)
-}
-
-func broadcast(names []string, n int) []string {
-	if len(names) == n {
-		return names
-	}
-	out := make([]string, n)
-	for i := range out {
-		if len(names) == 1 {
-			out[i] = names[0]
-		} else if i < len(names) {
-			out[i] = names[i]
-		}
-	}
-	return out
-}
+func (r *Runner) Scale() Scale { return r.eng.Scale() }
 
 // Run executes one job (memoized).
-func (r *Runner) Run(j Job) sim.Result {
-	key := j.key()
-	r.mu.Lock()
-	if res, ok := r.memo[key]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
+func (r *Runner) Run(j Job) sim.Result { return r.eng.Run(j) }
 
-	r.limit <- struct{}{}
-	res := r.execute(j)
-	<-r.limit
-
-	r.mu.Lock()
-	r.memo[key] = res
-	r.mu.Unlock()
-	return res
-}
-
-func (r *Runner) execute(j Job) sim.Result {
-	cores := len(j.Traces)
-	cfg := r.config(cores)
-	if j.Mutate != nil {
-		cfg = j.Mutate(cfg)
-	}
-	l1s := broadcast(j.L1, cores)
-	l2s := broadcast(j.L2, cores)
-
-	specs := make([]sim.CoreSpec, cores)
-	for i, name := range j.Traces {
-		recs := workload.MustGenerate(name, r.scale.TraceLen)
-		spec := sim.CoreSpec{
-			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
-			L1Prefetcher: prefetchers.MustNew(l1s[i]),
-		}
-		if l2s[i] != "" && l2s[i] != "none" {
-			spec.L2Prefetcher = prefetchers.MustNew(l2s[i])
-		}
-		specs[i] = spec
-	}
-	sys, err := sim.New(cfg, specs)
-	if err != nil {
-		panic(fmt.Sprintf("harness: building system for %s: %v", j.key(), err))
-	}
-	return sys.Run()
-}
-
-// RunAll executes jobs in parallel and returns results in order.
-func (r *Runner) RunAll(jobs []Job) []sim.Result {
-	results := make([]sim.Result, len(jobs))
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = r.Run(jobs[i])
-		}(i)
-	}
-	wg.Wait()
-	return results
-}
+// RunAll executes jobs shard-parallel and returns results in order.
+func (r *Runner) RunAll(jobs []Job) []sim.Result { return r.eng.RunAll(jobs) }
 
 // single runs one single-core (trace, prefetcher) pair with the default
 // config.
@@ -190,11 +81,12 @@ func (r *Runner) SuiteTraces(suite string) []string {
 		names = append(names, info.Name)
 	}
 	sort.Strings(names)
-	if r.scale.TracesPerSuite > 0 && len(names) > r.scale.TracesPerSuite {
+	scale := r.Scale()
+	if scale.TracesPerSuite > 0 && len(names) > scale.TracesPerSuite {
 		// Deterministic spread across the suite rather than a prefix.
-		step := len(names) / r.scale.TracesPerSuite
-		picked := make([]string, 0, r.scale.TracesPerSuite)
-		for i := 0; i < r.scale.TracesPerSuite; i++ {
+		step := len(names) / scale.TracesPerSuite
+		picked := make([]string, 0, scale.TracesPerSuite)
+		for i := 0; i < scale.TracesPerSuite; i++ {
 			picked = append(picked, names[i*step])
 		}
 		return picked

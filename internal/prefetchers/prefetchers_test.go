@@ -446,3 +446,42 @@ func TestTrackerFiltersOneBit(t *testing.T) {
 		t.Errorf("one-bit regions learned: %d", learned)
 	}
 }
+
+func TestParametricNameBounds(t *testing.T) {
+	// Within the paper's sweep ranges: fine.
+	for _, name := range []string{"vGaze-512B", "vGaze-64KB", "Gaze-PHT1024"} {
+		if _, err := New(name); err != nil {
+			t.Errorf("New(%q) = %v, want ok", name, err)
+		}
+	}
+	// Absurd parameters must error instead of allocating: gazeserve
+	// validates names by constructing them.
+	for _, name := range []string{"vGaze-999999999KB", "vGaze-999999999999B", "Gaze-PHT1000000000"} {
+		if _, err := New(name); err == nil {
+			t.Errorf("New(%q) accepted an unbounded parameter", name)
+		}
+	}
+}
+
+func TestParametricNameStructuralValidation(t *testing.T) {
+	// Structurally invalid parameters must return errors, never panic:
+	// non-power-of-two regions, way-indivisible PHT sizes, overflow-sized
+	// KB values that would wrap past the magnitude cap.
+	for _, name := range []string{"vGaze-3KB", "vGaze-100B", "Gaze-PHT7", "vGaze-9007199254740993KB"} {
+		p, err := New(name)
+		if err == nil {
+			t.Errorf("New(%q) = %T, want error", name, p)
+		}
+	}
+}
+
+func TestParametricNameRejectsTrailingJunk(t *testing.T) {
+	// Sloppy parsing would turn each junk suffix into a distinct cache
+	// key for the identical configuration.
+	for _, name := range []string{"Gaze-PHT256a", "vGaze-8KBjunk", "vGaze-512Bx", "vGaze-KB",
+		"vGaze-08KB", "vGaze-+8KB", "Gaze-PHT0256"} { // non-canonical spellings would mint duplicate cache keys
+		if p, err := New(name); err == nil {
+			t.Errorf("New(%q) = %T, want error", name, p)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package server exposes the experiment engine over HTTP — the gazeserve
+// service. POST /simulate runs one job (plus its no-prefetch baseline) and
+// returns the paper's §IV-A3 metrics; POST /sweep batches a whole
+// trace × prefetcher grid through one shard-parallel engine pass. All
+// handlers share a single engine, so concurrent and repeated requests
+// coalesce onto the same memoized (and optionally disk-persisted)
+// simulations.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/prefetchers"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Server serves the gazeserve HTTP API over one shared engine.
+type Server struct {
+	eng *engine.Engine
+}
+
+// New builds a server on the given engine.
+func New(e *engine.Engine) *Server { return &Server{eng: e} }
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("GET /prefetchers", s.handlePrefetchers)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /simulate", s.handleSimulate)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	return mux
+}
+
+// SimulateRequest selects one simulation. Either Trace (replicated on
+// Cores cores) or Traces (one per core) must be set.
+type SimulateRequest struct {
+	Trace      string   `json:"trace,omitempty"`
+	Traces     []string `json:"traces,omitempty"`
+	Prefetcher string   `json:"prefetcher"`
+	L2         string   `json:"l2,omitempty"`
+	Cores      int      `json:"cores,omitempty"`
+}
+
+// SimulateResponse carries the metrics the paper's tables report.
+type SimulateResponse struct {
+	Traces           []string `json:"traces"`
+	Prefetcher       string   `json:"prefetcher"`
+	L2               string   `json:"l2,omitempty"`
+	Cores            int      `json:"cores"`
+	IPC              float64  `json:"ipc"`
+	Speedup          float64  `json:"speedup"`
+	Accuracy         float64  `json:"accuracy"`
+	Coverage         float64  `json:"coverage"`
+	LateFraction     float64  `json:"late_fraction"`
+	IssuedPrefetches uint64   `json:"issued_prefetches"`
+	L1MPKI           float64  `json:"l1_mpki"`
+	LLCMPKI          float64  `json:"llc_mpki"`
+}
+
+// SweepRequest describes a trace × prefetcher grid. Traces are given
+// explicitly or drawn from a suite ("spec06", "spec17", "ligra",
+// "parsec", "cloud", ...); each pair runs single-core.
+type SweepRequest struct {
+	Suite       string   `json:"suite,omitempty"`
+	Traces      []string `json:"traces,omitempty"`
+	Prefetchers []string `json:"prefetchers"`
+}
+
+// SweepResponse returns one row per (trace, prefetcher) pair plus the
+// per-prefetcher geometric-mean speedup over the swept traces — the
+// number the paper's Fig 6 bars plot.
+type SweepResponse struct {
+	Rows           []SimulateResponse `json:"rows"`
+	GeomeanSpeedup map[string]float64 `json:"geomean_speedup"`
+}
+
+// StatsResponse reports engine cache effectiveness.
+type StatsResponse struct {
+	Scale     engine.Scale    `json:"scale"`
+	Counters  engine.Counters `json:"counters"`
+	StoreDir  string          `json:"store_dir,omitempty"`
+	StoreSize int             `json:"store_entries,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Suite string `json:"suite"`
+	}
+	var out []entry
+	suite := r.URL.Query().Get("suite")
+	for _, info := range workload.Catalogue() {
+		if suite == "" || info.Suite == suite {
+			out = append(out, entry{Name: info.Name, Suite: info.Suite})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, prefetchers.EvaluatedNames())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Scale: s.eng.Scale(), Counters: s.eng.Counters()}
+	if st := s.eng.Store(); st != nil {
+		resp.StoreDir = st.Dir()
+		resp.StoreSize = st.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxBodyBytes bounds request bodies so an oversized JSON document is
+// rejected before it is ever held in memory.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	job, err := jobFor(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// One batched engine pass: the baseline and the target run in
+	// parallel, and both memoize for later requests.
+	results := s.eng.RunAll([]engine.Job{job.Baseline(), job})
+	writeJSON(w, http.StatusOK, responseFor(req, job, results[1], results[0]))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	traces := req.Traces
+	if req.Suite != "" {
+		for _, info := range workload.Suite(req.Suite) {
+			traces = append(traces, info.Name)
+		}
+		if len(traces) == len(req.Traces) {
+			httpError(w, http.StatusBadRequest, "unknown suite %q", req.Suite)
+			return
+		}
+	}
+	if len(traces) == 0 || len(req.Prefetchers) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep needs traces (or a suite) and prefetchers")
+		return
+	}
+	// Parametric prefetcher names (vGaze-<n>B, Gaze-PHT<n>) are valid for
+	// every positive integer, so per-name validation alone cannot bound a
+	// sweep — cap the grid itself.
+	if grid := len(traces) * (len(req.Prefetchers) + 1); grid > maxSweepJobs {
+		httpError(w, http.StatusBadRequest,
+			"sweep of %d traces x %d prefetchers needs %d jobs, exceeding the limit of %d",
+			len(traces), len(req.Prefetchers), grid, maxSweepJobs)
+		return
+	}
+
+	// Validate each distinct trace and prefetcher name once before
+	// spending any simulation time (constructing a prefetcher just to
+	// validate its name is not free), then batch the entire grid —
+	// baselines included — through one shard-parallel pass.
+	for _, tr := range traces {
+		if !workload.Exists(tr) {
+			httpError(w, http.StatusBadRequest, "unknown trace %q", tr)
+			return
+		}
+	}
+	for _, pf := range req.Prefetchers {
+		if _, err := prefetchers.New(pf); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	var jobs []engine.Job
+	for _, tr := range traces {
+		jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{"none"}})
+		for _, pf := range req.Prefetchers {
+			jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{pf}})
+		}
+	}
+	results := s.eng.RunAll(jobs)
+
+	resp := SweepResponse{GeomeanSpeedup: make(map[string]float64)}
+	perPF := make(map[string][]float64)
+	stride := len(req.Prefetchers) + 1
+	for ti, tr := range traces {
+		base := results[ti*stride]
+		for pi, pf := range req.Prefetchers {
+			i := ti*stride + pi + 1
+			row := responseFor(SimulateRequest{Trace: tr, Prefetcher: pf}, jobs[i], results[i], base)
+			resp.Rows = append(resp.Rows, row)
+			perPF[row.Prefetcher] = append(perPF[row.Prefetcher], row.Speedup)
+		}
+	}
+	for pf, vals := range perPF {
+		resp.GeomeanSpeedup[pf] = stats.Geomean(vals)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxCores and maxSweepJobs bound per-request simulation size: the paper
+// evaluates up to eight cores and its largest figure sweeps a few hundred
+// (trace, prefetcher) pairs, and one unauthenticated request must not be
+// able to wedge the process with an arbitrarily large system or grid.
+const (
+	maxCores     = 16
+	maxSweepJobs = 1024
+)
+
+// jobFor validates a request against the workload catalogue and the
+// prefetcher factory and converts it to an engine job.
+func jobFor(req SimulateRequest) (engine.Job, error) {
+	traces := req.Traces
+	if len(traces) == 0 {
+		if req.Trace == "" {
+			return engine.Job{}, fmt.Errorf("need trace or traces")
+		}
+		cores := req.Cores
+		if cores < 1 {
+			cores = 1
+		}
+		if cores > maxCores {
+			return engine.Job{}, fmt.Errorf("cores = %d exceeds the limit of %d", cores, maxCores)
+		}
+		for i := 0; i < cores; i++ {
+			traces = append(traces, req.Trace)
+		}
+	}
+	if len(traces) > maxCores {
+		return engine.Job{}, fmt.Errorf("%d traces exceeds the per-job core limit of %d", len(traces), maxCores)
+	}
+	job := engine.Job{Traces: traces, L1: []string{req.Prefetcher}}
+	if req.L2 != "" {
+		job.L2 = []string{req.L2}
+	}
+	// Job.Validate is the engine's canonical invariant (traces exist,
+	// prefetcher names construct, power-of-two core count); the engine
+	// panics on jobs that skip it.
+	if err := job.Validate(); err != nil {
+		return engine.Job{}, err
+	}
+	return job, nil
+}
+
+func responseFor(req SimulateRequest, job engine.Job, res, base sim.Result) SimulateResponse {
+	return SimulateResponse{
+		Traces:           job.Traces,
+		Prefetcher:       req.Prefetcher,
+		L2:               req.L2,
+		Cores:            len(job.Traces),
+		IPC:              res.MeanIPC(),
+		Speedup:          engine.Speedup(res, base),
+		Accuracy:         res.Accuracy(),
+		Coverage:         res.Coverage(),
+		LateFraction:     res.LateFraction(),
+		IssuedPrefetches: res.IssuedPrefetches(),
+		L1MPKI:           res.L1MPKI(),
+		LLCMPKI:          res.LLCMPKI(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// tiny keeps HTTP tests fast while still exercising real simulations.
+var tiny = engine.Scale{TracesPerSuite: 1, TraceLen: 10_000, Warmup: 5_000, Sim: 20_000}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(engine.New(engine.Options{Scale: tiny})).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, req, resp any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Body.Close() })
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var resp SimulateResponse
+	r := postJSON(t, ts.URL+"/simulate",
+		SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if r.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("content type = %q", r.Header.Get("Content-Type"))
+	}
+	if resp.IPC <= 0 {
+		t.Errorf("IPC = %v, want > 0", resp.IPC)
+	}
+	// Gaze on a streaming trace must beat the no-prefetch baseline and
+	// report sane fractional metrics — the IPC/coverage/accuracy JSON the
+	// acceptance criteria name.
+	if resp.Speedup <= 1 {
+		t.Errorf("speedup = %v, want > 1 on lbm", resp.Speedup)
+	}
+	if resp.Accuracy < 0 || resp.Accuracy > 1 || resp.Coverage < 0 || resp.Coverage > 1 {
+		t.Errorf("accuracy/coverage out of range: %+v", resp)
+	}
+	if resp.IssuedPrefetches == 0 {
+		t.Error("no prefetches issued")
+	}
+	if len(resp.Traces) != 1 || resp.Traces[0] != "lbm-1274" || resp.Cores != 1 {
+		t.Errorf("echoed job wrong: %+v", resp)
+	}
+}
+
+func TestSimulateMultiCore(t *testing.T) {
+	ts := newTestServer(t)
+	var resp SimulateResponse
+	postJSON(t, ts.URL+"/simulate",
+		SimulateRequest{Trace: "lbm-1274", Prefetcher: "IP-stride", Cores: 2}, &resp)
+	if resp.Cores != 2 || len(resp.Traces) != 2 {
+		t.Errorf("cores = %d traces = %v", resp.Cores, resp.Traces)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []SimulateRequest{
+		{Prefetcher: "Gaze"},                                                       // no trace
+		{Trace: "no-such-trace", Prefetcher: "Gaze"},                               // unknown trace
+		{Trace: "lbm-1274", Prefetcher: "no-such-pf"},                              // unknown prefetcher
+		{Trace: "lbm-1274", Prefetcher: "Gaze", L2: "xx"},                          // unknown L2
+		{Trace: "lbm-1274", Prefetcher: "Gaze", Cores: 1 << 20},                    // absurd core count
+		{Trace: "lbm-1274", Prefetcher: "Gaze", Cores: 3},                          // non-power-of-two cores
+		{Traces: []string{"lbm-1274", "lbm-1274", "lbm-1274"}, Prefetcher: "Gaze"}, // ditto via traces
+	}
+	for _, c := range cases {
+		r := postJSON(t, ts.URL+"/simulate", c, nil)
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status = %d, want 400", c, r.StatusCode)
+		}
+	}
+	r, err := http.Post(ts.URL+"/simulate", "application/json",
+		bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", r.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var resp SweepResponse
+	r := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Traces:      []string{"lbm-1274", "bwaves_s-2609"},
+		Prefetchers: []string{"IP-stride", "Gaze"},
+	}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if len(resp.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(resp.Rows))
+	}
+	for _, row := range resp.Rows {
+		if row.IPC <= 0 || row.Speedup <= 0 {
+			t.Errorf("empty row: %+v", row)
+		}
+	}
+	for _, pf := range []string{"IP-stride", "Gaze"} {
+		if resp.GeomeanSpeedup[pf] <= 0 {
+			t.Errorf("geomean for %s missing: %v", pf, resp.GeomeanSpeedup)
+		}
+	}
+}
+
+func TestSweepBySuite(t *testing.T) {
+	ts := newTestServer(t)
+	var resp SweepResponse
+	r := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Suite:       "cloud",
+		Prefetchers: []string{"IP-stride"},
+	}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if len(resp.Rows) == 0 {
+		t.Error("suite sweep returned no rows")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for _, c := range []SweepRequest{
+		{Prefetchers: []string{"Gaze"}},                             // no traces
+		{Suite: "no-such-suite", Prefetchers: []string{"Gaze"}},     // bad suite
+		{Traces: []string{"lbm-1274"}},                              // no prefetchers
+		{Traces: []string{"lbm-1274"}, Prefetchers: []string{"xx"}}, // bad pf
+		{Traces: []string{"lbm-1274"}, Prefetchers: hugeGrid()},     // unbounded parametric grid
+	} {
+		r := postJSON(t, ts.URL+"/sweep", c, nil)
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status = %d, want 400", c, r.StatusCode)
+		}
+	}
+}
+
+// hugeGrid builds thousands of individually valid parametric prefetcher
+// names — the shape a resource-exhaustion request would use.
+func hugeGrid() []string {
+	names := make([]string, 5000)
+	for i := range names {
+		names[i] = fmt.Sprintf("vGaze-%dB", i+1)
+	}
+	return names
+}
+
+func TestMetadataEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", r.StatusCode)
+	}
+
+	r, err = http.Get(ts.URL + "/traces?suite=cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []struct{ Name, Suite string }
+	if err := json.NewDecoder(r.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(traces) == 0 || traces[0].Suite != "cloud" {
+		t.Errorf("traces = %v", traces)
+	}
+
+	r, err = http.Get(ts.URL + "/prefetchers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pfs []string
+	if err := json.NewDecoder(r.Body).Decode(&pfs); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(pfs) != 9 {
+		t.Errorf("prefetchers = %v, want the 9 evaluated names", pfs)
+	}
+}
+
+func TestStatsReflectsMemoization(t *testing.T) {
+	ts := newTestServer(t)
+	req := SimulateRequest{Trace: "lbm-1274", Prefetcher: "IP-stride"}
+	postJSON(t, ts.URL+"/simulate", req, nil)
+	postJSON(t, ts.URL+"/simulate", req, nil)
+
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	// First request simulates baseline+target; the repeat is pure memo.
+	if st.Counters.Simulated != 2 {
+		t.Errorf("simulated = %d, want 2", st.Counters.Simulated)
+	}
+	if st.Counters.MemoHits < 2 {
+		t.Errorf("memo hits = %d, want >= 2", st.Counters.MemoHits)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	r, err := http.Get(ts.URL + "/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /simulate status = %d, want 405", r.StatusCode)
+	}
+}
