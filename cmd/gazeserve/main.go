@@ -13,9 +13,14 @@
 //	GET  /healthz      liveness probe
 //	GET  /traces       workload catalogue (?suite= filters)
 //	GET  /prefetchers  the paper's evaluated prefetcher names
-//	GET  /stats        engine scale + cache counters + store size
-//	POST /simulate     {"trace","prefetcher","l2","cores"} → §IV-A3 metrics
-//	POST /sweep        {"suite"|"traces","prefetchers"} → rows + geomeans
+//	GET  /stats        engine scale + cache counters + store size/schema
+//	POST /simulate     {"trace","prefetcher","l2","cores","overrides"} → §IV-A3 metrics
+//	POST /sweep        {"suite"|"traces","prefetchers","overrides","axis"} → rows + geomeans
+//
+// Scenarios are declarative: "overrides" perturbs the Table II system
+// (LLC/L2 size, DRAM MTPS, prefetch queue, instruction budgets) and
+// "axis" walks one of those knobs over a value list, reproducing the
+// paper's Fig 16 sensitivity curves in a single request.
 package main
 
 import (

@@ -6,7 +6,12 @@
 //
 //	gazesim -trace bwaves_s-2609 -prefetcher Gaze
 //	gazesim -suite cloud -prefetcher PMP -cores 4
+//	gazesim -trace lbm-1274 -prefetcher Gaze -mtps 1600 -llc-mb 1
 //	gazesim -traces  (list the catalogue)
+//
+// The -mtps, -llc-mb, -l2-kb and -pq flags perturb the Table II system
+// through declarative engine.Overrides — the paper's Fig 16 sensitivity
+// axes — and cache soundly across entry points.
 //
 // gazesim shares the experiment engine's persisted result store with
 // cmd/experiments and gazeserve, so repeating a run — at any entry point —
@@ -19,7 +24,6 @@ import (
 	"os"
 
 	"repro/internal/engine"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -33,7 +37,10 @@ func main() {
 		length     = flag.Int("len", 200_000, "records generated per trace")
 		warmup     = flag.Uint64("warmup", 200_000, "warm-up instructions per core")
 		instr      = flag.Uint64("instr", 800_000, "measured instructions per core")
-		mtps       = flag.Int("mtps", 0, "override DRAM MTPS")
+		mtps       = flag.Int("mtps", 0, "override DRAM MTPS (Fig 16a)")
+		llcMB      = flag.Float64("llc-mb", 0, "override LLC size, MB per core (Fig 16b)")
+		l2KB       = flag.Int("l2-kb", 0, "override per-core L2C size in KB (Fig 16c)")
+		pq         = flag.Int("pq", 0, "override prefetch-queue capacity")
 		cacheDir   = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persisted result store")
 		listTraces = flag.Bool("traces", false, "list the workload catalogue")
@@ -93,14 +100,24 @@ func main() {
 	}
 	eng := engine.New(opts)
 
+	// Every sensitivity flag maps to one field of the declarative
+	// Overrides, so the scenario serializes into the engine's cache keys
+	// with no hand-maintained config naming.
+	overrides := engine.Overrides{
+		DRAMMTPS:     *mtps,
+		LLCMBPerCore: *llcMB,
+		L2KB:         *l2KB,
+		PQCapacity:   *pq,
+	}
+
 	// Batch every (baseline, prefetcher) pair of the whole invocation
 	// through one shard-parallel sweep, then print rows in order.
 	var jobs []engine.Job
 	for _, name := range names {
-		base, target := jobsFor(name, *pf, *l2pf, *cores, *mtps)
-		// Job.Validate is the engine's canonical invariant (traces
-		// exist, prefetcher names construct); the engine panics on jobs
-		// that skip it.
+		base, target := jobsFor(name, *pf, *l2pf, *cores, overrides)
+		// Job.Validate is the engine's canonical invariant (traces exist,
+		// prefetcher names construct, overrides in range); the engine
+		// panics on jobs that skip it.
 		if err := target.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -120,22 +137,14 @@ func main() {
 
 // jobsFor builds the no-prefetch baseline and the target job for one
 // trace, replicated across cores.
-func jobsFor(name, pf, l2pf string, cores, mtps int) (base, target engine.Job) {
+func jobsFor(name, pf, l2pf string, cores int, o engine.Overrides) (base, target engine.Job) {
 	traces := make([]string, cores)
 	for i := range traces {
 		traces[i] = name
 	}
-	target = engine.Job{Traces: traces, L1: []string{pf}}
+	target = engine.Job{Traces: traces, L1: []string{pf}, Overrides: o}
 	if l2pf != "" {
 		target.L2 = []string{l2pf}
 	}
-	if mtps > 0 {
-		target.ConfigKey = fmt.Sprintf("mtps=%d", mtps)
-		target.Mutate = mutateMTPS(mtps)
-	}
 	return target.Baseline(), target
-}
-
-func mutateMTPS(mtps int) func(sim.Config) sim.Config {
-	return func(cfg sim.Config) sim.Config { return cfg.WithDRAMMTPS(mtps) }
 }

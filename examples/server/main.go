@@ -1,8 +1,9 @@
 // Example server demonstrates the gazeserve HTTP API end to end without
 // any external setup: it starts the service in-process on a loopback
 // port, then acts as a client — one POST /simulate, the same request
-// again (served from the engine's memo, so it returns instantly), and a
-// POST /sweep over a small trace × prefetcher grid.
+// again (served from the engine's memo, so it returns instantly), a
+// POST /sweep over a small trace × prefetcher grid, and a POST /sweep
+// with an axis that redraws a Fig 16 sensitivity curve over HTTP.
 //
 // Against a separately running `gazeserve` binary, the same requests work
 // unchanged; point the http calls at its -addr instead.
@@ -61,6 +62,20 @@ func main() {
 	fmt.Println("geomean speedups:")
 	for _, pf := range []string{"IP-stride", "PMP", "Gaze"} {
 		fmt.Printf("  %-10s %.3f\n", pf, sweep.GeomeanSpeedup[pf])
+	}
+
+	// A Fig 16a-style sensitivity curve in one request: the axis walks
+	// DRAM bandwidth while "overrides" could pin any other knob. Each
+	// sensitivity point is the geomean speedup over the swept traces.
+	var sens server.SweepResponse
+	post(base+"/sweep", map[string]any{
+		"traces":      []string{"lbm-1274"},
+		"prefetchers": []string{"IP-stride", "Gaze"},
+		"axis":        map[string]any{"param": "dram_mtps", "values": []int{800, 3200, 12800}},
+	}, &sens)
+	fmt.Println("\nPOST /sweep with a DRAM-bandwidth axis (Fig 16a):")
+	for _, p := range sens.Sensitivity {
+		fmt.Printf("  %s=%-6.0f %-10s speedup %.3f\n", p.Param, p.Value, p.Prefetcher, p.GeomeanSpeedup)
 	}
 }
 

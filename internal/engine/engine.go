@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -54,36 +55,120 @@ func ScaleByName(name string) (Scale, error) {
 	return Scale{}, fmt.Errorf("engine: unknown scale %q (want quick, standard or full)", name)
 }
 
-// Job describes one simulation: one or more cores with traces and
-// prefetchers, plus an optional config mutation.
+// Job declaratively describes one simulation: one or more cores with
+// traces and prefetchers, plus typed configuration Overrides. A Job holds
+// only plain values — no functions — so it serializes to JSON, travels
+// over HTTP unchanged, and is content-addressed by ContentAddress; two
+// jobs describing the same simulation hash identically by construction.
 type Job struct {
 	// Traces holds one trace name per core.
-	Traces []string
+	Traces []string `json:"traces"`
 	// L1 holds one L1 prefetcher name per core ("" / "none" for no
 	// prefetching); a single-element slice is broadcast to all cores.
-	L1 []string
+	L1 []string `json:"l1,omitempty"`
 	// L2 optionally attaches L2 prefetchers (Fig 13), broadcast like L1.
-	L2 []string
-	// ConfigKey names the config mutation in cache keys; Mutate applies
-	// it. Two jobs with different mutations MUST use different ConfigKeys
-	// — the function itself cannot be hashed, so the key is what keeps
-	// the memo and the disk store sound.
-	ConfigKey string
-	Mutate    func(sim.Config) sim.Config
+	L2 []string `json:"l2,omitempty"`
+	// Overrides perturbs the default system configuration (Fig 16's
+	// sensitivity axes and more); the zero value is the Table II default.
+	Overrides Overrides `json:"overrides,omitzero"`
 }
 
-// Key identifies the job within one engine (scale is engine-wide).
-func (j Job) Key() string {
-	return fmt.Sprintf("%v|%v|%v|%s", j.Traces, j.L1, j.L2, j.ConfigKey)
+// canonicalVersion stamps the canonical job encoding. It is defined as
+// the store schema version so the two cannot drift: an encoding change
+// moves records to unreachable paths, and only the Open-time sweep keyed
+// on StoreSchemaVersion can clean those up.
+const canonicalVersion = StoreSchemaVersion
+
+// canonicalJob is the canonical serialization that content addresses are
+// computed over. It folds in every scale knob that changes the simulation
+// outcome (TracesPerSuite only selects jobs, it never alters one, so it
+// is excluded — a Quick and a Full sweep share entries for identical jobs
+// at equal budgets). It is a struct, not a map, so encoding/json emits
+// fields in one fixed order on every process and platform.
+type canonicalJob struct {
+	V         int       `json:"v"`
+	TraceLen  int       `json:"trace_len"`
+	Warmup    uint64    `json:"warmup"`
+	Sim       uint64    `json:"sim"`
+	Traces    []string  `json:"traces"`
+	L1        []string  `json:"l1,omitempty"`
+	L2        []string  `json:"l2,omitempty"`
+	Overrides Overrides `json:"overrides,omitzero"`
 }
 
-// Fingerprint identifies the job across processes: it folds in every
-// scale knob that changes the simulation outcome (TracesPerSuite only
-// selects jobs, it never alters one, so it is excluded — a Quick and a
-// Full sweep share entries for identical jobs at equal budgets).
-func (j Job) Fingerprint(scale Scale) string {
-	return fmt.Sprintf("len=%d|warm=%d|sim=%d|%s",
-		scale.TraceLen, scale.Warmup, scale.Sim, j.Key())
+// CanonicalJSON returns the job's canonical encoding at a scale — the
+// preimage of ContentAddress and the self-describing key persisted inside
+// store records. Inputs are normalized first so spellings that run the
+// same simulation share one encoding and therefore one cache entry:
+// prefetcher slices are broadcast to the core count with "none" folded
+// into "", and instruction-budget overrides are folded into the warmup/sim
+// fields they replace (a job overriding both budgets encodes identically
+// under every scale, since the scale's budgets never reach the simulator).
+func (j Job) CanonicalJSON(scale Scale) string {
+	warmup, sim := j.Overrides.EffectiveBudgets(scale)
+	o := j.Overrides
+	o.WarmupInstructions, o.SimInstructions = 0, 0 // folded into warmup/sim
+	l1 := canonicalNames(j.L1, len(j.Traces))
+	l2 := canonicalNames(j.L2, len(j.Traces))
+	if l1 == nil && l2 == nil {
+		// Prefetch-queue knobs only shape prefetch traffic
+		// (sim.Config.PQ* feed prefetch.NewQueue and nothing else), so a
+		// no-prefetch job runs identically at any queue geometry — fold
+		// the knobs out so every axis value of a PQ sweep shares one
+		// baseline entry instead of re-simulating it per value.
+		o.PQCapacity, o.PQDrainRate = 0, 0
+	}
+	doc := canonicalJob{
+		V:         canonicalVersion,
+		TraceLen:  scale.TraceLen,
+		Warmup:    warmup,
+		Sim:       sim,
+		Traces:    j.Traces,
+		L1:        l1,
+		L2:        l2,
+		Overrides: o,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil { // no field of canonicalJob can fail to encode
+		panic(fmt.Sprintf("engine: encoding job %v: %v", j, err))
+	}
+	return string(data)
+}
+
+// ContentAddress returns the SHA-256 hex digest of CanonicalJSON — the
+// job's identity in the memo, the persisted store (which files records
+// under it) and Progress reports.
+func (j Job) ContentAddress(scale Scale) string {
+	return hashKey(j.CanonicalJSON(scale))
+}
+
+// canonicalNames broadcasts a prefetcher slice to n cores with "none"
+// mapped to "", returning nil when no core prefetches (so an absent and
+// an all-disabled slice encode identically).
+func canonicalNames(names []string, n int) []string {
+	out := make([]string, n)
+	copy(out, Broadcast(names, n))
+	any := false
+	for i, name := range out {
+		if name == "none" {
+			out[i] = ""
+		}
+		any = any || out[i] != ""
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// String returns a compact human-readable label for progress lines and
+// panic messages; cache keys use ContentAddress instead.
+func (j Job) String() string {
+	s := fmt.Sprintf("%v|%v|%v", j.Traces, j.L1, j.L2)
+	if !j.Overrides.IsZero() {
+		s += fmt.Sprintf("|%+v", j.Overrides)
+	}
+	return s
 }
 
 // Validate reports whether the job can execute: every trace is in the
@@ -104,22 +189,35 @@ func (j Job) Validate() error {
 			return fmt.Errorf("engine: unknown trace %q", tr)
 		}
 	}
-	for _, name := range append(Broadcast(j.L1, n), Broadcast(j.L2, n)...) {
-		if name == "" || name == "none" {
-			continue
+	// A prefetcher slice must be empty (no prefetching), one name
+	// (broadcast), or exactly one name per core: Broadcast would silently
+	// zero-pad e.g. 3 names onto 4 cores, running a system the caller
+	// never asked for.
+	for _, level := range []struct {
+		label string
+		names []string
+	}{{"l1", j.L1}, {"l2", j.L2}} {
+		if len(level.names) > 1 && len(level.names) != n {
+			return fmt.Errorf("engine: %d %s prefetcher names for %d cores (want 1 or %d)",
+				len(level.names), level.label, n, n)
 		}
-		if _, err := prefetchers.New(name); err != nil {
-			return err
+		for _, name := range level.names {
+			if name == "" || name == "none" {
+				continue
+			}
+			if _, err := prefetchers.New(name); err != nil {
+				return err
+			}
 		}
 	}
-	return nil
+	return j.Overrides.Validate()
 }
 
 // Baseline returns the job's no-prefetch counterpart: same traces and
-// config mutation, L1/L2 prefetching disabled. Its result is the
-// denominator of every speedup the harness, CLIs and server report.
+// overrides, L1/L2 prefetching disabled. Its result is the denominator of
+// every speedup the harness, CLIs and server report.
 func (j Job) Baseline() Job {
-	return Job{Traces: j.Traces, L1: []string{"none"}, ConfigKey: j.ConfigKey, Mutate: j.Mutate}
+	return Job{Traces: j.Traces, L1: []string{"none"}, Overrides: j.Overrides}
 }
 
 // Speedup returns res.MeanIPC()/base.MeanIPC(), or 0 when the baseline
@@ -154,8 +252,10 @@ type Progress struct {
 	Done, Total int
 	// Cached reports whether the job was served from the memo or store.
 	Cached bool
-	// Key is the completed job's Key.
-	Key string
+	// Job is a human-readable label for the completed job (Job.String);
+	// Address is its content address — the identity the memo and the
+	// persisted store file it under.
+	Job, Address string
 	// Elapsed is the time since the sweep started; Remaining is the ETA
 	// extrapolated from the mean per-job cost so far.
 	Elapsed, Remaining time.Duration
@@ -171,6 +271,25 @@ func StderrProgress(p Progress) {
 	if p.Done == p.Total {
 		fmt.Fprint(os.Stderr, "\n")
 	}
+}
+
+// estimateRemaining extrapolates a sweep ETA from simulated completions
+// only: cache hits finish in microseconds, and averaging them into the
+// per-job cost would make a resumed sweep's ETA absurdly optimistic —
+// near-zero while hits drain, then wildly jumping once real work starts.
+// Until the first simulation completes there is no cost sample at all, so
+// the ETA is reported as unknown (zero). Assuming every remaining job
+// simulates overestimates instead, and shrinks as hits drain; the result
+// is clamped so a reported ETA is never negative.
+func estimateRemaining(elapsed time.Duration, simulated, done, total int) time.Duration {
+	if simulated <= 0 || done >= total {
+		return 0
+	}
+	remaining := time.Duration(float64(elapsed) / float64(simulated) * float64(total-done))
+	if remaining < 0 {
+		return 0
+	}
+	return remaining
 }
 
 // Counters tallies where results came from.
@@ -263,7 +382,10 @@ func (e *Engine) Run(j Job) sim.Result {
 }
 
 func (e *Engine) run(j Job) (res sim.Result, cached bool) {
-	key := j.Key()
+	// The canonical encoding keys all three layers: the memo and
+	// single-flight maps use it verbatim, the store hashes it into the
+	// job's content address and persists it inside the record.
+	key := j.CanonicalJSON(e.scale)
 	for {
 		e.mu.Lock()
 		if r, ok := e.memo[key]; ok {
@@ -304,7 +426,7 @@ func (e *Engine) run(j Job) (res sim.Result, cached bool) {
 	}()
 
 	if e.store != nil {
-		if r, ok := e.store.Get(j.Fingerprint(e.scale)); ok {
+		if r, ok := e.store.Get(key); ok {
 			res, cached = r, true
 		}
 	}
@@ -316,7 +438,7 @@ func (e *Engine) run(j Job) (res sim.Result, cached bool) {
 	if !cached && e.store != nil {
 		// Persistence is best-effort: a read-only cache dir must not
 		// fail the sweep.
-		e.store.Put(j.Fingerprint(e.scale), res) //nolint:errcheck
+		e.store.Put(key, res) //nolint:errcheck
 	}
 	completed = true
 	return res, cached
@@ -332,10 +454,7 @@ func (e *Engine) config(cores int) sim.Config {
 
 func (e *Engine) execute(j Job) sim.Result {
 	cores := len(j.Traces)
-	cfg := e.config(cores)
-	if j.Mutate != nil {
-		cfg = j.Mutate(cfg)
-	}
+	cfg := j.Overrides.Apply(e.config(cores))
 	l1s := Broadcast(j.L1, cores)
 	l2s := Broadcast(j.L2, cores)
 
@@ -353,7 +472,7 @@ func (e *Engine) execute(j Job) sim.Result {
 	}
 	sys, err := sim.New(cfg, specs)
 	if err != nil {
-		panic(fmt.Sprintf("engine: building system for %s: %v", j.Key(), err))
+		panic(fmt.Sprintf("engine: building system for %s: %v", j, err))
 	}
 	return sys.Run()
 }
@@ -383,10 +502,10 @@ func (e *Engine) RunAll(jobs []Job) []sim.Result {
 		done, simulated int
 		wg              sync.WaitGroup
 	)
-	report := func(j Job, cached bool) {
-		if e.progress == nil {
-			return
-		}
+	// The job label and content address are computed by the caller,
+	// outside progMu — hashing under a mutex shared by every shard would
+	// serialize the cache-hit fast path.
+	report := func(label, addr string, cached bool) {
 		e.progMu.Lock()
 		defer e.progMu.Unlock()
 		done++
@@ -394,17 +513,11 @@ func (e *Engine) RunAll(jobs []Job) []sim.Result {
 			simulated++
 		}
 		elapsed := time.Since(start)
-		// Extrapolate from simulated completions only: cache hits finish
-		// in microseconds, and averaging them in would make a resumed
-		// sweep's ETA absurdly optimistic. Assuming every remaining job
-		// simulates overestimates instead, and shrinks as hits drain.
-		var remaining time.Duration
-		if simulated > 0 {
-			remaining = time.Duration(float64(elapsed) / float64(simulated) * float64(len(jobs)-done))
-		}
 		e.progress(Progress{
-			Done: done, Total: len(jobs), Cached: cached, Key: j.Key(),
-			Elapsed: elapsed, Remaining: remaining,
+			Done: done, Total: len(jobs), Cached: cached,
+			Job: label, Address: addr,
+			Elapsed:   elapsed,
+			Remaining: estimateRemaining(elapsed, simulated, done, len(jobs)),
 		})
 	}
 
@@ -429,7 +542,9 @@ func (e *Engine) RunAll(jobs []Job) []sim.Result {
 				i := idx[k]
 				res, cached := e.run(jobs[i])
 				results[i] = res
-				report(jobs[i], cached)
+				if e.progress != nil {
+					report(jobs[i].String(), jobs[i].ContentAddress(e.scale), cached)
+				}
 			}
 		}(s, order[s])
 	}

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -123,23 +124,102 @@ func TestRunAllDeterministicSharding(t *testing.T) {
 	}
 }
 
-func TestFingerprintSeparatesScaleAndConfig(t *testing.T) {
+func TestContentAddressSeparatesScaleAndOverrides(t *testing.T) {
 	j := tinyJob("Gaze")
-	a := j.Fingerprint(tiny)
-	b := j.Fingerprint(Standard)
-	if a == b {
-		t.Error("fingerprint ignores scale")
+	a := j.ContentAddress(tiny)
+	if b := j.ContentAddress(Standard); a == b {
+		t.Error("content address ignores scale")
 	}
-	mutated := j
-	mutated.ConfigKey = "mtps=1600"
-	if mutated.Fingerprint(tiny) == a {
-		t.Error("fingerprint ignores ConfigKey")
+	overridden := j
+	overridden.Overrides = Overrides{DRAMMTPS: 1600}
+	if overridden.ContentAddress(tiny) == a {
+		t.Error("content address ignores Overrides")
 	}
 	// TracesPerSuite only selects jobs; equal budgets must share entries.
 	wider := tiny
 	wider.TracesPerSuite = 99
-	if j.Fingerprint(wider) != a {
-		t.Error("fingerprint depends on TracesPerSuite")
+	if j.ContentAddress(wider) != a {
+		t.Error("content address depends on TracesPerSuite")
+	}
+	// A job overriding both budgets runs identically under every scale
+	// with the same TraceLen — the scale's unused budgets must not split
+	// the cache entry.
+	pinned := j
+	pinned.Overrides = Overrides{WarmupInstructions: 1000, SimInstructions: 5000}
+	other := tiny
+	other.Warmup, other.Sim = 77, 88
+	if pinned.ContentAddress(tiny) != pinned.ContentAddress(other) {
+		t.Error("content address depends on scale budgets the overrides replace")
+	}
+	// Prefetch-queue knobs cannot affect a no-prefetch run, so a PQ-swept
+	// baseline must collapse onto the plain one (one cached denominator
+	// per trace, not one per axis value) — while a prefetching job must
+	// keep the knobs in its identity.
+	baseline := Job{Traces: []string{"lbm-1274"}, L1: []string{"none"}}
+	pqBaseline := baseline
+	pqBaseline.Overrides = Overrides{PQCapacity: 8, PQDrainRate: 2}
+	if baseline.ContentAddress(tiny) != pqBaseline.ContentAddress(tiny) {
+		t.Error("PQ overrides split the no-prefetch baseline's cache entry")
+	}
+	pqJob := j
+	pqJob.Overrides = Overrides{PQCapacity: 8}
+	if pqJob.ContentAddress(tiny) == j.ContentAddress(tiny) {
+		t.Error("PQ overrides ignored for a prefetching job")
+	}
+}
+
+// TestContentAddressNormalizesSpellings: spellings that run the same
+// simulation must share one cache entry.
+func TestContentAddressNormalizesSpellings(t *testing.T) {
+	two := Job{Traces: []string{"lbm-1274", "lbm-1274"}, L1: []string{"Gaze"}}
+	broadcast := Job{Traces: []string{"lbm-1274", "lbm-1274"}, L1: []string{"Gaze", "Gaze"}}
+	if two.ContentAddress(tiny) != broadcast.ContentAddress(tiny) {
+		t.Error("broadcast and explicit prefetcher slices hash differently")
+	}
+	none := Job{Traces: []string{"lbm-1274"}, L1: []string{"none"}}
+	empty := Job{Traces: []string{"lbm-1274"}, L1: []string{""}}
+	absent := Job{Traces: []string{"lbm-1274"}}
+	if none.ContentAddress(tiny) != empty.ContentAddress(tiny) ||
+		none.ContentAddress(tiny) != absent.ContentAddress(tiny) {
+		t.Error(`"none", "" and absent prefetcher slices hash differently`)
+	}
+	if none.ContentAddress(tiny) == two.ContentAddress(tiny) {
+		t.Error("distinct jobs share a content address")
+	}
+}
+
+func TestOverridesAffectExecution(t *testing.T) {
+	e := New(Options{Scale: tiny})
+	def := e.Run(tinyJob("none"))
+	throttled := tinyJob("none")
+	throttled.Overrides = Overrides{DRAMMTPS: 200}
+	slow := e.Run(throttled)
+	if slow.MeanIPC() >= def.MeanIPC() {
+		t.Errorf("200 MTPS IPC %.3f >= default IPC %.3f", slow.MeanIPC(), def.MeanIPC())
+	}
+	if c := e.Counters(); c.Simulated != 2 {
+		t.Errorf("counters = %+v, want 2 distinct simulations", c)
+	}
+}
+
+func TestEstimateRemaining(t *testing.T) {
+	// No simulated completions yet → no cost sample → unknown (zero),
+	// not a near-zero extrapolation from cache hits.
+	if got := estimateRemaining(time.Minute, 0, 50, 100); got != 0 {
+		t.Errorf("all-cached ETA = %v, want 0", got)
+	}
+	// Mean cost excludes cached jobs: 10 jobs done but only 2 simulated
+	// in 20s → 10s per simulated job, 90 jobs left → 900s.
+	if got := estimateRemaining(20*time.Second, 2, 10, 100); got != 900*time.Second {
+		t.Errorf("ETA = %v, want 900s", got)
+	}
+	// Completion and overshoot (interleaved concurrent sweeps) clamp to
+	// zero rather than going negative.
+	if got := estimateRemaining(time.Minute, 4, 100, 100); got != 0 {
+		t.Errorf("completed-sweep ETA = %v, want 0", got)
+	}
+	if got := estimateRemaining(time.Minute, 4, 101, 100); got != 0 {
+		t.Errorf("overshot ETA = %v, want 0 (never negative)", got)
 	}
 }
 
@@ -169,16 +249,21 @@ func TestJobValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid job rejected: %v", err)
 	}
+	four := []string{"lbm-1274", "lbm-1274", "lbm-1274", "lbm-1274"}
 	bad := []Job{
 		{}, // no traces
 		{Traces: []string{"lbm-1274", "lbm-1274", "lbm-1274"}},                   // non-pow2 cores
 		{Traces: []string{"no-such-trace"}},                                      // unknown trace
 		{Traces: []string{"lbm-1274"}, L1: []string{"xx"}},                       // unknown L1
 		{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}, L2: []string{"xx"}}, // unknown L2
+		{Traces: four, L1: []string{"Gaze", "PMP", "BOP"}},                       // 3 L1 names on 4 cores
+		{Traces: four, L1: []string{"Gaze"}, L2: []string{"BOP", "BOP"}},         // 2 L2 names on 4 cores
+		{Traces: []string{"lbm-1274"}, Overrides: Overrides{DRAMMTPS: -5}},       // out-of-range override
+		{Traces: []string{"lbm-1274"}, Overrides: Overrides{L2KB: 1 << 30}},      // absurd override
 	}
 	for _, j := range bad {
 		if err := j.Validate(); err == nil {
-			t.Errorf("Validate(%v) accepted an invalid job", j.Key())
+			t.Errorf("Validate(%v) accepted an invalid job", j)
 		}
 	}
 }

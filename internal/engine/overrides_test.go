@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestOverridesValidateBounds(t *testing.T) {
+	good := []Overrides{
+		{}, // all defaults
+		{LLCMBPerCore: 0.5}, {LLCMBPerCore: 64},
+		{L2KB: 128}, {L2KB: 16384},
+		{DRAMMTPS: 800}, {DRAMMTPS: 51200},
+		{PQCapacity: 1}, {PQCapacity: 4096},
+		{PQDrainRate: 0.5}, {PQDrainRate: 64},
+		{WarmupInstructions: 1000, SimInstructions: 50_000_000},
+		{LLCMBPerCore: 2, L2KB: 512, DRAMMTPS: 3200, PQCapacity: 32, PQDrainRate: 1},
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+	bad := []Overrides{
+		{LLCMBPerCore: math.NaN()}, {PQDrainRate: math.NaN()},
+		{LLCMBPerCore: math.Inf(1)}, {PQDrainRate: math.Inf(-1)},
+		{LLCMBPerCore: 0.01}, {LLCMBPerCore: 1000}, {LLCMBPerCore: -1},
+		{L2KB: 4}, {L2KB: 1 << 20}, {L2KB: -128},
+		{DRAMMTPS: 50}, {DRAMMTPS: 1 << 20}, {DRAMMTPS: -800},
+		{PQCapacity: -1}, {PQCapacity: 1 << 20},
+		{PQDrainRate: -2}, {PQDrainRate: 1000},
+		{WarmupInstructions: 1 << 40}, {SimInstructions: 1 << 40},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an out-of-range override", o)
+		}
+	}
+}
+
+func TestOverridesApply(t *testing.T) {
+	def := sim.DefaultConfig(1)
+	if got := (Overrides{}).Apply(def); got != def {
+		t.Errorf("zero Overrides changed the config: %+v", got)
+	}
+	o := Overrides{
+		LLCMBPerCore:       1,
+		L2KB:               256,
+		DRAMMTPS:           1600,
+		PQCapacity:         16,
+		PQDrainRate:        2,
+		WarmupInstructions: 1111,
+		SimInstructions:    2222,
+	}
+	got := o.Apply(def)
+	if got.LLC.Sets != def.LLC.Sets/2 {
+		t.Errorf("1MB/core LLC sets = %d, want half of default %d", got.LLC.Sets, def.LLC.Sets)
+	}
+	if got.L2C.Sets != def.L2C.Sets/2 {
+		t.Errorf("256KB L2C sets = %d, want half of default %d", got.L2C.Sets, def.L2C.Sets)
+	}
+	if got.DRAM.MTPS != 1600 || got.PQCapacity != 16 || got.PQDrainRate != 2 ||
+		got.WarmupInstructions != 1111 || got.SimInstructions != 2222 {
+		t.Errorf("Apply dropped a knob: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("applied config invalid: %v", err)
+	}
+}
+
+func TestOverridesWithParam(t *testing.T) {
+	base := Overrides{DRAMMTPS: 1600}
+	o, err := base.WithParam("llc_mb_per_core", 0.5)
+	if err != nil || o.LLCMBPerCore != 0.5 || o.DRAMMTPS != 1600 {
+		t.Errorf("WithParam(llc_mb_per_core) = %+v, %v", o, err)
+	}
+	for param, v := range map[string]float64{
+		"l2_kb": 256, "dram_mtps": 800, "pq_capacity": 8, "pq_drain_rate": 0.5,
+	} {
+		if _, err := (Overrides{}).WithParam(param, v); err != nil {
+			t.Errorf("WithParam(%s, %g) = %v", param, v, err)
+		}
+	}
+	if _, err := base.WithParam("dram_mtps", 1600.5); err == nil ||
+		!strings.Contains(err.Error(), "integer") {
+		t.Errorf("fractional integer knob accepted: %v", err)
+	}
+	if _, err := base.WithParam("llc", 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown sweep param") {
+		t.Errorf("unknown param accepted: %v", err)
+	}
+	if _, err := base.WithParam("dram_mtps", 1); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	// Zero would run the default config while claiming to be a swept point.
+	if _, err := base.WithParam("llc_mb_per_core", 0); err == nil {
+		t.Error("zero axis value accepted")
+	}
+	if len(SweepParams()) != 5 {
+		t.Errorf("SweepParams = %v, want the five sweepable knobs", SweepParams())
+	}
+}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,16 +16,22 @@ import (
 	"repro/internal/sim"
 )
 
-// storeVersion invalidates every persisted record when the simulator's
-// observable behaviour changes (config defaults, metric definitions,
-// workload generators). Bump it instead of asking users to wipe caches.
-const storeVersion = 1
+// StoreSchemaVersion invalidates every persisted record when the
+// simulator's observable behaviour or the canonical job encoding changes
+// (config defaults, metric definitions, workload generators, key schema).
+// Bump it instead of asking users to wipe caches.
+//
+// v2: keys switched from ad-hoc fingerprint strings to the canonical JSON
+// job encoding (declarative Overrides replaced config-mutation closures).
+const StoreSchemaVersion = 2
 
 // Store is a content-addressed, disk-persisted result cache. Keys are
-// fingerprints of everything that determines a simulation's outcome
-// (scale, traces, prefetchers, config mutations); values are sim.Result
-// records stored as JSON under dir/<hh>/<hash>.json where hh is the first
-// byte of the SHA-256 key hash. Writes are atomic (temp file + rename), so
+// canonical JSON job encodings (Job.CanonicalJSON) — a declarative record
+// of everything that determines a simulation's outcome: scale budgets,
+// traces, prefetchers, config Overrides. Values are sim.Result records
+// stored as JSON under dir/<hh>/<hash>.json, where the hash is the job's
+// ContentAddress (the SHA-256 of the key) and hh its first byte. Writes
+// are atomic (temp file + rename), so
 // concurrent engines sharing one directory never observe torn records.
 //
 // A Store is safe for concurrent use; the zero value is not usable — call
@@ -98,7 +106,7 @@ func (s *Store) Get(key string) (sim.Result, bool) {
 	}
 	var rec record
 	if err := json.Unmarshal(data, &rec); err != nil ||
-		rec.Version != storeVersion || rec.Key != key {
+		rec.Version != StoreSchemaVersion || rec.Key != key {
 		if os.Remove(p) == nil {
 			s.entries.Add(-1)
 		}
@@ -113,7 +121,7 @@ func (s *Store) Put(key string, res sim.Result) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("engine: writing result store: %w", err)
 	}
-	data, err := json.MarshalIndent(record{Version: storeVersion, Key: key, Result: res}, "", "\t")
+	data, err := json.MarshalIndent(record{Version: StoreSchemaVersion, Key: key, Result: res}, "", "\t")
 	if err != nil {
 		return fmt.Errorf("engine: encoding result: %w", err)
 	}
@@ -145,9 +153,39 @@ func (s *Store) Put(key string, res sim.Result) error {
 // incrementally after).
 func (s *Store) Len() int { return int(s.entries.Load()) }
 
+// recordPrefix is the exact leading bytes Put's MarshalIndent emits for a
+// current-schema record (the trailing comma keeps e.g. version 20 from
+// matching a version-2 check). Open's walk matches it to recognize our
+// own records from a bounded read instead of loading every record's full
+// contents on every process start.
+var recordPrefix = fmt.Appendf(nil, "{\n\t\"version\": %d,", StoreSchemaVersion)
+
+// hasCurrentVersionPrefix reports whether the file starts with the exact
+// byte prefix Put writes for the current schema. False on any error — the
+// caller's slow path decides what to do.
+func hasCurrentVersionPrefix(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, len(recordPrefix))
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return false
+	}
+	return bytes.Equal(buf, recordPrefix)
+}
+
 // countEntries walks the store once (at Open), counting records and
-// sweeping temp files orphaned by killed processes. The age guard keeps
-// it from deleting a concurrent engine's in-flight write.
+// sweeping garbage: temp files orphaned by killed processes (the age
+// guard keeps it from deleting a concurrent engine's in-flight write) and
+// records from stale schema versions. The latter matters because a schema
+// bump can change the key format itself — v1 fingerprint-string records
+// sit at paths no v2 Get ever probes, so the version-check-on-read
+// cleanup would never reach them and they would inflate Len forever.
+// Current-schema records are recognized from a bounded prefix read, so
+// the steady-state walk stays cheap; only foreign-looking files pay a
+// full read before deletion.
 func (s *Store) countEntries() int {
 	const staleAfter = time.Hour
 	n := 0
@@ -157,7 +195,31 @@ func (s *Store) countEntries() int {
 		}
 		switch {
 		case filepath.Ext(path) == ".json":
-			n++
+			if hasCurrentVersionPrefix(path) {
+				n++
+				break
+			}
+			// Slow path: read the whole record to tell stale/corrupt
+			// garbage (delete) apart from a transient read error (skip —
+			// deleting on EMFILE or an NFS hiccup would discard valid
+			// results; Len is a monitoring number and tolerates the drift).
+			data, err := os.ReadFile(path)
+			if err != nil {
+				break
+			}
+			var rec struct {
+				Version int `json:"version"`
+			}
+			switch err := json.Unmarshal(data, &rec); {
+			case err == nil && rec.Version == StoreSchemaVersion:
+				n++
+			case err == nil && rec.Version > StoreSchemaVersion:
+				// A newer binary sharing this directory wrote it; deleting
+				// would make mixed-version deployments thrash the store to
+				// empty on every Open. Leave it, don't count it.
+			default: // unparseable or older-schema garbage
+				os.Remove(path)
+			}
 		case strings.HasPrefix(d.Name(), ".tmp-"):
 			if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > staleAfter {
 				os.Remove(path)

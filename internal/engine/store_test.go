@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -93,7 +94,7 @@ func TestStoreRejectsVersionAndKeyMismatch(t *testing.T) {
 		[]byte(string(data[:len(data)-1])+`}`), 0o644); err != nil { // keep JSON valid
 		t.Fatal(err)
 	}
-	forged := []byte(`{"version":1,"key":"other","result":{}}`)
+	forged := fmt.Appendf(nil, `{"version":%d,"key":"other","result":{}}`, StoreSchemaVersion)
 	if err := os.WriteFile(s.path("k1"), forged, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +111,79 @@ func TestStoreRejectsVersionAndKeyMismatch(t *testing.T) {
 	}
 	if _, ok := s.Get("k2"); ok {
 		t.Error("stale-version record returned a hit")
+	}
+}
+
+// TestOpenSweepsStaleSchemaRecords: a schema bump can change the key
+// format itself, leaving old records at paths no Get will ever probe —
+// the Open-time walk must delete them rather than count them forever.
+func TestOpenSweepsStaleSchemaRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	// A v1-era record under a path derived from its fingerprint-string key.
+	stale := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stalePath := filepath.Join(stale, "deadbeef.json")
+	if err := os.WriteFile(stalePath, []byte(`{"version":1,"key":"len=1|old","result":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reopened.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1 (stale v1 record must not be counted)", n)
+	}
+	if _, err := os.Stat(stalePath); !os.IsNotExist(err) {
+		t.Error("stale v1 record not swept at Open")
+	}
+	if _, ok := reopened.Get("k1"); !ok {
+		t.Error("current-schema record lost by the sweep")
+	}
+
+	// A record from a NEWER schema (another binary sharing the directory)
+	// must be left alone — deleting it would make mixed-version
+	// deployments thrash the shared store to empty on every Open.
+	newerPath := filepath.Join(dir, "ab", "cafef00d.json")
+	newer := fmt.Appendf(nil, `{"version":%d,"key":"future","result":{}}`, StoreSchemaVersion+1)
+	if err := os.WriteFile(newerPath, newer, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := again.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1 (newer-schema record not counted)", n)
+	}
+	if _, err := os.Stat(newerPath); err != nil {
+		t.Error("newer-schema record deleted by the sweep")
+	}
+}
+
+// TestRecordPrefixFastPath: the Open-time walk must recognize records Put
+// writes from their leading bytes — if the emitted format and the prefix
+// ever drift apart, every Open degrades to reading the whole cache.
+func TestRecordPrefixFastPath(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if !hasCurrentVersionPrefix(s.path("k1")) {
+		data, _ := os.ReadFile(s.path("k1"))
+		t.Errorf("fresh record does not start with %q:\n%.60s", recordPrefix, data)
 	}
 }
 

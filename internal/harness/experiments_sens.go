@@ -1,9 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
-	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -63,11 +60,11 @@ var fig16Prefetchers = []string{"SPP-PPF", "vBerti", "Bingo", "DSPatch", "PMP", 
 func Fig16(r *Runner) []stats.Table {
 	traces := r.sensTraces()
 
-	speedup := func(pf, key string, mutate func(sim.Config) sim.Config) float64 {
+	speedup := func(pf string, o Overrides) float64 {
 		var vals []float64
 		for _, tr := range traces {
-			base := r.Run(Job{Traces: []string{tr}, L1: []string{"none"}, ConfigKey: key, Mutate: mutate}).MeanIPC()
-			res := r.Run(Job{Traces: []string{tr}, L1: []string{pf}, ConfigKey: key, Mutate: mutate}).MeanIPC()
+			base := r.Run(Job{Traces: []string{tr}, L1: []string{"none"}, Overrides: o}).MeanIPC()
+			res := r.Run(Job{Traces: []string{tr}, L1: []string{pf}, Overrides: o}).MeanIPC()
 			if base > 0 {
 				vals = append(vals, res/base)
 			}
@@ -82,9 +79,7 @@ func Fig16(r *Runner) []stats.Table {
 	for _, pf := range fig16Prefetchers {
 		row := []string{pf}
 		for _, mtps := range []int{800, 1600, 3200, 6400, 12800} {
-			m := mtps
-			row = append(row, stats.F(speedup(pf, fmt.Sprintf("mtps=%d", m),
-				func(c sim.Config) sim.Config { return c.WithDRAMMTPS(m) }), 3))
+			row = append(row, stats.F(speedup(pf, Overrides{DRAMMTPS: mtps}), 3))
 		}
 		bw.AddRow(row...)
 	}
@@ -96,9 +91,7 @@ func Fig16(r *Runner) []stats.Table {
 	for _, pf := range fig16Prefetchers {
 		row := []string{pf}
 		for _, mb := range []float64{0.5, 1, 2, 4, 8} {
-			m := mb
-			row = append(row, stats.F(speedup(pf, fmt.Sprintf("llc=%.1f", m),
-				func(c sim.Config) sim.Config { return c.WithLLCSizeMB(m) }), 3))
+			row = append(row, stats.F(speedup(pf, Overrides{LLCMBPerCore: mb}), 3))
 		}
 		llc.AddRow(row...)
 	}
@@ -110,9 +103,7 @@ func Fig16(r *Runner) []stats.Table {
 	for _, pf := range fig16Prefetchers {
 		row := []string{pf}
 		for _, kb := range []int{128, 256, 512, 1024, 1536} {
-			k := kb
-			row = append(row, stats.F(speedup(pf, fmt.Sprintf("l2=%d", k),
-				func(c sim.Config) sim.Config { return c.WithL2SizeKB(k) }), 3))
+			row = append(row, stats.F(speedup(pf, Overrides{L2KB: kb}), 3))
 		}
 		l2.AddRow(row...)
 	}

@@ -28,6 +28,10 @@ var (
 // Job describes one simulation; see engine.Job.
 type Job = engine.Job
 
+// Overrides declaratively perturbs a job's system configuration; see
+// engine.Overrides.
+type Overrides = engine.Overrides
+
 // Runner layers the paper's experiment vocabulary (suites, speedups,
 // sweeps) over an engine.Engine, which supplies memoization, the
 // persisted result store, and shard-parallel execution.

@@ -40,54 +40,88 @@ func (s *Server) Handler() http.Handler {
 }
 
 // SimulateRequest selects one simulation. Either Trace (replicated on
-// Cores cores) or Traces (one per core) must be set.
+// Cores cores) or Traces (one per core) must be set. Overrides, when
+// present, perturbs the default Table II system configuration; out-of-
+// range knobs are rejected with a 400.
 type SimulateRequest struct {
-	Trace      string   `json:"trace,omitempty"`
-	Traces     []string `json:"traces,omitempty"`
-	Prefetcher string   `json:"prefetcher"`
-	L2         string   `json:"l2,omitempty"`
-	Cores      int      `json:"cores,omitempty"`
+	Trace      string            `json:"trace,omitempty"`
+	Traces     []string          `json:"traces,omitempty"`
+	Prefetcher string            `json:"prefetcher"`
+	L2         string            `json:"l2,omitempty"`
+	Cores      int               `json:"cores,omitempty"`
+	Overrides  *engine.Overrides `json:"overrides,omitempty"`
 }
 
 // SimulateResponse carries the metrics the paper's tables report.
 type SimulateResponse struct {
-	Traces           []string `json:"traces"`
-	Prefetcher       string   `json:"prefetcher"`
-	L2               string   `json:"l2,omitempty"`
-	Cores            int      `json:"cores"`
-	IPC              float64  `json:"ipc"`
-	Speedup          float64  `json:"speedup"`
-	Accuracy         float64  `json:"accuracy"`
-	Coverage         float64  `json:"coverage"`
-	LateFraction     float64  `json:"late_fraction"`
-	IssuedPrefetches uint64   `json:"issued_prefetches"`
-	L1MPKI           float64  `json:"l1_mpki"`
-	LLCMPKI          float64  `json:"llc_mpki"`
+	Traces           []string          `json:"traces"`
+	Prefetcher       string            `json:"prefetcher"`
+	L2               string            `json:"l2,omitempty"`
+	Cores            int               `json:"cores"`
+	Overrides        *engine.Overrides `json:"overrides,omitempty"`
+	IPC              float64           `json:"ipc"`
+	Speedup          float64           `json:"speedup"`
+	Accuracy         float64           `json:"accuracy"`
+	Coverage         float64           `json:"coverage"`
+	LateFraction     float64           `json:"late_fraction"`
+	IssuedPrefetches uint64            `json:"issued_prefetches"`
+	L1MPKI           float64           `json:"l1_mpki"`
+	LLCMPKI          float64           `json:"llc_mpki"`
 }
 
 // SweepRequest describes a trace × prefetcher grid. Traces are given
 // explicitly or drawn from a suite ("spec06", "spec17", "ligra",
-// "parsec", "cloud", ...); each pair runs single-core.
+// "parsec", "cloud", ...); each pair runs single-core. Overrides, when
+// present, applies to every job of the sweep; Axis additionally walks one
+// configuration knob over a value list — a Fig 16-style sensitivity curve
+// ({"param": "dram_mtps", "values": [800, 1600, 3200]}) in one request.
 type SweepRequest struct {
-	Suite       string   `json:"suite,omitempty"`
-	Traces      []string `json:"traces,omitempty"`
-	Prefetchers []string `json:"prefetchers"`
+	Suite       string            `json:"suite,omitempty"`
+	Traces      []string          `json:"traces,omitempty"`
+	Prefetchers []string          `json:"prefetchers"`
+	Overrides   *engine.Overrides `json:"overrides,omitempty"`
+	Axis        *SweepAxis        `json:"axis,omitempty"`
 }
 
-// SweepResponse returns one row per (trace, prefetcher) pair plus the
-// per-prefetcher geometric-mean speedup over the swept traces — the
-// number the paper's Fig 6 bars plot.
+// SweepAxis names one Overrides knob (its JSON field name: "dram_mtps",
+// "llc_mb_per_core", "l2_kb", "pq_capacity", "pq_drain_rate") and the
+// values to sweep it over. Unknown params, fractional values for integer
+// knobs, and out-of-range values are rejected with a 400.
+type SweepAxis struct {
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// SweepResponse returns one row per (trace, prefetcher[, axis value])
+// combination plus aggregates: without an Axis, GeomeanSpeedup maps each
+// prefetcher to its geometric-mean speedup over the swept traces (the
+// number the paper's Fig 6 bars plot); with an Axis, Sensitivity holds
+// one point per (value, prefetcher) — the curves of Fig 16.
 type SweepResponse struct {
 	Rows           []SimulateResponse `json:"rows"`
-	GeomeanSpeedup map[string]float64 `json:"geomean_speedup"`
+	GeomeanSpeedup map[string]float64 `json:"geomean_speedup,omitempty"`
+	Sensitivity    []SensitivityPoint `json:"sensitivity,omitempty"`
 }
 
-// StatsResponse reports engine cache effectiveness.
+// SensitivityPoint is one point of a sensitivity curve: the swept knob at
+// one value, one prefetcher, and the geometric-mean speedup over the
+// swept traces.
+type SensitivityPoint struct {
+	Param          string  `json:"param"`
+	Value          float64 `json:"value"`
+	Prefetcher     string  `json:"prefetcher"`
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+}
+
+// StatsResponse reports engine cache effectiveness. StoreEntries is null
+// when no persisted store is configured and 0 when the store is empty —
+// distinguishable states for monitoring clients.
 type StatsResponse struct {
-	Scale     engine.Scale    `json:"scale"`
-	Counters  engine.Counters `json:"counters"`
-	StoreDir  string          `json:"store_dir,omitempty"`
-	StoreSize int             `json:"store_entries,omitempty"`
+	Scale              engine.Scale    `json:"scale"`
+	Counters           engine.Counters `json:"counters"`
+	StoreDir           string          `json:"store_dir,omitempty"`
+	StoreEntries       *int            `json:"store_entries"`
+	StoreSchemaVersion int             `json:"store_schema_version"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -99,12 +133,18 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		Name  string `json:"name"`
 		Suite string `json:"suite"`
 	}
-	var out []entry
+	out := []entry{} // encode as [], never null
 	suite := r.URL.Query().Get("suite")
 	for _, info := range workload.Catalogue() {
 		if suite == "" || info.Suite == suite {
 			out = append(out, entry{Name: info.Name, Suite: info.Suite})
 		}
+	}
+	// Every catalogue suite is non-empty, so zero matches under a filter
+	// means the suite name is wrong — flag it like POST /sweep does.
+	if suite != "" && len(out) == 0 {
+		httpError(w, http.StatusBadRequest, "unknown suite %q", suite)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -114,10 +154,15 @@ func (s *Server) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Scale: s.eng.Scale(), Counters: s.eng.Counters()}
+	resp := StatsResponse{
+		Scale:              s.eng.Scale(),
+		Counters:           s.eng.Counters(),
+		StoreSchemaVersion: engine.StoreSchemaVersion,
+	}
 	if st := s.eng.Store(); st != nil {
 		resp.StoreDir = st.Dir()
-		resp.StoreSize = st.Len()
+		n := st.Len()
+		resp.StoreEntries = &n
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -126,15 +171,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // rejected before it is ever held in memory.
 const maxBodyBytes = 1 << 20
 
+// decodeStrict decodes a bounded request body, rejecting unknown fields:
+// a typo'd overrides knob ("llc_mb" for "llc_mb_per_core") must come back
+// as a 400, not silently simulate the default configuration — eliminating
+// that class of silent misconfiguration is this API's whole point.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := decodeStrict(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	job, err := jobFor(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Per-knob override bounds don't compose into a work bound on their
+	// own: 16 cores at maxed-out budgets would simulate for hours. Cap the
+	// request's total work (baseline + target across all cores).
+	if work := 2 * uint64(len(job.Traces)) * effectiveInstructions(s.eng.Scale(), job.Overrides); work > maxSimulateInstructions {
+		httpError(w, http.StatusBadRequest,
+			"request simulates %d instructions, exceeding the limit of %d (lower cores or the warmup/sim overrides)",
+			work, uint64(maxSimulateInstructions))
 		return
 	}
 	// One batched engine pass: the baseline and the target run in
@@ -145,7 +209,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := decodeStrict(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -163,13 +227,72 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sweep needs traces (or a suite) and prefetchers")
 		return
 	}
+	// Dedupe traces (suite traces can overlap explicit ones) and
+	// prefetchers: a repeat would produce duplicate rows, double-weight
+	// the geomeans, and eat into the job cap.
+	traces = dedupe(traces)
+	pfs := dedupe(req.Prefetchers)
+
+	// Resolve the scenario points: one base Overrides for the whole sweep,
+	// expanded by the axis into one point per swept value (a single
+	// implicit point when no axis is given). Every point is validated —
+	// unknown params, fractional values for integer knobs and out-of-range
+	// values never reach the engine.
+	var base engine.Overrides
+	if req.Overrides != nil {
+		base = *req.Overrides
+	}
+	if err := base.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	points := []engine.Overrides{base}
+	var axisValues []float64
+	if req.Axis != nil {
+		if len(req.Axis.Values) == 0 {
+			httpError(w, http.StatusBadRequest, "axis %q has no values", req.Axis.Param)
+			return
+		}
+		points = points[:0]
+		// Dedupe values like traces above: a repeated value would yield
+		// duplicate rows and sensitivity points and eat into the job cap.
+		seenVal := make(map[float64]bool, len(req.Axis.Values))
+		for _, v := range req.Axis.Values {
+			if seenVal[v] {
+				continue
+			}
+			seenVal[v] = true
+			o, err := base.WithParam(req.Axis.Param, v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			points = append(points, o)
+			axisValues = append(axisValues, v)
+		}
+	}
+
 	// Parametric prefetcher names (vGaze-<n>B, Gaze-PHT<n>) are valid for
 	// every positive integer, so per-name validation alone cannot bound a
 	// sweep — cap the grid itself.
-	if grid := len(traces) * (len(req.Prefetchers) + 1); grid > maxSweepJobs {
+	if grid := len(points) * len(traces) * (len(pfs) + 1); grid > maxSweepJobs {
 		httpError(w, http.StatusBadRequest,
-			"sweep of %d traces x %d prefetchers needs %d jobs, exceeding the limit of %d",
-			len(traces), len(req.Prefetchers), grid, maxSweepJobs)
+			"sweep of %d axis values x %d traces x %d prefetchers needs %d jobs, exceeding the limit of %d",
+			len(points), len(traces), len(pfs), grid, maxSweepJobs)
+		return
+	}
+	// The job cap alone stopped bounding cost once Overrides exposed
+	// instruction budgets over HTTP: a capped grid of maxed-out budgets
+	// would still simulate for days. Bound the total simulated work too.
+	jobsPerPoint := uint64(len(traces)) * uint64(len(pfs)+1)
+	var totalInstr uint64
+	for _, o := range points {
+		totalInstr += effectiveInstructions(s.eng.Scale(), o) * jobsPerPoint
+	}
+	if totalInstr > maxSweepInstructions {
+		httpError(w, http.StatusBadRequest,
+			"sweep simulates %d instructions in total, exceeding the limit of %d (shrink the grid or the warmup/sim overrides)",
+			totalInstr, uint64(maxSweepInstructions))
 		return
 	}
 
@@ -183,35 +306,53 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	for _, pf := range req.Prefetchers {
+	for _, pf := range pfs {
 		if _, err := prefetchers.New(pf); err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
 	var jobs []engine.Job
-	for _, tr := range traces {
-		jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{"none"}})
-		for _, pf := range req.Prefetchers {
-			jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{pf}})
+	for _, o := range points {
+		for _, tr := range traces {
+			jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{"none"}, Overrides: o})
+			for _, pf := range pfs {
+				jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{pf}, Overrides: o})
+			}
 		}
 	}
 	results := s.eng.RunAll(jobs)
 
-	resp := SweepResponse{GeomeanSpeedup: make(map[string]float64)}
-	perPF := make(map[string][]float64)
-	stride := len(req.Prefetchers) + 1
-	for ti, tr := range traces {
-		base := results[ti*stride]
-		for pi, pf := range req.Prefetchers {
-			i := ti*stride + pi + 1
-			row := responseFor(SimulateRequest{Trace: tr, Prefetcher: pf}, jobs[i], results[i], base)
-			resp.Rows = append(resp.Rows, row)
-			perPF[row.Prefetcher] = append(perPF[row.Prefetcher], row.Speedup)
+	var resp SweepResponse
+	stride := len(pfs) + 1
+	pointStride := len(traces) * stride
+	for vi := range points {
+		perPF := make(map[string][]float64)
+		for ti, tr := range traces {
+			off := vi*pointStride + ti*stride
+			baseline := results[off]
+			for pi, pf := range pfs {
+				i := off + pi + 1
+				row := responseFor(SimulateRequest{Trace: tr, Prefetcher: pf}, jobs[i], results[i], baseline)
+				resp.Rows = append(resp.Rows, row)
+				perPF[pf] = append(perPF[pf], row.Speedup)
+			}
 		}
-	}
-	for pf, vals := range perPF {
-		resp.GeomeanSpeedup[pf] = stats.Geomean(vals)
+		if req.Axis == nil {
+			resp.GeomeanSpeedup = make(map[string]float64)
+			for pf, vals := range perPF {
+				resp.GeomeanSpeedup[pf] = stats.Geomean(vals)
+			}
+			continue
+		}
+		for _, pf := range pfs {
+			resp.Sensitivity = append(resp.Sensitivity, SensitivityPoint{
+				Param:          req.Axis.Param,
+				Value:          axisValues[vi],
+				Prefetcher:     pf,
+				GeomeanSpeedup: stats.Geomean(perPF[pf]),
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -223,12 +364,45 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 const (
 	maxCores     = 16
 	maxSweepJobs = 1024
+	// maxSweepInstructions bounds the summed warmup+sim budget across a
+	// sweep's jobs — generous for any paper-scale grid at Full budgets
+	// (~1.5B), far below what maxed-out per-job overrides could request.
+	// maxSimulateInstructions bounds one /simulate the same way (baseline
+	// plus target across all cores).
+	maxSweepInstructions    = 8_000_000_000
+	maxSimulateInstructions = 1_000_000_000
 )
+
+// effectiveInstructions returns the per-core warmup+sim budget a job
+// actually runs, per the engine's single budget-fold rule.
+func effectiveInstructions(scale engine.Scale, o engine.Overrides) uint64 {
+	warmup, sim := o.EffectiveBudgets(scale)
+	return warmup + sim
+}
+
+// dedupe returns names with duplicates removed, preserving first-seen
+// order (in place — callers pass request-owned slices).
+func dedupe(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	out := names[:0]
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // jobFor validates a request against the workload catalogue and the
 // prefetcher factory and converts it to an engine job.
 func jobFor(req SimulateRequest) (engine.Job, error) {
 	traces := req.Traces
+	if len(traces) > 0 && (req.Trace != "" || req.Cores != 0) {
+		// Silently ignoring trace/cores when traces is set would return a
+		// system the client did not ask for.
+		return engine.Job{}, fmt.Errorf("traces is exclusive with trace and cores")
+	}
 	if len(traces) == 0 {
 		if req.Trace == "" {
 			return engine.Job{}, fmt.Errorf("need trace or traces")
@@ -251,9 +425,12 @@ func jobFor(req SimulateRequest) (engine.Job, error) {
 	if req.L2 != "" {
 		job.L2 = []string{req.L2}
 	}
+	if req.Overrides != nil {
+		job.Overrides = *req.Overrides
+	}
 	// Job.Validate is the engine's canonical invariant (traces exist,
-	// prefetcher names construct, power-of-two core count); the engine
-	// panics on jobs that skip it.
+	// prefetcher names construct, power-of-two core count, overrides in
+	// range); the engine panics on jobs that skip it.
 	if err := job.Validate(); err != nil {
 		return engine.Job{}, err
 	}
@@ -261,11 +438,17 @@ func jobFor(req SimulateRequest) (engine.Job, error) {
 }
 
 func responseFor(req SimulateRequest, job engine.Job, res, base sim.Result) SimulateResponse {
+	var overrides *engine.Overrides
+	if !job.Overrides.IsZero() {
+		o := job.Overrides
+		overrides = &o
+	}
 	return SimulateResponse{
 		Traces:           job.Traces,
 		Prefetcher:       req.Prefetcher,
 		L2:               req.L2,
 		Cores:            len(job.Traces),
+		Overrides:        overrides,
 		IPC:              res.MeanIPC(),
 		Speedup:          engine.Speedup(res, base),
 		Accuracy:         res.Accuracy(),

@@ -91,6 +91,8 @@ func TestSimulateValidation(t *testing.T) {
 		{Trace: "lbm-1274", Prefetcher: "Gaze", Cores: 1 << 20},                    // absurd core count
 		{Trace: "lbm-1274", Prefetcher: "Gaze", Cores: 3},                          // non-power-of-two cores
 		{Traces: []string{"lbm-1274", "lbm-1274", "lbm-1274"}, Prefetcher: "Gaze"}, // ditto via traces
+		{Traces: []string{"lbm-1274"}, Trace: "lbm-1274", Prefetcher: "Gaze"},      // trace and traces both set
+		{Traces: []string{"lbm-1274"}, Cores: 8, Prefetcher: "Gaze"},               // cores contradicts traces
 	}
 	for _, c := range cases {
 		r := postJSON(t, ts.URL+"/simulate", c, nil)
@@ -98,14 +100,21 @@ func TestSimulateValidation(t *testing.T) {
 			t.Errorf("%+v: status = %d, want 400", c, r.StatusCode)
 		}
 	}
-	r, err := http.Post(ts.URL+"/simulate", "application/json",
-		bytes.NewReader([]byte("{not json")))
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
-	if r.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed body: status = %d, want 400", r.StatusCode)
+	for name, body := range map[string]string{
+		"malformed body":   "{not json",
+		"unknown field":    `{"trace":"lbm-1274","prefetcher":"Gaze","coers":2}`,
+		"typo'd override":  `{"trace":"lbm-1274","prefetcher":"Gaze","overrides":{"llc_mb":2}}`,
+		"unknown override": `{"trace":"lbm-1274","prefetcher":"Gaze","overrides":{"dram_mtps":800,"bogus":1}}`,
+	} {
+		r, err := http.Post(ts.URL+"/simulate", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, r.StatusCode)
+		}
 	}
 }
 
@@ -131,6 +140,187 @@ func TestSweepEndpoint(t *testing.T) {
 		if resp.GeomeanSpeedup[pf] <= 0 {
 			t.Errorf("geomean for %s missing: %v", pf, resp.GeomeanSpeedup)
 		}
+	}
+}
+
+func TestSimulateWithOverrides(t *testing.T) {
+	ts := newTestServer(t)
+	var def, slow SimulateResponse
+	postJSON(t, ts.URL+"/simulate",
+		SimulateRequest{Trace: "lbm-1274", Prefetcher: "none"}, &def)
+	r := postJSON(t, ts.URL+"/simulate", SimulateRequest{
+		Trace: "lbm-1274", Prefetcher: "none",
+		Overrides: &engine.Overrides{DRAMMTPS: 200},
+	}, &slow)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if slow.Overrides == nil || slow.Overrides.DRAMMTPS != 200 {
+		t.Errorf("overrides not echoed: %+v", slow.Overrides)
+	}
+	if def.Overrides != nil {
+		t.Errorf("default run echoed overrides: %+v", def.Overrides)
+	}
+	// Starving DRAM bandwidth must show up in the metric.
+	if slow.IPC >= def.IPC {
+		t.Errorf("200 MTPS IPC %.3f >= default IPC %.3f", slow.IPC, def.IPC)
+	}
+
+	for _, o := range []engine.Overrides{
+		{DRAMMTPS: -5}, {LLCMBPerCore: 1000}, {L2KB: 1}, {PQCapacity: 1 << 20},
+	} {
+		r := postJSON(t, ts.URL+"/simulate", SimulateRequest{
+			Trace: "lbm-1274", Prefetcher: "Gaze", Overrides: &o,
+		}, nil)
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("overrides %+v: status = %d, want 400", o, r.StatusCode)
+		}
+	}
+}
+
+// TestSweepAxisDRAMSensitivity reproduces a Fig 16a-style curve over
+// HTTP: sweep DRAM bandwidth across the request's prefetchers and expect
+// one sensitivity point per (value, prefetcher), with starved bandwidth
+// changing the reported speedups.
+func TestSweepAxisDRAMSensitivity(t *testing.T) {
+	ts := newTestServer(t)
+	values := []float64{200, 12800}
+	pfs := []string{"IP-stride", "Gaze"}
+	var resp SweepResponse
+	r := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Traces:      []string{"lbm-1274"},
+		Prefetchers: pfs,
+		// The repeated 200 must be deduplicated, not plotted twice.
+		Axis: &SweepAxis{Param: "dram_mtps", Values: []float64{200, 12800, 200}},
+	}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if len(resp.Sensitivity) != len(values)*len(pfs) {
+		t.Fatalf("sensitivity points = %d, want %d", len(resp.Sensitivity), len(values)*len(pfs))
+	}
+	if len(resp.Rows) != len(values)*len(pfs) {
+		t.Fatalf("rows = %d, want %d", len(resp.Rows), len(values)*len(pfs))
+	}
+	curve := map[string]map[float64]float64{}
+	for _, p := range resp.Sensitivity {
+		if p.Param != "dram_mtps" || p.GeomeanSpeedup <= 0 {
+			t.Errorf("bad sensitivity point: %+v", p)
+		}
+		if curve[p.Prefetcher] == nil {
+			curve[p.Prefetcher] = map[float64]float64{}
+		}
+		curve[p.Prefetcher][p.Value] = p.GeomeanSpeedup
+	}
+	for _, pf := range pfs {
+		pts := curve[pf]
+		if len(pts) != len(values) {
+			t.Fatalf("%s: points at %v, want one per value", pf, pts)
+		}
+		if pts[200] == pts[12800] {
+			t.Errorf("%s: speedup identical (%.3f) at 200 and 12800 MTPS", pf, pts[200])
+		}
+	}
+	// Per-row detail carries the scenario each row ran under.
+	for _, row := range resp.Rows {
+		if row.Overrides == nil || row.Overrides.DRAMMTPS == 0 {
+			t.Errorf("axis row missing overrides: %+v", row)
+		}
+	}
+}
+
+func TestSweepAxisValidation(t *testing.T) {
+	ts := newTestServer(t)
+	base := SweepRequest{Traces: []string{"lbm-1274"}, Prefetchers: []string{"Gaze"}}
+	for name, axis := range map[string]*SweepAxis{
+		"unknown param":   {Param: "llc", Values: []float64{1}},
+		"no values":       {Param: "dram_mtps", Values: nil},
+		"fractional int":  {Param: "dram_mtps", Values: []float64{800.5}},
+		"zero value":      {Param: "dram_mtps", Values: []float64{0, 800}},
+		"out of range":    {Param: "llc_mb_per_core", Values: []float64{1000}},
+		"negative":        {Param: "l2_kb", Values: []float64{-256}},
+		"huge value grid": {Param: "dram_mtps", Values: hugeValues()},
+	} {
+		req := base
+		req.Axis = axis
+		r := postJSON(t, ts.URL+"/sweep", req, nil)
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, r.StatusCode)
+		}
+	}
+	// Base overrides are validated even without an axis.
+	req := base
+	req.Overrides = &engine.Overrides{DRAMMTPS: -1}
+	if r := postJSON(t, ts.URL+"/sweep", req, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad base overrides: status = %d, want 400", r.StatusCode)
+	}
+}
+
+// hugeValues builds an axis whose individually valid values multiply the
+// grid past the sweep job cap.
+func hugeValues() []float64 {
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = float64(100 + i)
+	}
+	return vals
+}
+
+func TestSweepDedupesTraces(t *testing.T) {
+	ts := newTestServer(t)
+	var resp SweepResponse
+	r := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Traces:      []string{"lbm-1274", "lbm-1274"},
+		Prefetchers: []string{"IP-stride"},
+	}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	// A repeated trace must not produce duplicate rows or double-weight
+	// the geomean.
+	if len(resp.Rows) != 1 {
+		t.Errorf("rows = %d, want 1 after dedupe", len(resp.Rows))
+	}
+
+	// Same for prefetchers.
+	r = postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Traces:      []string{"lbm-1274"},
+		Prefetchers: []string{"IP-stride", "IP-stride"},
+	}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if len(resp.Rows) != 1 {
+		t.Errorf("rows = %d, want 1 after prefetcher dedupe", len(resp.Rows))
+	}
+}
+
+// TestSweepInstructionBudgetCap: the job-count cap alone no longer bounds
+// cost now that warmup/sim budgets ride in over HTTP — a modest grid of
+// maxed-out budgets must be rejected, instantly, with a 400.
+func TestSweepInstructionBudgetCap(t *testing.T) {
+	ts := newTestServer(t)
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = float64(100 + i)
+	}
+	r := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Traces:      []string{"lbm-1274"},
+		Prefetchers: []string{"Gaze"},
+		Overrides:   &engine.Overrides{WarmupInstructions: 50_000_000, SimInstructions: 50_000_000},
+		Axis:        &SweepAxis{Param: "dram_mtps", Values: values},
+	}, nil)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("100-job x 100M-instruction sweep: status = %d, want 400", r.StatusCode)
+	}
+
+	// /simulate has the same exposure via cores x budgets.
+	r = postJSON(t, ts.URL+"/simulate", SimulateRequest{
+		Trace: "lbm-1274", Prefetcher: "Gaze", Cores: 16,
+		Overrides: &engine.Overrides{WarmupInstructions: 50_000_000, SimInstructions: 50_000_000},
+	}, nil)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("16-core x 100M-instruction simulate: status = %d, want 400", r.StatusCode)
 	}
 }
 
@@ -200,6 +390,15 @@ func TestMetadataEndpoints(t *testing.T) {
 		t.Errorf("traces = %v", traces)
 	}
 
+	r, err = http.Get(ts.URL + "/traces?suite=no-such-suite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown suite filter: status = %d, want 400", r.StatusCode)
+	}
+
 	r, err = http.Get(ts.URL + "/prefetchers")
 	if err != nil {
 		t.Fatal(err)
@@ -235,6 +434,46 @@ func TestStatsReflectsMemoization(t *testing.T) {
 	}
 	if st.Counters.MemoHits < 2 {
 		t.Errorf("memo hits = %d, want >= 2", st.Counters.MemoHits)
+	}
+}
+
+// TestStatsStoreFields: store_entries must always be present — null
+// without a store, 0 with an empty one — and store_schema_version always
+// reported, so monitoring clients can tell the states apart.
+func TestStatsStoreFields(t *testing.T) {
+	getStats := func(ts *httptest.Server) map[string]json.RawMessage {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var raw map[string]json.RawMessage
+		if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	noStore := getStats(newTestServer(t))
+	if got, ok := noStore["store_entries"]; !ok || string(got) != "null" {
+		t.Errorf("no store: store_entries = %s, want null", got)
+	}
+
+	store, err := engine.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine.New(engine.Options{Scale: tiny, Store: store})).Handler())
+	t.Cleanup(ts.Close)
+	withStore := getStats(ts)
+	if got, ok := withStore["store_entries"]; !ok || string(got) != "0" {
+		t.Errorf("empty store: store_entries = %s, want 0", got)
+	}
+	for _, raw := range []map[string]json.RawMessage{noStore, withStore} {
+		if got := string(raw["store_schema_version"]); got != fmt.Sprint(engine.StoreSchemaVersion) {
+			t.Errorf("store_schema_version = %s, want %d", got, engine.StoreSchemaVersion)
+		}
 	}
 }
 
