@@ -1,0 +1,8 @@
+// Package bench holds the hot-path microbenchmark suite: the simulation
+// steady-state step, the prefetch queue, trace generation vs. the
+// materialized-trace cache, and the end-to-end sweep-repeat scenario the
+// experiment engine optimizes for. CI runs it on every push, writes the
+// parsed results to BENCH.json (cmd/benchjson) and fails if a pinned
+// zero-allocation benchmark allocates; see DESIGN.md's hot-path section
+// for what each benchmark guards.
+package bench

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/prefetch"
+	"repro/internal/prefetchers"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// nextLine is a minimal allocation-free prefetcher that exercises the
+// full issue path (queue push with duplicates, drain, L1 and L2 fills)
+// without any prefetcher-model cost, so the step benchmarks measure the
+// simulator, not a particular design.
+type nextLine struct{}
+
+func (nextLine) Name() string { return "bench-nextline" }
+
+func (nextLine) Train(a prefetch.Access, issue prefetch.IssueFunc) {
+	line := a.VAddr &^ 63
+	issue(prefetch.Request{VLine: line + 64, Level: prefetch.LevelL1})
+	issue(prefetch.Request{VLine: line + 128, Level: prefetch.LevelL2})
+}
+
+func (nextLine) EvictNotify(uint64) {}
+
+// warmSystem builds a single-core system over a materialized trace and
+// advances it past every warm-up transient (cache fill, queue and table
+// population), leaving it in the steady state the simulator spends its
+// life in.
+func warmSystem(tb testing.TB, pf prefetch.Prefetcher) *sim.System {
+	tb.Helper()
+	cfg := sim.DefaultConfig(1)
+	cfg.WarmupInstructions = 0
+	recs := workload.MustMaterialize("bwaves_s-2609", 50_000)
+	sys, err := sim.New(cfg, []sim.CoreSpec{{
+		Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
+		L1Prefetcher: pf,
+	}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys.Advance(100_000)
+	return sys
+}
+
+// BenchmarkStep measures the steady-state simulation step — one trace
+// record through the core, the prefetch queues and the cache hierarchy.
+// It is pinned at 0 allocs/op by CI (cmd/benchjson -pin).
+func BenchmarkStep(b *testing.B) {
+	sys := warmSystem(b, nextLine{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Advance(b.N)
+}
+
+// BenchmarkStepGaze is BenchmarkStep with the paper's prefetcher, so the
+// full Gaze training path rides the steady state. Also alloc-pinned.
+func BenchmarkStepGaze(b *testing.B) {
+	sys := warmSystem(b, prefetchers.MustNew("Gaze"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Advance(b.N)
+}
+
+// BenchmarkQueue measures one Push (with a duplicate sibling) plus the
+// matching PopReady on a warm prefetch queue. Pinned at 0 allocs/op.
+func BenchmarkQueue(b *testing.B) {
+	q := prefetch.NewQueue(32, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := float64(i)
+		line := uint64(i%1024) * 64
+		q.Push(prefetch.Request{VLine: line}, now)
+		q.Push(prefetch.Request{VLine: line, Level: prefetch.LevelL2}, now) // duplicate merge
+		q.PopReady(now)
+	}
+}
+
+// BenchmarkTraceGen measures raw trace synthesis — what every job of a
+// sweep used to pay before the materialized-trace cache.
+func BenchmarkTraceGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		workload.MustGenerate("bwaves_s-2609", 50_000)
+	}
+}
+
+// BenchmarkTraceMaterialize measures the cache-hit path every job after
+// the first actually takes.
+func BenchmarkTraceMaterialize(b *testing.B) {
+	workload.MustMaterialize("bwaves_s-2609", 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.MustMaterialize("bwaves_s-2609", 50_000)
+	}
+}
+
+// BenchmarkSweepRepeat is the end-to-end scenario this repository's
+// engine exists for: one trace, four prefetcher configurations, three
+// config points (a Fig 16-style sensitivity sweep), on a cold engine so
+// every job simulates. The materialized-trace cache means the trace is
+// generated once per process instead of once per job; the rest of the
+// delta against history is the allocation-free hot path.
+func BenchmarkSweepRepeat(b *testing.B) {
+	var jobs []engine.Job
+	for _, pq := range []int{16, 32, 64} {
+		o := engine.Overrides{PQCapacity: pq}
+		for _, pf := range []string{"none", "Gaze", "PMP", "Bingo"} {
+			jobs = append(jobs, engine.Job{
+				Traces: []string{"bwaves_s-2609"}, L1: []string{pf}, Overrides: o,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{Scale: engine.Quick})
+		eng.RunAll(jobs)
+	}
+}
+
+// TestStepZeroAlloc pins the steady-state invariant: once warm, stepping
+// the simulator allocates nothing — not with an issuing stub, not with
+// any evaluated prefetcher.
+func TestStepZeroAlloc(t *testing.T) {
+	pfs := map[string]prefetch.Prefetcher{
+		"nextline": nextLine{},
+		"none":     prefetch.Nil{},
+	}
+	for _, name := range prefetchers.EvaluatedNames() {
+		pfs[name] = prefetchers.MustNew(name)
+	}
+	for name, pf := range pfs {
+		sys := warmSystem(t, pf)
+		if n := testing.AllocsPerRun(200, func() { sys.Advance(50) }); n != 0 {
+			t.Errorf("%s: steady-state step allocates %.1f times per 50 steps, want 0", name, n)
+		}
+	}
+}
+
+// TestQueueZeroAlloc pins Push (hit, miss and full-drop) and PopReady at
+// zero allocations on a warm queue.
+func TestQueueZeroAlloc(t *testing.T) {
+	q := prefetch.NewQueue(16, 0.5)
+	for i := 0; i < 64; i++ { // warm: reach capacity and wrap the ring
+		q.Push(prefetch.Request{VLine: uint64(i) * 64}, float64(i))
+		if i%2 == 0 {
+			q.PopReady(float64(i))
+		}
+	}
+	n := testing.AllocsPerRun(500, func() {
+		now := float64(q.Len())
+		q.Push(prefetch.Request{VLine: 64}, now)
+		q.Push(prefetch.Request{VLine: 64}, now)  // duplicate
+		q.Push(prefetch.Request{VLine: 128}, now) // likely full drop
+		q.PopReady(now * 2)
+	})
+	if n != 0 {
+		t.Errorf("queue operations allocate %.1f times per run, want 0", n)
+	}
+}

@@ -1,0 +1,163 @@
+// Command benchjson parses `go test -bench` output into a machine-readable
+// BENCH.json and enforces the zero-allocation pins of the hot-path suite.
+//
+// Usage:
+//
+//	go test ./bench -run '^$' -bench . -benchtime 200x -count 3 -benchmem |
+//	    go run ./cmd/benchjson -out BENCH.json -pin 'BenchmarkStep$|BenchmarkQueue$'
+//
+// Every benchmark line contributes its ns/op, B/op, allocs/op and custom
+// metrics; repeated runs (-count) are averaged. With -pin, the command
+// exits nonzero if any matching benchmark averaged more than zero
+// allocs/op — the CI gate that keeps the simulation steady state
+// allocation-free.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result accumulates one benchmark's metric samples across -count runs.
+type result struct {
+	runs    int
+	metrics map[string][]float64
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "benchmark output file (default: stdin)")
+		out = flag.String("out", "BENCH.json", "output JSON path")
+		pin = flag.String("pin", "", "regexp of benchmarks whose allocs/op must be zero")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	doc := make(map[string]map[string]float64, len(results))
+	names := make([]string, 0, len(results))
+	for name, res := range results {
+		names = append(names, name)
+		m := make(map[string]float64, len(res.metrics))
+		for metric, vals := range res.metrics {
+			m[metric] = mean(vals)
+		}
+		m["runs"] = float64(res.runs)
+		doc[name] = m
+	}
+	sort.Strings(names)
+
+	data, err := json.MarshalIndent(doc, "", "\t")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	if *pin != "" {
+		re, err := regexp.Compile(*pin)
+		if err != nil {
+			fatal(fmt.Errorf("bad -pin regexp: %w", err))
+		}
+		matched := false
+		for _, name := range names {
+			if !re.MatchString(name) {
+				continue
+			}
+			matched = true
+			allocs, ok := doc[name]["allocs/op"]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: %s has no allocs/op (run with -benchmem)\n", name)
+				failed = true
+			} else if allocs != 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates %.2f allocs/op, want 0\n", name, allocs)
+				failed = true
+			}
+		}
+		if !matched {
+			fmt.Fprintf(os.Stderr, "benchjson: -pin %q matched no benchmark\n", *pin)
+			failed = true
+		}
+	}
+
+	for _, name := range names {
+		fmt.Printf("%-40s %12.1f ns/op  %6.0f allocs/op\n",
+			name, doc[name]["ns/op"], doc[name]["allocs/op"])
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchLine matches "BenchmarkName-8   200   12345 ns/op ..." including
+// sub-benchmarks; the GOMAXPROCS suffix is stripped so counted runs of
+// the same benchmark aggregate.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (map[string]*result, error) {
+	results := make(map[string]*result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		res := results[name]
+		if res == nil {
+			res = &result{metrics: make(map[string][]float64)}
+			results[name] = res
+		}
+		res.runs++
+		fields := strings.Fields(m[3])
+		// Fields come in (value, unit) pairs: "12345 ns/op 0 B/op ...".
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q in benchmark %s: %w", fields[i], name, err)
+			}
+			res.metrics[fields[i+1]] = append(res.metrics[fields[i+1]], v)
+		}
+	}
+	return results, sc.Err()
+}
+
+func mean(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -24,19 +24,29 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		run      = flag.String("run", "", "experiment id to run, or 'all'")
-		scale    = flag.String("scale", "standard", "quick | standard | full")
-		cacheDir = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
-		noCache  = flag.Bool("no-cache", false, "disable the persisted result store")
-		progress = flag.Bool("progress", true, "report sweep progress and ETA on stderr")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "list available experiments")
+		run        = flag.String("run", "", "experiment id to run, or 'all'")
+		scale      = flag.String("scale", "standard", "quick | standard | full")
+		cacheDir   = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
+		noCache    = flag.Bool("no-cache", false, "disable the persisted result store")
+		progress   = flag.Bool("progress", true, "report sweep progress and ETA on stderr")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

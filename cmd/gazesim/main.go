@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/engine"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 )
 
@@ -44,8 +45,17 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persisted result store")
 		listTraces = flag.Bool("traces", false, "list the workload catalogue")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *listTraces {
 		for _, info := range workload.Catalogue() {

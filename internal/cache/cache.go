@@ -13,6 +13,12 @@
 // useful on its first demand touch at the level the prefetch targeted and
 // useless when evicted untouched; LLC coverage counts useful prefetches
 // whose data came from DRAM.
+//
+// Storage is structure-of-arrays, sized for the simulation hot loop: tag
+// words (validity folded in as tag+1, zero = invalid) and LRU stamps are
+// each packed contiguously so a 12-way tag scan touches two cache lines
+// instead of nine, and per-line metadata is only dereferenced for the one
+// way that hits or fills.
 package cache
 
 import (
@@ -53,13 +59,12 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Line is one cache line's metadata.
-type line struct {
-	tag     uint64
-	vline   uint64 // virtual line number, kept for eviction notifications
+// lineMeta is the cold per-line state, read only for the way a scan
+// resolved (tags and LRU stamps live in their own packed arrays; virtual
+// line numbers live in vlines, allocated only when an evict observer
+// needs them).
+type lineMeta struct {
 	readyAt float64
-	lruAt   uint64
-	valid   bool
 	// prefetch marks a line filled by a prefetch targeted at this level
 	// and not yet touched by a demand access.
 	prefetch bool
@@ -95,14 +100,55 @@ type EvictFunc func(vline uint64, wasPrefetch bool)
 // Cache is a set-associative, LRU, timing-annotated cache.
 type Cache struct {
 	cfg     Config
-	sets    []line // Sets*Ways flattened
 	ways    int
 	setMask uint64
-	clock   uint64
 	onEvict EvictFunc
 
-	// mshrFree holds the release times of each MSHR slot.
+	// clock stamps LRU order. Stamps are uint32 to halve the victim
+	// scan's memory traffic; on the (practically unreachable) wrap the
+	// stamps are re-ranked per set, preserving exact LRU order — see
+	// rebaseLRU.
+	clock uint32
+
+	// Structure-of-arrays line storage, Sets*Ways each: tags holds
+	// lineNum+1 (0 = invalid way), lru the LRU stamps, meta the cold
+	// per-line state.
+	tags []uint64
+	lru  []uint32
+	meta []lineMeta
+	// vlines records each line's virtual line number for eviction
+	// notifications. Only the L1 has an evict observer, so the array is
+	// allocated by SetEvictFunc rather than carried (and zeroed, and
+	// written per fill) by every level.
+	vlines []uint64
+
+	// mshrFree holds the release times of the MSHR slots as a sorted
+	// ring (ascending from mshrHead; the ring is always exactly full):
+	// MSHRReserve reads the earliest release at the head in O(1), and
+	// MSHRComplete pops the head and inserts the finish time. A finish
+	// at or past the current maximum — the overwhelmingly common case,
+	// since a new completion usually lands after everything in flight —
+	// is one compare and one store: the freed head slot becomes the new
+	// tail. Slot identity is deliberately dropped: only the *multiset*
+	// of release times ever reaches timing (start = max(now, min)), and
+	// among equal minima any slot is interchangeable, so this is
+	// bit-identical to the historical per-slot first-min scan.
 	mshrFree []float64
+	mshrHead int
+
+	// pending is the fill hint: when a miss-detecting scan (Access,
+	// Probe, PromotePrefetch) establishes that a line is absent, it
+	// records the victim way it computed in passing. A Fill for the same
+	// line can then skip both of its scans — the simulator's miss path
+	// always scans before filling. Every method that mutates line state
+	// clears (or rewrites) the hint, so a hint that survives to Fill
+	// proves the cache is untouched since the scan and the victim choice
+	// is still exact.
+	pending struct {
+		tag   uint64 // lineNum+1, matching the tags array encoding
+		way   int32
+		valid bool
+	}
 
 	Stats Stats
 }
@@ -114,11 +160,14 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	n := cfg.Sets * cfg.Ways
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([]line, cfg.Sets*cfg.Ways),
 		ways:    cfg.Ways,
 		setMask: uint64(cfg.Sets - 1),
+		tags:    make([]uint64, n),
+		lru:     make([]uint32, n),
+		meta:    make([]lineMeta, n),
 	}
 	if cfg.MSHRs > 0 {
 		c.mshrFree = make([]float64, cfg.MSHRs)
@@ -126,15 +175,93 @@ func New(cfg Config) *Cache {
 	return c
 }
 
+// tick advances the LRU clock, re-ranking stamps first on the rare wrap.
+func (c *Cache) tick() {
+	if c.clock == ^uint32(0) {
+		c.rebaseLRU()
+	}
+	c.clock++
+}
+
+// rebaseLRU compresses every set's stamps to ranks 1..ways, preserving
+// their exact relative order (stamps are unique within a set; free ways
+// keep stamp 0), and rewinds the clock past the highest rank. Victim
+// selection before and after is therefore identical — the wrap is
+// invisible to the simulation. At one tick per cache operation the wrap
+// needs ~4.3 billion operations on one cache, beyond any configured
+// budget, but correctness here must not depend on budget limits.
+func (c *Cache) rebaseLRU() {
+	orig := make([]uint32, c.ways)
+	for base := 0; base+c.ways <= len(c.lru); base += c.ways {
+		set := c.lru[base : base+c.ways]
+		copy(orig, set) // rank against a snapshot, not half-rewritten stamps
+		for i, si := range orig {
+			if si == 0 {
+				continue
+			}
+			var rank uint32 = 1
+			for _, sj := range orig {
+				if sj != 0 && sj < si {
+					rank++
+				}
+			}
+			set[i] = rank
+		}
+	}
+	c.clock = uint32(c.ways)
+}
+
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 // SetEvictFunc installs the eviction observer.
-func (c *Cache) SetEvictFunc(f EvictFunc) { c.onEvict = f }
+func (c *Cache) SetEvictFunc(f EvictFunc) {
+	c.onEvict = f
+	if f != nil && c.vlines == nil {
+		c.vlines = make([]uint64, len(c.tags))
+	}
+}
 
-func (c *Cache) setFor(lineNum uint64) []line {
-	idx := (lineNum & c.setMask) * uint64(c.ways)
-	return c.sets[idx : idx+uint64(c.ways)]
+// setBase returns the index of way 0 of the set holding lineNum.
+func (c *Cache) setBase(lineNum uint64) int {
+	return int(lineNum&c.setMask) * c.ways
+}
+
+// findWay scans one set's packed tags for want (a lineNum+1 tag word) and
+// returns the way holding it, or -1.
+func (c *Cache) findWay(base int, want uint64) int {
+	tags := c.tags[base : base+c.ways]
+	for i, tg := range tags {
+		if tg == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// victimWay picks the way a fill of an absent line evicts: the first
+// invalid way, else the LRU. One argmin pass over the stamps decides
+// both, because an invalid way's stamp is always 0 (lines are never
+// invalidated once filled, and the clock pre-increments, so valid lines
+// stamp >= 1) and first-among-ties selects the first invalid way exactly
+// like the historical scan.
+func (c *Cache) victimWay(base int) int {
+	lru := c.lru[base : base+c.ways]
+	victim, oldest := 0, lru[0]
+	for i := 1; i < len(lru); i++ {
+		if lru[i] < oldest {
+			victim, oldest = i, lru[i]
+		}
+	}
+	return victim
+}
+
+// missWithHint records the fill hint for an absent line and returns -1.
+func (c *Cache) missWithHint(base int, want uint64) int {
+	c.pending.tag = want
+	c.pending.way = int32(c.victimWay(base))
+	c.pending.valid = true
+	return -1
 }
 
 // AccessResult reports the outcome of a demand access.
@@ -152,47 +279,49 @@ type AccessResult struct {
 }
 
 // Access performs a demand lookup at cycle now. On a hit the LRU state is
-// updated, the prefetch bit is consumed and usefulness counters advance.
+// updated, the prefetch bit is consumed and usefulness counters advance;
+// a miss leaves a fill hint for the fill that follows.
 func (c *Cache) Access(paddr mem.Addr, now float64) AccessResult {
 	ln := mem.LineNum(paddr)
-	set := c.setFor(ln)
-	c.clock++
+	base := c.setBase(ln)
+	c.tick()
 	c.Stats.DemandAccesses++
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == ln {
-			c.Stats.DemandHits++
-			l.lruAt = c.clock
-			res := AccessResult{Hit: true, ReadyAt: l.readyAt}
-			if l.prefetch {
-				l.prefetch = false
-				c.Stats.UsefulPrefetches++
-				res.WasPrefetch = true
-				if l.readyAt > now {
-					c.Stats.LatePrefetches++
-					res.WasLate = true
-				}
-				if l.fromDRAM {
-					c.Stats.CoveredMisses++
-				}
-			}
-			return res
+	i := c.findWay(base, ln+1)
+	if i < 0 {
+		c.missWithHint(base, ln+1)
+		c.Stats.DemandMisses++
+		return AccessResult{}
+	}
+	c.pending.valid = false
+	c.Stats.DemandHits++
+	c.lru[base+i] = c.clock
+	m := &c.meta[base+i]
+	res := AccessResult{Hit: true, ReadyAt: m.readyAt}
+	if m.prefetch {
+		m.prefetch = false
+		c.Stats.UsefulPrefetches++
+		res.WasPrefetch = true
+		if m.readyAt > now {
+			c.Stats.LatePrefetches++
+			res.WasLate = true
+		}
+		if m.fromDRAM {
+			c.Stats.CoveredMisses++
 		}
 	}
-	c.Stats.DemandMisses++
-	return AccessResult{}
+	return res
 }
 
 // Probe reports whether the line is present without touching LRU, prefetch
-// bits or statistics. Prefetch issue logic uses it for redundancy checks.
+// bits or statistics. Prefetch issue logic uses it for redundancy checks;
+// a miss leaves a fill hint behind for the fill that typically follows.
 func (c *Cache) Probe(paddr mem.Addr) bool {
 	ln := mem.LineNum(paddr)
-	set := c.setFor(ln)
-	for i := range set {
-		if set[i].valid && set[i].tag == ln {
-			return true
-		}
+	base := c.setBase(ln)
+	if c.findWay(base, ln+1) >= 0 {
+		return true
 	}
+	c.missWithHint(base, ln+1)
 	return false
 }
 
@@ -200,11 +329,9 @@ func (c *Cache) Probe(paddr mem.Addr) bool {
 // completed by cycle now (an outstanding request).
 func (c *Cache) InFlight(paddr mem.Addr, now float64) bool {
 	ln := mem.LineNum(paddr)
-	set := c.setFor(ln)
-	for i := range set {
-		if set[i].valid && set[i].tag == ln {
-			return set[i].readyAt > now
-		}
+	base := c.setBase(ln)
+	if i := c.findWay(base, ln+1); i >= 0 {
+		return c.meta[base+i].readyAt > now
 	}
 	return false
 }
@@ -221,52 +348,49 @@ type FillOpts struct {
 
 // Fill inserts a line that becomes ready at readyAt, evicting the LRU
 // victim if needed. Filling an already-present line refreshes its
-// readiness only if the new fill completes earlier.
+// readiness only if the new fill completes earlier. When the pending fill
+// hint matches — the simulator's miss paths always scan (Access, Probe or
+// PromotePrefetch) right before filling — the tag and victim scans are
+// skipped entirely.
 func (c *Cache) Fill(paddr mem.Addr, readyAt float64, opts FillOpts) {
 	ln := mem.LineNum(paddr)
-	set := c.setFor(ln)
-	c.clock++
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == ln {
-			if readyAt < l.readyAt {
-				l.readyAt = readyAt
+	base := c.setBase(ln)
+	c.tick()
+	var victim int
+	if c.pending.valid && c.pending.tag == ln+1 {
+		// The hinting scan proved ln absent and nothing mutated the cache
+		// since (every mutator clears the hint), so its victim is exact.
+		victim = int(c.pending.way)
+		c.pending.valid = false
+	} else {
+		c.pending.valid = false
+		if i := c.findWay(base, ln+1); i >= 0 {
+			m := &c.meta[base+i]
+			if readyAt < m.readyAt {
+				m.readyAt = readyAt
 			}
 			// A demand fill of a line previously prefetched keeps the
 			// prefetch bit: usefulness is decided by demand *access*.
 			return
 		}
+		victim = c.victimWay(base)
 	}
-	// Choose victim: first invalid way, else LRU.
-	victim := 0
-	var oldest uint64 = ^uint64(0)
-	for i := range set {
-		l := &set[i]
-		if !l.valid {
-			victim = i
-			oldest = 0
-			break
-		}
-		if l.lruAt < oldest {
-			oldest = l.lruAt
-			victim = i
-		}
-	}
-	v := &set[victim]
-	if v.valid {
-		if v.prefetch {
+	vm := &c.meta[base+victim]
+	if c.tags[base+victim] != 0 {
+		if vm.prefetch {
 			c.Stats.UselessPrefetches++
 		}
 		if c.onEvict != nil {
-			c.onEvict(v.vline, v.prefetch)
+			c.onEvict(c.vlines[base+victim], vm.prefetch)
 		}
 	}
-	*v = line{
-		tag:      ln,
-		vline:    opts.VLine,
+	c.tags[base+victim] = ln + 1
+	c.lru[base+victim] = c.clock
+	if c.vlines != nil {
+		c.vlines[base+victim] = opts.VLine
+	}
+	*vm = lineMeta{
 		readyAt:  readyAt,
-		lruAt:    c.clock,
-		valid:    true,
 		prefetch: opts.Prefetch,
 		fromDRAM: opts.FromDRAM && opts.Prefetch,
 	}
@@ -286,33 +410,62 @@ func (c *Cache) AcquireMSHR(now, completion float64) float64 {
 	return start
 }
 
-// MSHRReserve finds the earliest-available MSHR slot for a miss arriving at
-// cycle now. It returns the cycle the request may start (>= now) and the
-// slot index; the caller must follow up with MSHRComplete once the finish
-// time is known. With MSHRs disabled it returns (now, -1).
+// MSHRReserve claims the earliest-available MSHR slot for a miss arriving
+// at cycle now. It returns the cycle the request may start (>= now) and an
+// opaque slot token; the caller must follow up with MSHRComplete — before
+// any other reservation on this cache — once the finish time is known.
+// With MSHRs disabled it returns (now, -1).
 func (c *Cache) MSHRReserve(now float64) (start float64, slot int) {
 	if c.mshrFree == nil {
 		return now, -1
 	}
-	best := 0
-	for i := 1; i < len(c.mshrFree); i++ {
-		if c.mshrFree[i] < c.mshrFree[best] {
-			best = i
-		}
-	}
 	start = now
-	if c.mshrFree[best] > start {
-		start = c.mshrFree[best]
+	if min := c.mshrFree[c.mshrHead]; min > start {
+		start = min
 	}
-	return start, best
+	return start, 0
 }
 
-// MSHRComplete releases the reserved slot at cycle finish.
+// MSHRComplete releases the slot of the most recent reservation at cycle
+// finish: the earliest release (which that reservation claimed) is
+// dropped and finish takes its sorted position.
 func (c *Cache) MSHRComplete(slot int, finish float64) {
 	if slot < 0 || c.mshrFree == nil {
 		return
 	}
-	c.mshrFree[slot] = finish
+	h := c.mshrFree
+	n := len(h)
+	head := c.mshrHead
+	tail := head - 1
+	if tail < 0 {
+		tail += n
+	}
+	if finish >= h[tail] {
+		// New maximum: the popped head slot is exactly where the new
+		// tail belongs.
+		h[head] = finish
+		head++
+		if head == n {
+			head = 0
+		}
+		c.mshrHead = head
+		return
+	}
+	// Out-of-order finish: slide smaller successors into the popped
+	// head's hole until the sorted position is found.
+	i := head
+	for {
+		j := i + 1
+		if j == n {
+			j = 0
+		}
+		if j == head || h[j] >= finish {
+			break
+		}
+		h[i] = h[j]
+		i = j
+	}
+	h[i] = finish
 }
 
 // ConsumePrefetch clears a resident line's prefetch bit without counting
@@ -322,21 +475,67 @@ func (c *Cache) MSHRComplete(slot int, finish float64) {
 // counts each prefetched block once (§IV-A3).
 func (c *Cache) ConsumePrefetch(paddr mem.Addr) (wasPrefetch, fromDRAM bool) {
 	ln := mem.LineNum(paddr)
-	set := c.setFor(ln)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == ln {
-			wasPrefetch, fromDRAM = l.prefetch, l.fromDRAM
-			if l.prefetch {
-				// Transfer: the fill at the level above re-registers it.
-				c.Stats.PrefetchFills--
-				l.prefetch = false
-				l.fromDRAM = false
-			}
-			return wasPrefetch, fromDRAM
+	base := c.setBase(ln)
+	c.pending.valid = false
+	if i := c.findWay(base, ln+1); i >= 0 {
+		m := &c.meta[base+i]
+		wasPrefetch, fromDRAM = m.prefetch, m.fromDRAM
+		if m.prefetch {
+			// Transfer: the fill at the level above re-registers it.
+			c.Stats.PrefetchFills--
+			m.prefetch = false
+			m.fromDRAM = false
 		}
+		return wasPrefetch, fromDRAM
 	}
 	return false, false
+}
+
+// PromotePrefetch is the fused Probe + Touch + ConsumePrefetch the
+// prefetch-issue hot path uses when an L1-destined prefetch may be served
+// from this level: one set scan reports residency, refreshes the line's
+// LRU position, and transfers the prefetch attribution (see
+// ConsumePrefetch). The clock only advances when the line is present,
+// exactly as the unfused Probe-then-Touch sequence behaves; a miss leaves
+// a fill hint behind.
+func (c *Cache) PromotePrefetch(paddr mem.Addr) (present, wasPrefetch, fromDRAM bool) {
+	ln := mem.LineNum(paddr)
+	base := c.setBase(ln)
+	i := c.findWay(base, ln+1)
+	if i < 0 {
+		c.missWithHint(base, ln+1)
+		return false, false, false
+	}
+	c.pending.valid = false
+	c.tick()
+	c.lru[base+i] = c.clock
+	m := &c.meta[base+i]
+	wasPrefetch, fromDRAM = m.prefetch, m.fromDRAM
+	if m.prefetch {
+		c.Stats.PrefetchFills--
+		m.prefetch = false
+		m.fromDRAM = false
+	}
+	return true, wasPrefetch, fromDRAM
+}
+
+// ProbeTouch is the fused Probe + Touch the prefetch-issue path uses for
+// levels that may serve a prefetch without inheriting attribution (the
+// LLC): one scan reports residency and refreshes the LRU position. The
+// clock only advances on presence, exactly like the unfused pair, and a
+// miss leaves a fill hint behind.
+func (c *Cache) ProbeTouch(paddr mem.Addr) bool {
+	ln := mem.LineNum(paddr)
+	base := c.setBase(ln)
+	i := c.findWay(base, ln+1)
+	if i < 0 {
+		c.missWithHint(base, ln+1)
+		return false
+	}
+	c.pending.valid = false
+	c.tick()
+	c.lru[base+i] = c.clock
+	return true
 }
 
 // Touch refreshes a line's LRU position without affecting statistics or
@@ -344,13 +543,11 @@ func (c *Cache) ConsumePrefetch(paddr mem.Addr) (wasPrefetch, fromDRAM bool) {
 // by a lower level.
 func (c *Cache) Touch(paddr mem.Addr) {
 	ln := mem.LineNum(paddr)
-	set := c.setFor(ln)
-	c.clock++
-	for i := range set {
-		if set[i].valid && set[i].tag == ln {
-			set[i].lruAt = c.clock
-			return
-		}
+	base := c.setBase(ln)
+	c.pending.valid = false
+	c.tick()
+	if i := c.findWay(base, ln+1); i >= 0 {
+		c.lru[base+i] = c.clock
 	}
 }
 
@@ -369,10 +566,11 @@ func (c *Cache) MSHRBusy(now float64) int {
 // FlushStats finalizes end-of-simulation accounting: every still-resident
 // untouched prefetched line counts as useless (it never helped).
 func (c *Cache) FlushStats() {
-	for i := range c.sets {
-		if c.sets[i].valid && c.sets[i].prefetch {
+	c.pending.valid = false
+	for i := range c.meta {
+		if c.tags[i] != 0 && c.meta[i].prefetch {
 			c.Stats.UselessPrefetches++
-			c.sets[i].prefetch = false
+			c.meta[i].prefetch = false
 		}
 	}
 }

@@ -314,3 +314,128 @@ func TestPropertyStatsPartition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMSHROutOfOrderCompletion exercises the sorted-ring insert path:
+// completions that finish earlier than older in-flight requests must
+// keep the earliest-release invariant exact.
+func TestMSHROutOfOrderCompletion(t *testing.T) {
+	c := New(Config{Name: "T", Sets: 16, Ways: 4, HitLatency: 1, MSHRs: 3})
+	complete := func(finish float64) {
+		_, slot := c.MSHRReserve(0)
+		c.MSHRComplete(slot, finish)
+	}
+	// Occupy all three slots with descending finish times: each insert
+	// lands ahead of the previously queued releases (the slow path).
+	complete(300)
+	complete(200)
+	complete(50) // releases {50, 200, 300}
+	if s, _ := c.MSHRReserve(0); s != 50 {
+		t.Fatalf("earliest release = %v, want 50", s)
+	}
+	// Replace the 50 with a mid-range finish: releases {120, 200, 300}.
+	complete(120)
+	if s, _ := c.MSHRReserve(0); s != 120 {
+		t.Fatalf("earliest release = %v, want 120", s)
+	}
+	// Replace the 120 with a new maximum (fast path): {200, 300, 400}.
+	complete(400)
+	if s, _ := c.MSHRReserve(150); s != 200 {
+		t.Fatalf("start at t=150 = %v, want 200", s)
+	}
+	if s, _ := c.MSHRReserve(250); s != 250 {
+		t.Fatalf("start at t=250 = %v, want 250 (slot free since 200)", s)
+	}
+}
+
+// TestMSHRBusyAfterReordering pins MSHRBusy against the ring layout.
+func TestMSHRBusyAfterReordering(t *testing.T) {
+	c := New(Config{Name: "T", Sets: 16, Ways: 4, HitLatency: 1, MSHRs: 4})
+	c.AcquireMSHR(0, 300)
+	c.AcquireMSHR(0, 50) // out of order: earlier than 300
+	c.AcquireMSHR(0, 200)
+	if n := c.MSHRBusy(100); n != 2 {
+		t.Errorf("busy at t=100: %d, want 2 (200 and 300)", n)
+	}
+	if n := c.MSHRBusy(250); n != 1 {
+		t.Errorf("busy at t=250: %d, want 1", n)
+	}
+}
+
+// TestPromotePrefetchMatchesUnfusedSequence runs the fused call and the
+// historical Probe+Touch+ConsumePrefetch sequence on twin caches and
+// requires identical observable state.
+func TestPromotePrefetchMatchesUnfusedSequence(t *testing.T) {
+	build := func() *Cache {
+		c := New(testCfg(4, 2))
+		c.Fill(0x1000, 5, FillOpts{Prefetch: true, FromDRAM: true, VLine: 0x1000})
+		c.Fill(0x2000, 6, FillOpts{})
+		return c
+	}
+	fused, unfused := build(), build()
+
+	p, was, dram := fused.PromotePrefetch(0x1000)
+	present := unfused.Probe(0x1000)
+	unfused.Touch(0x1000)
+	uwas, udram := unfused.ConsumePrefetch(0x1000)
+	if !p || !present || was != uwas || dram != udram {
+		t.Fatalf("fused = (%v,%v,%v), unfused = (%v,%v,%v)",
+			p, was, dram, present, uwas, udram)
+	}
+	if fused.Stats != unfused.Stats {
+		t.Errorf("stats diverged: %+v vs %+v", fused.Stats, unfused.Stats)
+	}
+	// Absent line: both report absence and leave stats alone.
+	if p, _, _ := fused.PromotePrefetch(0x9000); p {
+		t.Error("PromotePrefetch claimed an absent line present")
+	}
+	// A second promote must not double-consume.
+	if _, was, _ := fused.PromotePrefetch(0x1000); was {
+		t.Error("prefetch bit consumed twice")
+	}
+}
+
+// TestProbeTouchRefreshesLRU verifies the fused probe+touch keeps a line
+// resident under fills that would otherwise evict it.
+func TestProbeTouchRefreshesLRU(t *testing.T) {
+	c := New(testCfg(1, 2))
+	c.Fill(0x0000, 0, FillOpts{})
+	c.Fill(0x0040, 0, FillOpts{})
+	if !c.ProbeTouch(0x0000) { // refresh the older line
+		t.Fatal("resident line reported absent")
+	}
+	c.Fill(0x0080, 0, FillOpts{}) // must evict 0x0040, the LRU now
+	if !c.Probe(0x0000) {
+		t.Error("touched line was evicted")
+	}
+	if c.Probe(0x0040) {
+		t.Error("LRU line survived the fill")
+	}
+	if c.ProbeTouch(0x1FC0) {
+		t.Error("ProbeTouch claimed an absent line present")
+	}
+}
+
+// TestLRURebasePreservesOrder forces the uint32 clock wrap and checks
+// that victim selection is unchanged by the re-ranking.
+func TestLRURebasePreservesOrder(t *testing.T) {
+	c := New(testCfg(1, 4))
+	for i, a := range []mem.Addr{0x0000, 0x0040, 0x0080, 0x00C0} {
+		c.Fill(a, float64(i), FillOpts{})
+	}
+	c.Access(0x0000, 10) // 0x0000 becomes MRU; LRU order: 40, 80, C0, 00
+	c.clock = ^uint32(0) // force the wrap on the next tick
+	c.Access(0x0080, 11) // triggers rebase, then refreshes 0x0080
+	// LRU order now: 40, C0, 00, 80 — three fills must evict in that order.
+	for _, want := range []mem.Addr{0x0040, 0x00C0, 0x0000} {
+		if !c.Probe(want) {
+			t.Fatalf("line %#x missing before its eviction turn", want)
+		}
+		c.Fill(0x4000+want, 0, FillOpts{})
+		if c.Probe(want) {
+			t.Fatalf("fill did not evict %#x (LRU order broken by rebase)", want)
+		}
+	}
+	if !c.Probe(0x0080) {
+		t.Error("MRU line evicted out of order after rebase")
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/prefetch"
+import (
+	"math/bits"
+
+	"repro/internal/prefetch"
+)
 
 // pbState is the per-offset state in the Prefetch Buffer: four states per
 // offset as in Table I (No Prefetch, Prefetch to L1D, to L2C; LLC unused).
@@ -16,27 +20,56 @@ const (
 // prefetch pattern. It smooths issuance (a bounded number of requests
 // drain per training event) and merges aggressiveness promotions into
 // still-pending patterns (Fig 3b, lower part).
+//
+// Storage is a fixed ring of entries whose state slices are allocated
+// once at construction and recycled: the training hot path never
+// allocates, matching the bounded buffering of the hardware structure.
 type prefetchBuffer struct {
-	entries []pbEntry // FIFO order: entries[0] is oldest
-	cap     int
+	entries []pbEntry // ring storage; len(entries) is the capacity
+	head    int       // ring position of the oldest entry
+	count   int
 	blocks  int
+	// index maps region -> ring position so merge (called once per
+	// predicted offset) finds its entry in O(1) instead of scanning the
+	// ring.
+	index prefetch.RegionIndex
 }
 
 type pbEntry struct {
-	region  uint64
-	states  []pbState
-	pending int
+	region uint64
+	states []pbState
+	// occupied marks offsets with a pending state, one bit per block, so
+	// drain walks set bits instead of scanning the whole states array.
+	occupied []uint64
+	pending  int
 }
 
 func newPrefetchBuffer(capacity, blocks int) *prefetchBuffer {
-	return &prefetchBuffer{cap: capacity, blocks: blocks}
+	pb := &prefetchBuffer{
+		entries: make([]pbEntry, capacity),
+		blocks:  blocks,
+		index:   prefetch.NewRegionIndex(capacity),
+	}
+	words := (blocks + 63) / 64
+	for i := range pb.entries {
+		pb.entries[i].states = make([]pbState, blocks)
+		pb.entries[i].occupied = make([]uint64, words)
+	}
+	return pb
+}
+
+// slot returns the ring position of the i-th oldest entry.
+func (pb *prefetchBuffer) slot(i int) int {
+	s := pb.head + i
+	if s >= len(pb.entries) {
+		s -= len(pb.entries)
+	}
+	return s
 }
 
 func (pb *prefetchBuffer) find(region uint64) *pbEntry {
-	for i := range pb.entries {
-		if pb.entries[i].region == region {
-			return &pb.entries[i]
-		}
+	if s := pb.index.Lookup(region); s >= 0 {
+		return &pb.entries[s]
 	}
 	return nil
 }
@@ -50,20 +83,26 @@ func (pb *prefetchBuffer) merge(region uint64, off int, st pbState) {
 	}
 	e := pb.find(region)
 	if e == nil {
-		if len(pb.entries) >= pb.cap {
+		if pb.count >= len(pb.entries) {
 			// FIFO eviction: the oldest entry's remaining requests are lost
 			// (bounded buffering, as in hardware).
-			pb.entries = pb.entries[1:]
+			pb.index.Remove(pb.entries[pb.head].region)
+			pb.head = pb.slot(1)
+			pb.count--
 		}
-		pb.entries = append(pb.entries, pbEntry{
-			region: region,
-			states: make([]pbState, pb.blocks),
-		})
-		e = &pb.entries[len(pb.entries)-1]
+		s := pb.slot(pb.count)
+		e = &pb.entries[s]
+		pb.count++
+		e.region = region
+		e.pending = 0
+		clear(e.states)
+		clear(e.occupied)
+		pb.index.Insert(region, s)
 	}
 	if st > e.states[off] {
 		if e.states[off] == pbNone {
 			e.pending++
+			e.occupied[off>>6] |= 1 << (uint(off) & 63)
 		}
 		e.states[off] = st
 	}
@@ -73,31 +112,35 @@ func (pb *prefetchBuffer) merge(region uint64, off int, st pbState) {
 // order, clearing what it emits.
 func (pb *prefetchBuffer) drain(max int, regionShift uint, issue prefetch.IssueFunc) {
 	emitted := 0
-	for i := 0; i < len(pb.entries) && emitted < max; i++ {
-		e := &pb.entries[i]
-		for off := 0; off < pb.blocks && emitted < max; off++ {
-			st := e.states[off]
-			if st == pbNone {
-				continue
+	for i := 0; i < pb.count && emitted < max; i++ {
+		e := &pb.entries[pb.slot(i)]
+		for w := 0; w < len(e.occupied) && emitted < max; w++ {
+			for e.occupied[w] != 0 && emitted < max {
+				b := bits.TrailingZeros64(e.occupied[w])
+				off := w<<6 + b
+				st := e.states[off]
+				level := prefetch.LevelL1
+				if st == pbL2 {
+					level = prefetch.LevelL2
+				}
+				issue(prefetch.Request{
+					VLine: e.region<<regionShift + uint64(off)<<6,
+					Level: level,
+				})
+				e.occupied[w] &^= 1 << uint(b)
+				e.states[off] = pbNone
+				e.pending--
+				emitted++
 			}
-			level := prefetch.LevelL1
-			if st == pbL2 {
-				level = prefetch.LevelL2
-			}
-			issue(prefetch.Request{
-				VLine: e.region<<regionShift + uint64(off)<<6,
-				Level: level,
-			})
-			e.states[off] = pbNone
-			e.pending--
-			emitted++
 		}
 	}
 	// Compact fully-drained entries from the front.
-	for len(pb.entries) > 0 && pb.entries[0].pending == 0 {
-		pb.entries = pb.entries[1:]
+	for pb.count > 0 && pb.entries[pb.head].pending == 0 {
+		pb.index.Remove(pb.entries[pb.head].region)
+		pb.head = pb.slot(1)
+		pb.count--
 	}
 }
 
 // len returns the number of buffered regions.
-func (pb *prefetchBuffer) len() int { return len(pb.entries) }
+func (pb *prefetchBuffer) len() int { return pb.count }

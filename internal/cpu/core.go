@@ -83,8 +83,16 @@ func (c *Core) NextFetch() float64 {
 // moment a load would have issued to the memory system.
 func (c *Core) Execute(lat float64) float64 {
 	fetch := c.NextFetch()
-	done := fetch + lat
-	retire := done
+	c.ExecuteFetched(fetch, lat)
+	return fetch
+}
+
+// ExecuteFetched is Execute for callers that already computed NextFetch
+// and know the core is untouched since: the simulator's step fetches the
+// cycle once to schedule work and reuses it here instead of re-deriving
+// it from the ROB ring.
+func (c *Core) ExecuteFetched(fetch, lat float64) {
+	retire := fetch + lat
 	if m := c.lastRetire + c.retireStep; m > retire {
 		retire = m
 	}
@@ -96,14 +104,38 @@ func (c *Core) Execute(lat float64) float64 {
 	c.lastFetch = fetch
 	c.lastRetire = retire
 	c.instructions++
-	return fetch
 }
 
 // ExecuteRun advances the core by n back-to-back non-memory instructions.
+// The loop keeps the ring state in locals — the per-record non-memory
+// run is hot enough that the repeated field loads of n Execute calls
+// show up in profiles.
 func (c *Core) ExecuteRun(n int) {
-	for i := 0; i < n; i++ {
-		c.Execute(0)
+	if n <= 0 {
+		return
 	}
+	ring := c.retireRing
+	pos := c.pos
+	lastFetch, lastRetire := c.lastFetch, c.lastRetire
+	for i := 0; i < n; i++ {
+		fetch := lastFetch + c.fetchStep
+		if dep := ring[pos]; dep > fetch {
+			fetch = dep
+		}
+		retire := fetch
+		if m := lastRetire + c.retireStep; m > retire {
+			retire = m
+		}
+		ring[pos] = retire
+		pos++
+		if pos == len(ring) {
+			pos = 0
+		}
+		lastFetch, lastRetire = fetch, retire
+	}
+	c.pos = pos
+	c.lastFetch, c.lastRetire = lastFetch, lastRetire
+	c.instructions += uint64(n)
 }
 
 // Instructions returns the total executed instruction count.

@@ -120,6 +120,15 @@ type DRAM struct {
 	tRCD     float64
 	tCAS     float64
 
+	// chanShift and bankMask/bankShift precompute the address-mapping
+	// arithmetic (channels are a power of two by Validate; banks usually
+	// are): the access hot path must not pay a loop, a modulo and a
+	// division per request. bankMask < 0 marks a non-power-of-two bank
+	// count, falling back to %/ (untypical configs only).
+	chanShift uint
+	bankMask  int
+	bankShift uint
+
 	Stats Stats
 }
 
@@ -144,6 +153,14 @@ func New(cfg Config) *DRAM {
 		bits++
 	}
 	d.rowBits = bits
+	d.chanShift = uint(trailingBits(len(d.channels)))
+	banks := len(d.channels[0].banks)
+	if banks&(banks-1) == 0 {
+		d.bankMask = banks - 1
+		d.bankShift = uint(trailingBits(banks))
+	} else {
+		d.bankMask = -1
+	}
 	return d
 }
 
@@ -164,10 +181,17 @@ func (d *DRAM) Access(paddr mem.Addr, arrival float64) float64 {
 	rowChunk := ln >> colBits           // row-sized chunk number
 	chIdx := int(rowChunk) & (len(d.channels) - 1)
 	ch := &d.channels[chIdx]
-	chunkInChan := rowChunk >> uint(trailingBits(len(d.channels)))
-	bIdx := int(chunkInChan) % len(ch.banks)
+	chunkInChan := rowChunk >> d.chanShift
+	var bIdx int
+	var row uint64
+	if d.bankMask >= 0 {
+		bIdx = int(chunkInChan) & d.bankMask
+		row = chunkInChan >> d.bankShift
+	} else {
+		bIdx = int(chunkInChan) % len(ch.banks)
+		row = chunkInChan / uint64(len(ch.banks))
+	}
 	b := &ch.banks[bIdx]
-	row := chunkInChan / uint64(len(ch.banks))
 
 	start := arrival
 	if b.nextCAS > start {

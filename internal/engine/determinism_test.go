@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestResultsDeterministicAcrossEngines runs a mixed job set — single-
+// and multi-core (the scheduler heap engages above 4 cores), an L2
+// prefetcher, and overrides — on two independent engines sharing the
+// process-wide trace cache, and requires identical results. This guards
+// the hot-path machinery end to end: materialized-trace slabs must be
+// safely shareable, and rings, fill hints, sorted-ring MSHRs and the
+// scheduler heap must be deterministic. An accidental dependence on map
+// order, shared mutable state or slot identity fails here.
+func TestResultsDeterministicAcrossEngines(t *testing.T) {
+	jobs := []Job{
+		{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}},
+		{Traces: []string{"fotonik3d_s-8225"}, L1: []string{"PMP"}},
+		{Traces: []string{"mcf-46"}, L1: []string{"Gaze"}, L2: []string{"Bingo"}},
+		{Traces: []string{"lbm-1274", "mcf-46", "cassandra-p0c0", "PageRank-61",
+			"bwaves_s-2609", "soplex-66", "srv.09", "cc.twi.10"}, L1: []string{"Gaze"}},
+		{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"},
+			Overrides: Overrides{DRAMMTPS: 1600, PQCapacity: 8}},
+	}
+	run := func(workers int) string {
+		res := New(Options{Scale: tiny, Workers: workers}).RunAll(jobs)
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	serial := run(1)
+	if sharded := run(4); sharded != serial {
+		t.Error("sharded sweep produced different results than serial")
+	}
+	if repeat := run(1); repeat != serial {
+		t.Error("repeated sweep on a fresh engine produced different results")
+	}
+}

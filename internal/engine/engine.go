@@ -373,6 +373,32 @@ func (e *Engine) Counters() Counters {
 	return e.counters
 }
 
+// Stats aggregates the engine's result-cache counters with the
+// process-wide materialized-trace cache (workload.Materialize): how many
+// trace slabs are resident, how often jobs were served one, and their
+// memory footprint. The trace cache is process-global — concurrent
+// engines share it — so these numbers describe the process, not one
+// engine instance.
+type Stats struct {
+	Counters          Counters `json:"counters"`
+	TraceCacheEntries int      `json:"trace_cache_entries"`
+	TraceCacheHits    uint64   `json:"trace_cache_hits"`
+	TraceCacheMisses  uint64   `json:"trace_cache_misses"`
+	TraceCacheBytes   int64    `json:"trace_cache_bytes"`
+}
+
+// Stats returns a snapshot of the engine and trace-cache counters.
+func (e *Engine) Stats() Stats {
+	tc := workload.TraceCacheStats()
+	return Stats{
+		Counters:          e.Counters(),
+		TraceCacheEntries: tc.Entries,
+		TraceCacheHits:    tc.Hits,
+		TraceCacheMisses:  tc.Misses,
+		TraceCacheBytes:   tc.Bytes,
+	}
+}
+
 // Run executes one job, deduplicated three ways: concurrent identical jobs
 // coalesce onto one execution, repeated jobs hit the in-process memo, and
 // repeated jobs across processes hit the persisted store.
@@ -460,7 +486,11 @@ func (e *Engine) execute(j Job) sim.Result {
 
 	specs := make([]sim.CoreSpec, cores)
 	for i, name := range j.Traces {
-		recs := workload.MustGenerate(name, e.scale.TraceLen)
+		// The process-wide materialized-trace cache hands every job of a
+		// sweep (and every concurrent shard, single-flight) one shared
+		// immutable record slab per {trace, length} instead of
+		// regenerating it per job.
+		recs := workload.MustMaterialize(name, e.scale.TraceLen)
 		spec := sim.CoreSpec{
 			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
 			L1Prefetcher: prefetchers.MustNew(l1s[i]),

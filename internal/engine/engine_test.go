@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // tiny keeps engine tests fast: one short trace, tiny budgets.
@@ -199,6 +201,42 @@ func TestOverridesAffectExecution(t *testing.T) {
 	}
 	if c := e.Counters(); c.Simulated != 2 {
 		t.Errorf("counters = %+v, want 2 distinct simulations", c)
+	}
+}
+
+// TestSweepGeneratesTraceOnce runs a sharded sweep — many prefetchers
+// over one trace, across several workers (exercised under -race in CI) —
+// and asserts the materialized-trace cache generated the trace exactly
+// once for the whole sweep.
+func TestSweepGeneratesTraceOnce(t *testing.T) {
+	workload.ResetTraceCache()
+	e := New(Options{Scale: tiny, Workers: 4})
+	jobs := []Job{
+		{Traces: []string{"soplex-66"}, L1: []string{"none"}},
+		{Traces: []string{"soplex-66"}, L1: []string{"Gaze"}},
+		{Traces: []string{"soplex-66"}, L1: []string{"PMP"}},
+		{Traces: []string{"soplex-66"}, L1: []string{"Bingo"}},
+		{Traces: []string{"soplex-66"}, L1: []string{"SPP-PPF"}},
+		{Traces: []string{"soplex-66"}, L1: []string{"IP-stride"}},
+		{Traces: []string{"soplex-66"}, L1: []string{"Gaze"}, Overrides: Overrides{PQCapacity: 16}},
+		{Traces: []string{"soplex-66"}, L1: []string{"Gaze"}, Overrides: Overrides{DRAMMTPS: 1600}},
+	}
+	e.RunAll(jobs)
+
+	st := workload.TraceCacheStats()
+	if st.Misses != 1 {
+		t.Errorf("sweep generated the trace %d times, want exactly once", st.Misses)
+	}
+	if st.Entries != 1 {
+		t.Errorf("trace cache holds %d entries, want 1", st.Entries)
+	}
+	stats := e.Stats()
+	if stats.TraceCacheMisses != 1 || stats.TraceCacheEntries != 1 {
+		t.Errorf("engine.Stats trace cache = %+v, want 1 miss / 1 entry", stats)
+	}
+	if stats.TraceCacheBytes != int64(tiny.TraceLen)*trace.RecordBytes {
+		t.Errorf("trace_cache_bytes = %d, want %d",
+			stats.TraceCacheBytes, int64(tiny.TraceLen)*trace.RecordBytes)
 	}
 }
 

@@ -13,12 +13,23 @@ package mem
 // table.
 type Translator struct {
 	keys [4]uint32
+
+	// tlbTag/tlbPFN form a direct-mapped memo of the permutation — a TLB
+	// without timing. Entries are pure memoization (the permutation is a
+	// function of the VPN alone), so hits return exactly what the Feistel
+	// network would compute; only the simulation's wall-clock changes.
+	// Tags store vpn+1 so the zero value means "empty".
+	tlbTag [tlbEntries]uint64
+	tlbPFN [tlbEntries]uint64
 }
 
 const (
 	feistelHalfBits = 18 // 2 x 18 = 36-bit page number domain
 	feistelHalfMask = 1<<feistelHalfBits - 1
 	vpnMask         = 1<<(2*feistelHalfBits) - 1
+
+	tlbEntries = 512 // direct-mapped; 8KB per translator
+	tlbMask    = tlbEntries - 1
 )
 
 // NewTranslator creates a translator with a deterministic per-process salt.
@@ -34,9 +45,14 @@ func NewTranslator(salt uint64) *Translator {
 }
 
 // Translate maps a virtual address to a physical address, preserving the
-// page offset.
+// page offset. Repeated translations of a hot page hit the internal TLB
+// memo instead of re-running the permutation.
 func (t *Translator) Translate(v Addr) Addr {
 	vpn := PageNum(v)
+	idx := vpn & tlbMask
+	if t.tlbTag[idx] == vpn+1 {
+		return Addr(t.tlbPFN[idx]<<PageBits) | (v & (PageSize - 1))
+	}
 	hi := vpn &^ uint64(vpnMask) // preserve bits above the permuted domain
 	l := uint32(vpn>>feistelHalfBits) & feistelHalfMask
 	r := uint32(vpn) & feistelHalfMask
@@ -44,6 +60,8 @@ func (t *Translator) Translate(v Addr) Addr {
 		l, r = r, l^feistelRound(r, k)
 	}
 	pfn := hi | uint64(l)<<feistelHalfBits | uint64(r)
+	t.tlbTag[idx] = vpn + 1
+	t.tlbPFN[idx] = pfn
 	return Addr(pfn<<PageBits) | (v & (PageSize - 1))
 }
 

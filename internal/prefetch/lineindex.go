@@ -1,0 +1,100 @@
+package prefetch
+
+// RegionIndex is a tiny open-addressed hash index from line or region
+// addresses to small slot numbers, shared by the request-buffering
+// structures (Queue, Pacer, Gaze's prefetch buffer) for O(1) duplicate
+// detection. It is fixed-size (load factor <= 1/4), uses linear probing
+// with backward-shift deletion, and never allocates after construction —
+// the properties the simulation's allocation-free steady state needs.
+// Keys are stored as key+1 so the zero word means "empty".
+type RegionIndex struct {
+	keys []uint64
+	vals []int32
+	mask uint64
+}
+
+// NewRegionIndex builds an index able to hold capacity entries.
+func NewRegionIndex(capacity int) RegionIndex {
+	size := 4
+	for size < 4*capacity {
+		size <<= 1
+	}
+	return RegionIndex{
+		keys: make([]uint64, size),
+		vals: make([]int32, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// home is the preferred table position for a stored key (key+1).
+func (x *RegionIndex) home(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> 32 & x.mask
+}
+
+// Lookup returns the slot stored for key, or -1.
+func (x *RegionIndex) Lookup(key uint64) int {
+	k := key + 1
+	for i := x.home(k); ; i = (i + 1) & x.mask {
+		switch x.keys[i] {
+		case k:
+			return int(x.vals[i])
+		case 0:
+			return -1
+		}
+	}
+}
+
+// Insert adds key -> slot; the caller guarantees key is absent and that
+// the table has room (entries <= capacity <= size/4).
+func (x *RegionIndex) Insert(key uint64, slot int) {
+	k := key + 1
+	i := x.home(k)
+	for x.keys[i] != 0 {
+		i = (i + 1) & x.mask
+	}
+	x.keys[i] = k
+	x.vals[i] = int32(slot)
+}
+
+// Remove deletes key using backward-shift deletion, keeping probe chains
+// contiguous without tombstones.
+func (x *RegionIndex) Remove(key uint64) {
+	k := key + 1
+	pos := -1
+	for i := x.home(k); ; i = (i + 1) & x.mask {
+		if x.keys[i] == k {
+			pos = int(i)
+			break
+		}
+		if x.keys[i] == 0 {
+			return
+		}
+	}
+	j := uint64(pos)
+	for {
+		x.keys[j] = 0
+		prev := j
+		for {
+			j = (j + 1) & x.mask
+			key := x.keys[j]
+			if key == 0 {
+				return
+			}
+			h := x.home(key)
+			// The entry at j may backfill prev only if its home position
+			// does not lie in the (prev, j] probe segment.
+			if prev <= j {
+				if h <= prev || h > j {
+					break
+				}
+			} else if h <= prev && h > j {
+				break
+			}
+		}
+		x.keys[prev] = x.keys[j]
+		x.vals[prev] = x.vals[j]
+	}
+}
+
+// Clear empties the index.
+func (x *RegionIndex) Clear() { clear(x.keys) }

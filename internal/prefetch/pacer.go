@@ -6,9 +6,14 @@ package prefetch
 // prediction does not flood the downstream prefetch queue in one burst.
 // The paper fine-tunes one PB design and uses it uniformly across the
 // spatial prefetchers (§IV-A2); Gaze's own PB lives in internal/core.
+//
+// Like Queue, storage is a fixed ring plus an open-addressed duplicate
+// index, so pushing and draining never allocate and never shift.
 type Pacer struct {
-	buf      []Request
-	capacity int
+	buf      []Request // ring storage; len(buf) is the capacity
+	head     int
+	count    int
+	resident RegionIndex
 	perDrain int
 
 	// Dropped counts requests lost to a full buffer.
@@ -21,37 +26,51 @@ func NewPacer(capacity, perDrain int) *Pacer {
 	if capacity <= 0 || perDrain <= 0 {
 		panic("prefetch: pacer capacity and drain must be positive")
 	}
-	return &Pacer{capacity: capacity, perDrain: perDrain}
+	return &Pacer{
+		buf:      make([]Request, capacity),
+		resident: NewRegionIndex(capacity),
+		perDrain: perDrain,
+	}
 }
 
 // Push buffers a request, merging duplicates (keeping the stronger level).
 func (p *Pacer) Push(req Request) {
-	for i := range p.buf {
-		if p.buf[i].VLine == req.VLine {
-			if req.Level < p.buf[i].Level {
-				p.buf[i].Level = req.Level
-			}
-			return
+	if slot := p.resident.Lookup(req.VLine); slot >= 0 {
+		if req.Level < p.buf[slot].Level {
+			p.buf[slot].Level = req.Level
 		}
+		return
 	}
-	if len(p.buf) >= p.capacity {
+	if p.count >= len(p.buf) {
 		p.Dropped++
 		return
 	}
-	p.buf = append(p.buf, req)
+	tail := p.head + p.count
+	if tail >= len(p.buf) {
+		tail -= len(p.buf)
+	}
+	p.buf[tail] = req
+	p.resident.Insert(req.VLine, tail)
+	p.count++
 }
 
 // Drain forwards up to perDrain buffered requests to issue.
 func (p *Pacer) Drain(issue IssueFunc) {
 	n := p.perDrain
-	if n > len(p.buf) {
-		n = len(p.buf)
+	if n > p.count {
+		n = p.count
 	}
 	for i := 0; i < n; i++ {
-		issue(p.buf[i])
+		req := p.buf[p.head]
+		p.resident.Remove(req.VLine)
+		p.head++
+		if p.head == len(p.buf) {
+			p.head = 0
+		}
+		p.count--
+		issue(req)
 	}
-	p.buf = p.buf[:copy(p.buf, p.buf[n:])]
 }
 
 // Len returns the number of buffered requests.
-func (p *Pacer) Len() int { return len(p.buf) }
+func (p *Pacer) Len() int { return p.count }

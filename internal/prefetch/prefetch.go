@@ -57,6 +57,27 @@ type Request struct {
 // IssueFunc receives requests from a prefetcher during training.
 type IssueFunc func(Request)
 
+// Sink receives issued prefetch requests. It is the reusable counterpart
+// of IssueFunc: a simulator binds one Sink per (core, queue) at setup and
+// re-points it at the current cycle each record, instead of allocating a
+// fresh closure per Train call in the hot loop.
+type Sink interface {
+	Issue(Request)
+}
+
+// QueueSink is the standard Sink: it pushes requests into a Queue at a
+// mutable issue cycle. The owner sets Now before each Train call; the
+// Issue method value (bound once) then serves as an allocation-free
+// IssueFunc for every record of the run.
+type QueueSink struct {
+	Q *Queue
+	// Now is the cycle Push sees; the simulator updates it per record.
+	Now float64
+}
+
+// Issue implements Sink.
+func (s *QueueSink) Issue(req Request) { s.Q.Push(req, s.Now) }
+
 // Prefetcher is the contract every evaluated design implements.
 type Prefetcher interface {
 	// Name identifies the prefetcher in reports ("Gaze", "PMP", ...).

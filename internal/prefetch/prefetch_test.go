@@ -248,3 +248,116 @@ func TestNilPrefetcher(t *testing.T) {
 		t.Error("Nil issued a prefetch")
 	}
 }
+
+func TestQueueRingWrap(t *testing.T) {
+	q := NewQueue(4, 8)
+	// Cycle pushes and pops well past the capacity so head wraps.
+	next := uint64(64)
+	for i := 0; i < 40; i++ {
+		q.Push(Request{VLine: next}, float64(i))
+		next += 64
+		if i%2 == 1 {
+			if _, _, ok := q.PopReady(float64(i) + 100); !ok {
+				t.Fatalf("pop %d failed", i)
+			}
+		}
+	}
+	// FIFO must survive the wrapping: drain everything, in order.
+	var prev uint64
+	for q.Len() > 0 {
+		req, _, ok := q.PopReady(1e9)
+		if !ok {
+			t.Fatal("queue non-empty but nothing ready")
+		}
+		if req.VLine <= prev {
+			t.Fatalf("FIFO order broken: %#x after %#x", req.VLine, prev)
+		}
+		prev = req.VLine
+	}
+}
+
+func TestQueueDupAfterWrap(t *testing.T) {
+	q := NewQueue(2, 8)
+	q.Push(Request{VLine: 64}, 0)
+	q.Push(Request{VLine: 128}, 0)
+	q.PopReady(100) // pops 64; head advanced
+	q.Push(Request{VLine: 192}, 1)
+	// 128 sits at a wrapped slot: its duplicate must still merge.
+	q.Push(Request{VLine: 128, Level: LevelL1}, 2)
+	if q.DropsDup != 1 {
+		t.Fatalf("DropsDup = %d, want 1", q.DropsDup)
+	}
+	req, _, _ := q.PopReady(100)
+	if req.VLine != 128 || req.Level != LevelL1 {
+		t.Errorf("merged request = %+v, want vline 128 at L1", req)
+	}
+}
+
+// TestRegionIndexDeletionChains drives the open-addressed index through
+// colliding insert/remove sequences and cross-checks against a map.
+func TestRegionIndexDeletionChains(t *testing.T) {
+	idx := NewRegionIndex(32)
+	ref := make(map[uint64]int)
+	// A deterministic pseudo-random torture: keys drawn from a small
+	// space force probe-chain collisions; interleaved removals exercise
+	// backward-shift compaction, including wrapped segments.
+	state := uint64(1)
+	rnd := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % n
+	}
+	for i := 0; i < 5_000; i++ {
+		key := rnd(64) * 64
+		if _, ok := ref[key]; ok {
+			if rnd(2) == 0 {
+				idx.Remove(key)
+				delete(ref, key)
+			}
+		} else if len(ref) < 32 {
+			slot := int(rnd(1024))
+			idx.Insert(key, slot)
+			ref[key] = slot
+		}
+		probe := rnd(64) * 64
+		got := idx.Lookup(probe)
+		want, ok := ref[probe]
+		if ok && got != want {
+			t.Fatalf("step %d: Lookup(%#x) = %d, want %d", i, probe, got, want)
+		}
+		if !ok && got != -1 {
+			t.Fatalf("step %d: Lookup(%#x) = %d, want absent", i, probe, got)
+		}
+	}
+}
+
+func TestPacerRingFIFOAndDedup(t *testing.T) {
+	p := NewPacer(4, 2)
+	for i := 1; i <= 6; i++ {
+		p.Push(Request{VLine: uint64(i) * 64, Level: LevelL2})
+	}
+	if p.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", p.Dropped)
+	}
+	p.Push(Request{VLine: 64, Level: LevelL1}) // dup upgrades level
+	var got []Request
+	issue := func(r Request) { got = append(got, r) }
+	p.Drain(issue)
+	p.Drain(issue)
+	if len(got) != 4 {
+		t.Fatalf("drained %d, want 4", len(got))
+	}
+	if got[0].VLine != 64 || got[0].Level != LevelL1 {
+		t.Errorf("first drained = %+v, want upgraded vline 64", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].VLine != uint64(i+1)*64 {
+			t.Errorf("drain order broken at %d: %+v", i, got[i])
+		}
+	}
+	// After draining, re-pushing a previously seen line must not be
+	// treated as a duplicate.
+	p.Push(Request{VLine: 128, Level: LevelL2})
+	if p.Len() != 1 {
+		t.Errorf("re-push after drain: Len = %d, want 1", p.Len())
+	}
+}

@@ -5,10 +5,18 @@ package prefetch
 // bounded rate; when the queue is full, new requests are dropped — the
 // saturation behaviour behind the paper's vBerti redundant-prefetch
 // analysis (§IV-B3): junk requests occupy slots and delay useful ones.
+//
+// The queue is a fixed-capacity ring buffer paired with an open-addressed
+// resident-line index, so the simulation steady state is allocation-free:
+// Push is O(1) (the index replaces the old linear duplicate scan) and
+// PopReady is O(1) (the ring replaces the old copy-shift dequeue).
 type Queue struct {
-	cap       int
-	drainRate float64 // requests per cycle
-	items     []queued
+	drainRate float64  // requests per cycle
+	interval  float64  // 1/drainRate, precomputed off the push path
+	items     []queued // ring storage; len(items) is the capacity
+	head      int      // ring position of the oldest request
+	count     int      // live requests
+	resident  RegionIndex
 	nextSlot  float64 // earliest cycle the next drained request may issue
 
 	// Stats
@@ -28,23 +36,26 @@ func NewQueue(capacity int, drainRate float64) *Queue {
 	if capacity <= 0 || drainRate <= 0 {
 		panic("prefetch: queue capacity and drain rate must be positive")
 	}
-	return &Queue{cap: capacity, drainRate: drainRate}
+	return &Queue{
+		drainRate: drainRate,
+		interval:  1 / drainRate,
+		items:     make([]queued, capacity),
+		resident:  NewRegionIndex(capacity),
+	}
 }
 
 // Push enqueues a request at cycle now. Duplicate line addresses already
 // queued are merged (keeping the more aggressive level); a full queue
 // drops the request.
 func (q *Queue) Push(req Request, now float64) {
-	for i := range q.items {
-		if q.items[i].req.VLine == req.VLine {
-			if req.Level < q.items[i].req.Level {
-				q.items[i].req.Level = req.Level
-			}
-			q.DropsDup++
-			return
+	if slot := q.resident.Lookup(req.VLine); slot >= 0 {
+		if req.Level < q.items[slot].req.Level {
+			q.items[slot].req.Level = req.Level
 		}
+		q.DropsDup++
+		return
 	}
-	if len(q.items) >= q.cap {
+	if q.count >= len(q.items) {
 		q.DropsFull++
 		return
 	}
@@ -52,25 +63,41 @@ func (q *Queue) Push(req Request, now float64) {
 	if q.nextSlot > ready {
 		ready = q.nextSlot
 	}
-	q.nextSlot = ready + 1/q.drainRate
-	q.items = append(q.items, queued{req: req, readyAt: ready})
+	q.nextSlot = ready + q.interval
+	tail := q.head + q.count
+	if tail >= len(q.items) {
+		tail -= len(q.items)
+	}
+	q.items[tail] = queued{req: req, readyAt: ready}
+	q.resident.Insert(req.VLine, tail)
+	q.count++
 	q.Enqueued++
 }
 
 // PopReady removes and returns the oldest request whose issue slot has
 // arrived by cycle now.
 func (q *Queue) PopReady(now float64) (Request, float64, bool) {
-	if len(q.items) == 0 || q.items[0].readyAt > now {
+	if q.count == 0 || q.items[q.head].readyAt > now {
 		return Request{}, 0, false
 	}
-	it := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
+	it := q.items[q.head]
+	q.resident.Remove(it.req.VLine)
+	q.head++
+	if q.head == len(q.items) {
+		q.head = 0
+	}
+	q.count--
 	return it.req, it.readyAt, true
 }
 
 // Len returns the number of queued requests.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.count }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.items) }
 
 // Flush discards all queued requests (end of simulation).
-func (q *Queue) Flush() { q.items = q.items[:0] }
+func (q *Queue) Flush() {
+	q.head, q.count = 0, 0
+	q.resident.Clear()
+}

@@ -3,18 +3,22 @@ package prefetch
 // Table is a generic set-associative LRU metadata table — the structure
 // behind FT, AT, PHT, Bingo/SMS history tables and the prefetch buffer.
 // Entries hold a caller-defined payload V and are located by (set, tag).
+//
+// Storage is structure-of-arrays: tags and LRU stamps are packed in their
+// own slices so the per-way scans every prefetcher runs on every training
+// access stream through contiguous words, and payloads are only touched
+// for the way that matches. Validity is encoded in the stamp (0 =
+// invalid; live entries always stamp >= 1 because the clock
+// pre-increments), which also makes victim selection a single argmin —
+// zeros lose to nothing and first-among-ties picks the first free way,
+// matching the historical scan exactly.
 type Table[V any] struct {
 	sets  int
 	ways  int
-	ent   []tableEntry[V]
+	tags  []uint64
+	lru   []uint64
+	vals  []V
 	clock uint64
-}
-
-type tableEntry[V any] struct {
-	tag   uint64
-	lru   uint64
-	valid bool
-	val   V
 }
 
 // NewTable allocates a sets×ways table. sets must be a power of two.
@@ -22,7 +26,13 @@ func NewTable[V any](sets, ways int) *Table[V] {
 	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
 		panic("prefetch: table sets must be a positive power of two, ways positive")
 	}
-	return &Table[V]{sets: sets, ways: ways, ent: make([]tableEntry[V], sets*ways)}
+	n := sets * ways
+	return &Table[V]{
+		sets: sets, ways: ways,
+		tags: make([]uint64, n),
+		lru:  make([]uint64, n),
+		vals: make([]V, n),
+	}
 }
 
 // Sets returns the number of sets.
@@ -34,32 +44,39 @@ func (t *Table[V]) Ways() int { return t.ways }
 // SetIndex maps an arbitrary key to a set index.
 func (t *Table[V]) SetIndex(key uint64) int { return int(key) & (t.sets - 1) }
 
-func (t *Table[V]) set(idx int) []tableEntry[V] {
-	base := idx * t.ways
-	return t.ent[base : base+t.ways]
+// base returns the index of way 0 of setIdx.
+func (t *Table[V]) base(setIdx int) int {
+	return (setIdx & (t.sets - 1)) * t.ways
+}
+
+// find returns the table index of the valid (set, tag) entry, or -1. A
+// stale tag word on an invalidated way cannot false-match because
+// validity is re-checked from the stamp.
+func (t *Table[V]) find(base int, tag uint64) int {
+	tags := t.tags[base : base+t.ways]
+	for i, tg := range tags {
+		if tg == tag && t.lru[base+i] != 0 {
+			return base + i
+		}
+	}
+	return -1
 }
 
 // Lookup finds (set, tag) and refreshes its LRU position. It returns a
 // pointer to the payload, valid until the next Insert into the same set.
 func (t *Table[V]) Lookup(setIdx int, tag uint64) (*V, bool) {
 	t.clock++
-	s := t.set(setIdx & (t.sets - 1))
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
-			s[i].lru = t.clock
-			return &s[i].val, true
-		}
+	if i := t.find(t.base(setIdx), tag); i >= 0 {
+		t.lru[i] = t.clock
+		return &t.vals[i], true
 	}
 	return nil, false
 }
 
 // Peek finds (set, tag) without refreshing LRU.
 func (t *Table[V]) Peek(setIdx int, tag uint64) (*V, bool) {
-	s := t.set(setIdx & (t.sets - 1))
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
-			return &s[i].val, true
-		}
+	if i := t.find(t.base(setIdx), tag); i >= 0 {
+		return &t.vals[i], true
 	}
 	return nil, false
 }
@@ -69,29 +86,28 @@ func (t *Table[V]) Peek(setIdx int, tag uint64) (*V, bool) {
 // displaced) and whether an eviction happened.
 func (t *Table[V]) Insert(setIdx int, tag uint64, val V) (evicted V, wasEvict bool) {
 	t.clock++
-	s := t.set(setIdx & (t.sets - 1))
-	victim := 0
-	var oldest uint64 = ^uint64(0)
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
-			s[i].val = val
-			s[i].lru = t.clock
-			return evicted, false
-		}
-		if !s[i].valid {
-			if oldest != 0 {
-				victim, oldest = i, 0
-			}
-			continue
-		}
-		if s[i].lru < oldest {
-			victim, oldest = i, s[i].lru
+	base := t.base(setIdx)
+	if i := t.find(base, tag); i >= 0 {
+		t.vals[i] = val
+		t.lru[i] = t.clock
+		return evicted, false
+	}
+	// Victim: first free way, else LRU (zero stamps mark free ways and
+	// win the argmin first, like the historical first-invalid scan).
+	lru := t.lru[base : base+t.ways]
+	victim, oldest := 0, lru[0]
+	for i := 1; i < len(lru); i++ {
+		if lru[i] < oldest {
+			victim, oldest = i, lru[i]
 		}
 	}
-	if s[victim].valid {
-		evicted, wasEvict = s[victim].val, true
+	i := base + victim
+	if oldest != 0 {
+		evicted, wasEvict = t.vals[i], true
 	}
-	s[victim] = tableEntry[V]{tag: tag, lru: t.clock, valid: true, val: val}
+	t.tags[i] = tag
+	t.lru[i] = t.clock
+	t.vals[i] = val
 	return evicted, wasEvict
 }
 
@@ -99,13 +115,12 @@ func (t *Table[V]) Insert(setIdx int, tag uint64, val V) (evicted V, wasEvict bo
 // and returns the removed payload.
 func (t *Table[V]) Invalidate(setIdx int, tag uint64) (V, bool) {
 	var zero V
-	s := t.set(setIdx & (t.sets - 1))
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
-			v := s[i].val
-			s[i] = tableEntry[V]{}
-			return v, true
-		}
+	if i := t.find(t.base(setIdx), tag); i >= 0 {
+		v := t.vals[i]
+		t.tags[i] = 0
+		t.lru[i] = 0
+		t.vals[i] = zero
+		return v, true
 	}
 	return zero, false
 }
@@ -115,10 +130,10 @@ func (t *Table[V]) Invalidate(setIdx int, tag uint64) (V, bool) {
 // (exact long-event match first, then approximate short-event match) use
 // this to inspect all ways of a set.
 func (t *Table[V]) ScanSet(setIdx int, fn func(tag uint64, val *V) bool) {
-	s := t.set(setIdx & (t.sets - 1))
-	for i := range s {
-		if s[i].valid {
-			if !fn(s[i].tag, &s[i].val) {
+	base := t.base(setIdx)
+	for i := base; i < base+t.ways; i++ {
+		if t.lru[i] != 0 {
+			if !fn(t.tags[i], &t.vals[i]) {
 				return
 			}
 		}
@@ -128,21 +143,17 @@ func (t *Table[V]) ScanSet(setIdx int, fn func(tag uint64, val *V) bool) {
 // TouchEntry refreshes the LRU position of (set, tag) if present.
 func (t *Table[V]) TouchEntry(setIdx int, tag uint64) {
 	t.clock++
-	s := t.set(setIdx & (t.sets - 1))
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
-			s[i].lru = t.clock
-			return
-		}
+	if i := t.find(t.base(setIdx), tag); i >= 0 {
+		t.lru[i] = t.clock
 	}
 }
 
 // Range calls fn for every valid entry; fn may mutate the payload through
 // the pointer. Iteration order is unspecified.
 func (t *Table[V]) Range(fn func(setIdx int, tag uint64, val *V)) {
-	for i := range t.ent {
-		if t.ent[i].valid {
-			fn(i/t.ways, t.ent[i].tag, &t.ent[i].val)
+	for i := range t.lru {
+		if t.lru[i] != 0 {
+			fn(i/t.ways, t.tags[i], &t.vals[i])
 		}
 	}
 }
@@ -150,8 +161,8 @@ func (t *Table[V]) Range(fn func(setIdx int, tag uint64, val *V)) {
 // Len returns the number of valid entries.
 func (t *Table[V]) Len() int {
 	n := 0
-	for i := range t.ent {
-		if t.ent[i].valid {
+	for i := range t.lru {
+		if t.lru[i] != 0 {
 			n++
 		}
 	}
@@ -160,7 +171,10 @@ func (t *Table[V]) Len() int {
 
 // Clear invalidates everything.
 func (t *Table[V]) Clear() {
-	for i := range t.ent {
-		t.ent[i] = tableEntry[V]{}
+	var zero V
+	clear(t.tags)
+	clear(t.lru)
+	for i := range t.vals {
+		t.vals[i] = zero
 	}
 }

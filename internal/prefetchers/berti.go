@@ -166,22 +166,21 @@ func (b *Berti) elect(e *bertiEntry) {
 		delta int64
 		cov   float64
 	}
-	var best []cand
+	// One delta per tier, preferring the farthest reach within the tier:
+	// overlapping deltas of the same direction only re-request lines the
+	// largest one already covers. The tiering folds the >= 0.30 coverage
+	// cut directly into the scan so electing stays allocation-free.
+	var l1Best, l2Best cand
 	for i := range e.candDelta {
 		if e.candDelta[i] == 0 {
 			continue
 		}
 		cov := float64(e.candTimes[i]) / round
-		if cov >= 0.30 {
-			best = append(best, cand{delta: e.candDelta[i], cov: cov})
+		if cov < 0.30 {
+			continue
 		}
-	}
-	// One delta per tier, preferring the farthest reach within the tier:
-	// overlapping deltas of the same direction only re-request lines the
-	// largest one already covers.
-	var l1Best, l2Best cand
-	for _, c := range best {
-		if c.cov >= 0.60 {
+		c := cand{delta: e.candDelta[i], cov: cov}
+		if cov >= 0.60 {
 			if abs64(c.delta) > abs64(l1Best.delta) {
 				l1Best = c
 			}

@@ -20,6 +20,12 @@ type regionTracker struct {
 
 	// onDeactivate learns a finished region's footprint.
 	onDeactivate func(e *trkAT)
+
+	// scratch stages the entry handed to onDeactivate: passing a pointer
+	// to a struct field (instead of to a loop local) keeps escape
+	// analysis from heap-allocating one trkAT per deactivation on the
+	// training hot path.
+	scratch trkAT
 }
 
 type trkFT struct {
@@ -75,7 +81,8 @@ func (t *regionTracker) observe(a prefetch.Access) (region uint64, off int, isTr
 			}
 			t.ft.Invalidate(t.ft.SetIndex(region), region)
 			if ev, was := t.at.Insert(t.at.SetIndex(region), region, entry); was {
-				t.onDeactivate(&ev)
+				t.scratch = ev
+				t.onDeactivate(&t.scratch)
 			}
 		}
 		return region, off, false
@@ -89,7 +96,8 @@ func (t *regionTracker) observe(a prefetch.Access) (region uint64, off int, isTr
 func (t *regionTracker) evict(vline uint64) {
 	region := vline >> t.shift
 	if e, ok := t.at.Invalidate(t.at.SetIndex(region), region); ok {
-		t.onDeactivate(&e)
+		t.scratch = e
+		t.onDeactivate(&t.scratch)
 	}
 }
 

@@ -1,0 +1,48 @@
+// Package profiling wires the standard pprof profiles into CLIs with two
+// flags' worth of code, so perf work on the simulator stays
+// profile-guided (see DESIGN.md's hot-path section) instead of guessed.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// to memPath (when non-empty). Callers must invoke stop on the normal
+// exit path — typically via defer in main; error-exit paths that bypass
+// it simply lose the profile, which is the conventional trade-off.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

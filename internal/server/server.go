@@ -115,13 +115,20 @@ type SensitivityPoint struct {
 
 // StatsResponse reports engine cache effectiveness. StoreEntries is null
 // when no persisted store is configured and 0 when the store is empty —
-// distinguishable states for monitoring clients.
+// distinguishable states for monitoring clients. The trace_cache_*
+// fields describe the process-wide materialized-trace cache: how many
+// immutable record slabs are resident, how often jobs were served one
+// versus generating it, and the slabs' memory footprint.
 type StatsResponse struct {
 	Scale              engine.Scale    `json:"scale"`
 	Counters           engine.Counters `json:"counters"`
 	StoreDir           string          `json:"store_dir,omitempty"`
 	StoreEntries       *int            `json:"store_entries"`
 	StoreSchemaVersion int             `json:"store_schema_version"`
+	TraceCacheEntries  int             `json:"trace_cache_entries"`
+	TraceCacheHits     uint64          `json:"trace_cache_hits"`
+	TraceCacheMisses   uint64          `json:"trace_cache_misses"`
+	TraceCacheBytes    int64           `json:"trace_cache_bytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -154,10 +161,15 @@ func (s *Server) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.eng.Stats()
 	resp := StatsResponse{
 		Scale:              s.eng.Scale(),
-		Counters:           s.eng.Counters(),
+		Counters:           stats.Counters,
 		StoreSchemaVersion: engine.StoreSchemaVersion,
+		TraceCacheEntries:  stats.TraceCacheEntries,
+		TraceCacheHits:     stats.TraceCacheHits,
+		TraceCacheMisses:   stats.TraceCacheMisses,
+		TraceCacheBytes:    stats.TraceCacheBytes,
 	}
 	if st := s.eng.Store(); st != nil {
 		resp.StoreDir = st.Dir()

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/workload"
 )
 
 // tiny keeps HTTP tests fast while still exercising real simulations.
@@ -474,6 +475,42 @@ func TestStatsStoreFields(t *testing.T) {
 		if got := string(raw["store_schema_version"]); got != fmt.Sprint(engine.StoreSchemaVersion) {
 			t.Errorf("store_schema_version = %s, want %d", got, engine.StoreSchemaVersion)
 		}
+		for _, field := range []string{
+			"trace_cache_entries", "trace_cache_hits", "trace_cache_misses", "trace_cache_bytes",
+		} {
+			if _, ok := raw[field]; !ok {
+				t.Errorf("stats response missing %q", field)
+			}
+		}
+	}
+}
+
+// TestStatsReportsTraceCache: after a simulation the trace cache must
+// hold the simulated trace's slab and report a non-zero footprint. The
+// cache is process-wide, so the test pins the delta against a snapshot
+// rather than absolute counts.
+func TestStatsReportsTraceCache(t *testing.T) {
+	before := workload.TraceCacheStats()
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "wrf-196", Prefetcher: "none"}, nil)
+
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceCacheEntries < 1 {
+		t.Errorf("trace_cache_entries = %d, want >= 1", st.TraceCacheEntries)
+	}
+	if st.TraceCacheBytes <= 0 {
+		t.Errorf("trace_cache_bytes = %d, want > 0", st.TraceCacheBytes)
+	}
+	if st.TraceCacheMisses <= before.Misses && st.TraceCacheHits <= before.Hits {
+		t.Error("simulating did not touch the trace cache at all")
 	}
 }
 

@@ -36,7 +36,28 @@ type coreState struct {
 	pf2 prefetch.Prefetcher
 	pq2 *prefetch.Queue
 
+	// sink/issue (and the pq2 pair) are bound once at construction: the
+	// hot loop re-points sink.Now at the current cycle and passes the
+	// prebuilt IssueFunc, so a Train call allocates nothing.
+	sink   prefetch.QueueSink
+	issue  prefetch.IssueFunc
+	sink2  prefetch.QueueSink
+	issue2 prefetch.IssueFunc
+
 	reader trace.Reader
+	// loop holds reader's concrete type when it is a *trace.Looping (the
+	// engine's standard supply): calling through the concrete pointer
+	// lets the compiler inline the whole record fetch into step.
+	loop *trace.Looping
+
+	// training is false for the no-prefetch baseline (both prefetchers
+	// are Nil): its Train calls are no-ops, so the hot loop skips
+	// building the Access record entirely.
+	training bool
+
+	// nextFetch caches core.NextFetch() for the scheduler heap; it is
+	// only maintained while the heap is engaged (cores > schedHeapMin).
+	nextFetch float64
 
 	measuring bool
 	done      bool
@@ -55,6 +76,10 @@ type System struct {
 	cores []*coreState
 	llc   *cache.Cache
 	dram  *dram.DRAM
+
+	// sched is a min-heap of cores ordered by (nextFetch, idx), engaged
+	// above schedHeapMin cores; below that a linear scan is cheaper.
+	sched []*coreState
 }
 
 // New builds a system for the given specs. len(specs) must equal
@@ -89,9 +114,16 @@ func New(cfg Config, specs []CoreSpec) (*System, error) {
 			pq:     prefetch.NewQueue(cfg.PQCapacity, cfg.PQDrainRate),
 			reader: spec.Trace,
 		}
+		c.loop, _ = spec.Trace.(*trace.Looping)
+		_, pfIsNil := pf.(prefetch.Nil)
+		c.training = !pfIsNil || spec.L2Prefetcher != nil
+		c.sink.Q = c.pq
+		c.issue = c.sink.Issue
 		if spec.L2Prefetcher != nil {
 			c.pf2 = spec.L2Prefetcher
 			c.pq2 = prefetch.NewQueue(cfg.PQCapacity, cfg.PQDrainRate)
+			c.sink2.Q = c.pq2
+			c.issue2 = c.sink2.Issue
 		}
 		// Region-deactivation signal: L1 evictions reach the L1 prefetcher.
 		thePF := pf
@@ -124,10 +156,12 @@ func (s *System) Run() Result {
 		warmupsPending = 0
 		s.resetSharedStats()
 	}
+	s.initSched()
 	running := len(s.cores)
 	for running > 0 {
 		c := s.nextCore()
 		s.step(c)
+		s.reschedule()
 
 		if !c.measuring && c.core.Instructions() >= s.cfg.WarmupInstructions {
 			c.measuring = true
@@ -178,9 +212,20 @@ func (s *System) resetSharedStats() {
 	s.dram.ResetStats()
 }
 
+// schedHeapMin is the core count above which nextCore switches from a
+// linear scan to the index min-heap: for the common 1-4 core systems the
+// scan's handful of compares beats heap maintenance, while the paper's
+// 8-core mixes (and the 16-core API limit) get O(log n) scheduling.
+const schedHeapMin = 4
+
 // nextCore picks the core with the earliest next fetch cycle — the global
 // time interleaving that makes shared LLC/DRAM contention meaningful.
+// Ties break toward the lowest core index in both strategies, so the heap
+// and the scan schedule identically.
 func (s *System) nextCore() *coreState {
+	if s.sched != nil {
+		return s.sched[0]
+	}
 	best := s.cores[0]
 	if len(s.cores) == 1 {
 		return best
@@ -194,10 +239,76 @@ func (s *System) nextCore() *coreState {
 	return best
 }
 
+// initSched builds the scheduler heap when the core count warrants it.
+// Stepping one core never changes another core's NextFetch (cores couple
+// only through shared-resource latencies observed at their own steps), so
+// cached keys stay valid until the owning core is stepped again.
+func (s *System) initSched() {
+	if len(s.cores) <= schedHeapMin {
+		return
+	}
+	s.sched = make([]*coreState, len(s.cores))
+	for i, c := range s.cores {
+		c.nextFetch = c.core.NextFetch()
+		s.sched[i] = c
+	}
+	for i := len(s.sched)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// reschedule re-keys the just-stepped core (always the heap root) and
+// restores the heap order.
+func (s *System) reschedule() {
+	if s.sched == nil {
+		return
+	}
+	s.sched[0].nextFetch = s.sched[0].core.NextFetch()
+	s.siftDown(0)
+}
+
+// schedLess orders cores by (nextFetch, idx); the index tiebreak makes
+// the heap deterministic and scan-equivalent.
+func schedLess(a, b *coreState) bool {
+	return a.nextFetch < b.nextFetch || (a.nextFetch == b.nextFetch && a.idx < b.idx)
+}
+
+func (s *System) siftDown(i int) {
+	h := s.sched
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && schedLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && schedLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
 // step advances one core by one trace record (its non-memory run plus the
-// memory access).
+// memory access). It is the simulation's steady-state hot path and must
+// stay allocation-free: the address is translated once and shared by the
+// demand access and both prefetcher Train calls, and requests flow
+// through the per-core sinks bound at construction instead of per-record
+// closures.
 func (s *System) step(c *coreState) {
-	rec, err := c.reader.Next()
+	var (
+		rec trace.Record
+		err error
+	)
+	if c.loop != nil {
+		rec, err = c.loop.Next()
+	} else {
+		rec, err = c.reader.Next()
+	}
 	if err != nil {
 		// Traces are expected to be endless (Looping); treat exhaustion as
 		// pure non-memory work so the run still terminates.
@@ -207,36 +318,51 @@ func (s *System) step(c *coreState) {
 	c.core.ExecuteRun(int(rec.NonMem))
 
 	t := c.core.NextFetch()
-	s.drainPQ(c, t)
+	if c.pq.Len() > 0 || c.pq2 != nil {
+		s.drainPQ(c, t)
+	}
 
-	lat, l1hit := s.demandAccess(c, rec.Addr, t)
-	c.core.Execute(lat)
+	paddr := c.tr.Translate(mem.Addr(rec.Addr))
+	lat, l1hit := s.demandAccess(c, paddr, rec.Addr, t)
+	// t is this instruction's fetch cycle (nothing touched the core since
+	// it was read), so skip recomputing it inside Execute.
+	c.core.ExecuteFetched(t, lat)
 
-	if rec.Kind == trace.Load {
+	if rec.Kind == trace.Load && c.training {
 		missLat := 0.0
 		if !l1hit {
 			missLat = lat
 		}
-		c.pf.Train(prefetch.Access{
+		acc := prefetch.Access{
 			PC:          rec.PC,
 			VAddr:       rec.Addr,
-			PAddr:       uint64(c.tr.Translate(mem.Addr(rec.Addr))),
+			PAddr:       uint64(paddr),
 			Cycle:       t,
 			L1Hit:       l1hit,
 			MissLatency: missLat,
-		}, func(req prefetch.Request) { c.pq.Push(req, t) })
+		}
+		c.sink.Now = t
+		c.pf.Train(acc, c.issue)
 
 		if c.pf2 != nil && !l1hit {
-			// The L2 prefetcher sees the access stream that reaches L2C.
-			c.pf2.Train(prefetch.Access{
-				PC:          rec.PC,
-				VAddr:       rec.Addr,
-				PAddr:       uint64(c.tr.Translate(mem.Addr(rec.Addr))),
-				Cycle:       t,
-				L1Hit:       false,
-				MissLatency: missLat,
-			}, func(req prefetch.Request) { c.pq2.Push(req, t) })
+			// The L2 prefetcher sees the access stream that reaches L2C
+			// (acc.L1Hit is false on this path).
+			c.sink2.Now = t
+			c.pf2.Train(acc, c.issue2)
 		}
+	}
+}
+
+// Advance runs n scheduler iterations (one trace record or idle run each)
+// without the warm-up and termination bookkeeping of Run. It exists for
+// benchmarks and hot-path allocation tests; Run is the real entry point.
+func (s *System) Advance(n int) {
+	if s.sched == nil && len(s.cores) > schedHeapMin {
+		s.initSched()
+	}
+	for i := 0; i < n; i++ {
+		s.step(s.nextCore())
+		s.reschedule()
 	}
 }
 
@@ -265,9 +391,10 @@ func (s *System) drainPQ(c *coreState, now float64) {
 }
 
 // demandAccess walks the hierarchy for a demand access issued at cycle t
-// and returns (latency, l1Hit).
-func (s *System) demandAccess(c *coreState, vaddr uint64, t float64) (float64, bool) {
-	paddr := c.tr.Translate(mem.Addr(vaddr))
+// and returns (latency, l1Hit). The caller supplies the translation
+// (paddr = Translate(vaddr)) so one lookup serves the demand path and the
+// prefetcher training structs alike.
+func (s *System) demandAccess(c *coreState, paddr mem.Addr, vaddr uint64, t float64) (float64, bool) {
 	vline := vaddr &^ (mem.LineSize - 1)
 
 	res := c.l1.Access(paddr, t)
@@ -330,20 +457,28 @@ func (s *System) issuePrefetch(c *coreState, req prefetch.Request, t float64) {
 		return
 	}
 
-	// Locate the data.
+	// Locate the data. l2Resident caches the L2 probe outcome: nothing on
+	// this path fills or evicts the L2 before the fill decision below, so
+	// re-probing would do identical work for the same answer.
 	var ready float64
 	fromDRAM := false
-	switch {
-	case req.Level == prefetch.LevelL1 && c.l2.Probe(paddr):
-		c.l2.Touch(paddr)
-		// An L2-resident prefetched line promoted to L1 transfers its
-		// attribution: it is counted once, at the L1 where it lands.
-		if was, fd := c.l2.ConsumePrefetch(paddr); was {
-			fromDRAM = fd
+	l2Resident := false
+	if req.Level == prefetch.LevelL1 {
+		// PromotePrefetch fuses the probe, the LRU touch and the
+		// prefetch-bit consumption into one set scan. An L2-resident
+		// prefetched line promoted to L1 transfers its attribution: it is
+		// counted once, at the L1 where it lands.
+		if present, was, fd := c.l2.PromotePrefetch(paddr); present {
+			l2Resident = true
+			if was {
+				fromDRAM = fd
+			}
+			ready = t + s.cfg.L1D.HitLatency + s.cfg.L2C.HitLatency
 		}
-		ready = t + s.cfg.L1D.HitLatency + s.cfg.L2C.HitLatency
-	case s.llc.Probe(paddr):
-		s.llc.Touch(paddr)
+	}
+	switch {
+	case l2Resident:
+	case s.llc.ProbeTouch(paddr):
 		ready = t + s.cfg.L2C.HitLatency + s.cfg.LLC.HitLatency
 	default:
 		arr := t + s.cfg.L2C.HitLatency + s.cfg.LLC.HitLatency
@@ -363,7 +498,7 @@ func (s *System) issuePrefetch(c *coreState, req prefetch.Request, t float64) {
 			ready = st
 		}
 		c.l1.MSHRComplete(slot, ready)
-		if !c.l2.Probe(paddr) {
+		if !l2Resident {
 			c.l2.Fill(paddr, ready, cache.FillOpts{VLine: req.VLine})
 		}
 		c.l1.Fill(paddr, ready, cache.FillOpts{Prefetch: true, FromDRAM: fromDRAM, VLine: req.VLine})

@@ -8,6 +8,7 @@ package trace
 import (
 	"errors"
 	"io"
+	"unsafe"
 )
 
 // Kind classifies the memory operation of a Record.
@@ -38,6 +39,10 @@ type Record struct {
 
 // Instructions returns the number of instructions this record accounts for.
 func (r Record) Instructions() int { return int(r.NonMem) + 1 }
+
+// RecordBytes is the in-memory size of one Record, used for footprint
+// accounting of materialized record slabs.
+const RecordBytes = int64(unsafe.Sizeof(Record{}))
 
 // Reader yields trace records in program order. Next returns io.EOF when
 // the trace is exhausted.
@@ -73,15 +78,12 @@ func (s *SliceReader) Reset() { s.pos = 0 }
 // Looping wraps a resettable source so it never returns io.EOF: when the
 // underlying trace ends it is replayed from the start. This mirrors the
 // paper's methodology ("if a trace reaches its end before the simulator has
-// executed enough instructions, it is replayed from the start").
+// executed enough instructions, it is replayed from the start"). The
+// source is held concretely (not behind an interface) so the simulator's
+// per-record fetch inlines end to end.
 type Looping struct {
-	src   resettable
+	src   *SliceReader
 	wraps int
-}
-
-type resettable interface {
-	Reader
-	Reset()
 }
 
 // NewLooping wraps src in a looping reader.

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// This file implements the process-wide materialized-trace cache. Every
+// entry point that simulates — the engine's sweep shards, gazeserve
+// handlers, benchmarks — asks for traces through Materialize, so N
+// prefetchers x M config points over one trace generate it exactly once
+// per process instead of once per job. Entries are immutable [] Record
+// slabs keyed by {name, length}; population is single-flight, so
+// concurrent shards requesting the same trace block on one generation
+// instead of racing duplicates.
+
+// CacheStats is a point-in-time snapshot of the materialized-trace cache.
+type CacheStats struct {
+	// Entries is the number of materialized traces resident in memory.
+	Entries int `json:"entries"`
+	// Hits counts Materialize calls served an existing (or in-flight)
+	// slab; Misses counts calls that generated one.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Bytes is the resident record-slab footprint (records x record size).
+	Bytes int64 `json:"bytes"`
+}
+
+type traceKey struct {
+	name string
+	n    int
+}
+
+// traceEntry is one cache slot. ready is closed once recs/err are final;
+// readers that find an in-flight entry block on it — the single-flight
+// discipline that keeps shards from generating duplicates.
+type traceEntry struct {
+	ready chan struct{}
+	recs  []trace.Record
+	err   error
+}
+
+var traceCache = struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	hits    uint64
+	misses  uint64
+	bytes   int64
+}{entries: make(map[traceKey]*traceEntry)}
+
+// Materialize returns the first n records of the named workload from the
+// process-wide cache, generating them on first request. The returned
+// slice is shared and immutable: callers must not modify it (wrap it in
+// trace.NewSliceReader / trace.NewLooping to consume it). It is safe for
+// concurrent use from any number of goroutines.
+func Materialize(name string, n int) ([]trace.Record, error) {
+	key := traceKey{name: name, n: n}
+	traceCache.mu.Lock()
+	if e, ok := traceCache.entries[key]; ok {
+		traceCache.hits++
+		traceCache.mu.Unlock()
+		<-e.ready
+		return e.recs, e.err
+	}
+	e := &traceEntry{ready: make(chan struct{})}
+	traceCache.entries[key] = e
+	traceCache.misses++
+	traceCache.mu.Unlock()
+
+	e.recs, e.err = Generate(name, n)
+
+	traceCache.mu.Lock()
+	if cur, ok := traceCache.entries[key]; ok && cur == e {
+		// The identity check keeps a ResetTraceCache racing an in-flight
+		// generation from corrupting the byte accounting of the new map.
+		if e.err != nil {
+			// Don't cache failures (unknown names): drop the slot so the
+			// map and Entries only ever hold materialized traces.
+			delete(traceCache.entries, key)
+		} else {
+			traceCache.bytes += int64(len(e.recs)) * trace.RecordBytes
+		}
+	}
+	traceCache.mu.Unlock()
+	close(e.ready)
+	return e.recs, e.err
+}
+
+// MustMaterialize is Materialize for known-good names; it panics on error.
+func MustMaterialize(name string, n int) []trace.Record {
+	recs, err := Materialize(name, n)
+	if err != nil {
+		panic(err)
+	}
+	return recs
+}
+
+// TraceCacheStats returns a snapshot of the cache counters.
+func TraceCacheStats() CacheStats {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	return CacheStats{
+		Entries: len(traceCache.entries),
+		Hits:    traceCache.hits,
+		Misses:  traceCache.misses,
+		Bytes:   traceCache.bytes,
+	}
+}
+
+// ResetTraceCache discards every materialized trace and zeroes the
+// counters. It is for tests and benchmarks that need a cold cache or a
+// clean counter baseline; callers must ensure no Materialize call is in
+// flight (in-flight generations complete against the old entries and are
+// simply not retained).
+func ResetTraceCache() {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	traceCache.entries = make(map[traceKey]*traceEntry)
+	traceCache.hits, traceCache.misses, traceCache.bytes = 0, 0, 0
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMaterializeSharesOneSlab(t *testing.T) {
+	ResetTraceCache()
+	a := MustMaterialize("lbm-1274", 2_000)
+	b := MustMaterialize("lbm-1274", 2_000)
+	if &a[0] != &b[0] {
+		t.Error("repeated Materialize returned distinct slabs")
+	}
+	c := MustMaterialize("lbm-1274", 3_000) // different length = different key
+	if len(c) != 3_000 || &a[0] == &c[0] {
+		t.Error("different length shared a slab")
+	}
+
+	st := TraceCacheStats()
+	if st.Entries != 2 || st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 2 misses, 1 hit", st)
+	}
+	if want := int64(5_000) * trace.RecordBytes; st.Bytes != want {
+		t.Errorf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestMaterializeMatchesGenerate(t *testing.T) {
+	ResetTraceCache()
+	got := MustMaterialize("fotonik3d_s-8225", 1_500)
+	want := MustGenerate("fotonik3d_s-8225", 1_500)
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaterializeUnknownNameNotCached(t *testing.T) {
+	ResetTraceCache()
+	if _, err := Materialize("no-such-trace", 100); err == nil {
+		t.Fatal("unknown trace did not error")
+	}
+	st := TraceCacheStats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("failed materialization left %+v behind", st)
+	}
+}
+
+// TestMaterializeSingleFlight hammers one key from many goroutines (run
+// under -race in CI) and asserts the trace was generated exactly once
+// and every caller observed the same slab.
+func TestMaterializeSingleFlight(t *testing.T) {
+	ResetTraceCache()
+	const workers = 16
+	slabs := make([]*trace.Record, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			recs := MustMaterialize("cassandra-p0c0", 4_000)
+			slabs[w] = &recs[0]
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if slabs[w] != slabs[0] {
+			t.Fatalf("goroutine %d saw a different slab", w)
+		}
+	}
+	st := TraceCacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 generation", st.Misses)
+	}
+	if st.Hits != workers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, workers-1)
+	}
+}
+
+func TestResetTraceCache(t *testing.T) {
+	MustMaterialize("lbm-1274", 1_000)
+	ResetTraceCache()
+	st := TraceCacheStats()
+	if st.Entries != 0 || st.Hits != 0 || st.Misses != 0 || st.Bytes != 0 {
+		t.Errorf("stats after reset = %+v, want all zero", st)
+	}
+}
