@@ -7,42 +7,64 @@
 //	gazeserve                         # listen on :8321, standard scale
 //	gazeserve -addr :9000 -scale quick
 //	gazeserve -no-cache               # in-memory memoization only
+//	gazeserve -jobs-workers 4 -jobs-dir /var/lib/gaze/jobs
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness probe
-//	GET  /traces       workload catalogue (?suite= filters)
-//	GET  /prefetchers  the paper's evaluated prefetcher names
-//	GET  /stats        engine scale + cache counters + store size/schema
-//	POST /simulate     {"trace","prefetcher","l2","cores","overrides"} → §IV-A3 metrics
-//	POST /sweep        {"suite"|"traces","prefetchers","overrides","axis"} → rows + geomeans
+//	GET  /healthz           liveness probe
+//	GET  /traces            workload catalogue (?suite= filters)
+//	GET  /prefetchers       the paper's evaluated prefetcher names
+//	GET  /stats             engine scale + cache counters + store size/schema + jobs counters
+//	POST /simulate          {"trace","prefetcher","l2","cores","overrides"} → §IV-A3 metrics
+//	POST /sweep             {"suite"|"traces","prefetchers","overrides","axis"} → rows + geomeans
+//	POST /jobs              {"type":"sweep"|"simulate","priority","request":{...}} → 202 + id
+//	GET  /jobs[/{id}]       job list / status+progress+ETA
+//	GET  /jobs/{id}/result  finished job's response document
+//	GET  /jobs/{id}/events  NDJSON progress stream
+//	DELETE /jobs/{id}       cooperative cancel
 //
 // Scenarios are declarative: "overrides" perturbs the Table II system
 // (LLC/L2 size, DRAM MTPS, prefetch queue, instruction budgets) and
 // "axis" walks one of those knobs over a value list, reproducing the
-// paper's Fig 16 sensitivity curves in a single request.
+// paper's Fig 16 sensitivity curves in a single request. Synchronous
+// /simulate and /sweep abort at the next shard boundary when the client
+// disconnects; POST /jobs runs the same requests as durable background
+// jobs that survive a restart (queued jobs resume from the journal,
+// crashed-while-running ones are surfaced as interrupted).
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: in-flight HTTP
+// requests finish, running jobs drain (up to -drain, then they are
+// cancelled and journaled interrupted), and the job journal is flushed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8321", "listen address")
-		scale    = flag.String("scale", "standard", "quick | standard | full")
-		cacheDir = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
-		noCache  = flag.Bool("no-cache", false, "disable the persisted result store")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		seed     = flag.Uint64("seed", 0, "sweep scheduling seed")
+		addr        = flag.String("addr", ":8321", "listen address")
+		scale       = flag.String("scale", "standard", "quick | standard | full")
+		cacheDir    = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
+		noCache     = flag.Bool("no-cache", false, "disable the persisted result store")
+		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		seed        = flag.Uint64("seed", 0, "sweep scheduling seed")
+		jobsWorkers = flag.Int("jobs-workers", 2, "concurrently running background jobs")
+		jobsQueue   = flag.Int("jobs-queue", 64, "max queued background jobs")
+		jobsDir     = flag.String("jobs-dir", "", `job journal directory ("" = beside the result store, "none" = not durable)`)
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
 	)
 	flag.Parse()
 
@@ -64,15 +86,67 @@ func main() {
 	}
 	eng := engine.New(opts)
 
+	// The job journal lives beside the result store by default — a
+	// sibling "<store>.jobs", NOT inside it: the store sweeps its own
+	// directory for stale-schema .json garbage at Open and would eat
+	// persisted job results nested under it.
+	dir := *jobsDir
+	switch {
+	case dir == "none":
+		dir = ""
+	case dir == "" && opts.Store != nil:
+		dir = opts.Store.Dir() + ".jobs"
+	case dir == "":
+		dir = engine.DefaultDir() + ".jobs"
+	}
+	mgr, err := jobs.Open(jobs.Options{
+		Engine:     eng,
+		Compile:    server.Compiler(eng),
+		Dir:        dir,
+		Workers:    *jobsWorkers,
+		QueueDepth: *jobsQueue,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if dir != "" {
+		c := mgr.Counters()
+		log.Printf("gazeserve: job journal at %s (recovered %d queued, %d interrupted)",
+			dir, c.Recovered, c.Interrupted)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(server.New(eng).Handler()),
+		Handler:           logRequests(server.New(eng).AttachJobs(mgr).Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("gazeserve: listening on %s (scale %s)", *addr, *scale)
-	if err := srv.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("gazeserve: shutting down (draining up to %v)", *drain)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("gazeserve: http shutdown: %v", err)
+	}
+	// Drain running jobs on the remaining budget, then flush the journal;
+	// queued jobs stay journaled and resume on the next start.
+	if err := mgr.Shutdown(shutdownCtx); err != nil {
+		log.Printf("gazeserve: jobs shutdown: %v", err)
+	}
+	log.Print("gazeserve: bye")
 }
 
 func logRequests(next http.Handler) http.Handler {

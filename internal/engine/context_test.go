@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// distinctJobs builds n jobs that cannot coalesce (distinct PQ capacities),
+// so a cancellation test gets n real simulations to interrupt.
+func distinctJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Traces:    []string{"lbm-1274"},
+			L1:        []string{"IP-stride"},
+			Overrides: Overrides{PQCapacity: 8 + i},
+		}
+	}
+	return jobs
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	e := New(Options{Scale: tiny})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, tinyJob("IP-stride")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := e.Counters(); c.Simulated != 0 {
+		t.Errorf("simulated = %d, want 0 — a canceled context must not start work", c.Simulated)
+	}
+}
+
+// TestRunAllContextCancelStopsAtJobBoundary cancels a single-shard sweep
+// from its first progress callback and asserts the shard stops there: the
+// error is context.Canceled, far fewer jobs completed than were
+// submitted, and the skipped slots are zero results.
+func TestRunAllContextCancelStopsAtJobBoundary(t *testing.T) {
+	e := New(Options{Scale: tiny, Workers: 1})
+	jobs := distinctJobs(12)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var completions int
+	results, err := e.RunAllContext(ctx, jobs, func(p Progress) {
+		completions++
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if completions >= len(jobs) {
+		t.Fatalf("all %d jobs completed despite cancellation", len(jobs))
+	}
+	done := 0
+	for _, r := range results {
+		if r.MeanIPC() > 0 {
+			done++
+		}
+	}
+	if done != completions {
+		t.Errorf("%d non-zero results, %d progress completions", done, completions)
+	}
+	if c := e.Counters(); int(c.Simulated) >= len(jobs) {
+		t.Errorf("simulated = %d, want < %d", c.Simulated, len(jobs))
+	}
+}
+
+// TestRunAllContextPartialResultsResume: a cancelled sweep's completed
+// jobs stay memoized, so resubmitting finishes the remainder instead of
+// recomputing from scratch.
+func TestRunAllContextPartialResultsResume(t *testing.T) {
+	e := New(Options{Scale: tiny, Workers: 1})
+	jobs := distinctJobs(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.RunAllContext(ctx, jobs, func(p Progress) { cancel() }) //nolint:errcheck
+
+	before := e.Counters()
+	if before.Simulated == 0 {
+		t.Fatal("cancellation raced ahead of the first completion")
+	}
+	results, err := e.RunAllContext(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.MeanIPC() <= 0 {
+			t.Errorf("job %d missing after resume", i)
+		}
+	}
+	after := e.Counters()
+	if after.MemoHits < before.Simulated {
+		t.Errorf("memo hits = %d, want >= %d — completed work must be reused",
+			after.MemoHits, before.Simulated)
+	}
+	if got := after.Simulated; got != uint64(len(jobs)) {
+		t.Errorf("total simulated = %d, want %d (each job exactly once)", got, len(jobs))
+	}
+}

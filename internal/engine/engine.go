@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -403,11 +404,21 @@ func (e *Engine) Stats() Stats {
 // coalesce onto one execution, repeated jobs hit the in-process memo, and
 // repeated jobs across processes hit the persisted store.
 func (e *Engine) Run(j Job) sim.Result {
-	res, _ := e.run(j)
+	res, _, _ := e.run(context.Background(), j) // background ctx: err impossible
 	return res
 }
 
-func (e *Engine) run(j Job) (res sim.Result, cached bool) {
+// RunContext is Run with cooperative cancellation: when ctx is done before
+// the simulation starts (while queued on the worker semaphore or waiting on
+// an identical in-flight job), it returns ctx's error without simulating.
+// A simulation that already started runs to completion — cancellation is
+// job-granular, never mid-simulation.
+func (e *Engine) RunContext(ctx context.Context, j Job) (sim.Result, error) {
+	res, _, err := e.run(ctx, j)
+	return res, err
+}
+
+func (e *Engine) run(ctx context.Context, j Job) (res sim.Result, cached bool, err error) {
 	// The canonical encoding keys all three layers: the memo and
 	// single-flight maps use it verbatim, the store hashes it into the
 	// job's content address and persists it inside the record.
@@ -417,7 +428,7 @@ func (e *Engine) run(j Job) (res sim.Result, cached bool) {
 		if r, ok := e.memo[key]; ok {
 			e.counters.MemoHits++
 			e.mu.Unlock()
-			return r, true
+			return r, true, nil
 		}
 		ch, busy := e.inflight[key]
 		if !busy {
@@ -427,7 +438,11 @@ func (e *Engine) run(j Job) (res sim.Result, cached bool) {
 			break
 		}
 		e.mu.Unlock()
-		<-ch
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return sim.Result{}, false, ctx.Err()
+		}
 	}
 
 	// If execute panics (programmer error — inputs are validated before
@@ -457,8 +472,19 @@ func (e *Engine) run(j Job) (res sim.Result, cached bool) {
 		}
 	}
 	if !cached {
-		e.limit <- struct{}{}
+		// The semaphore wait is the last cancellation point: once a
+		// simulation starts it runs to completion, so a cancelled sweep
+		// stops at the next job boundary rather than corrupting state
+		// mid-step.
+		select {
+		case e.limit <- struct{}{}:
+		case <-ctx.Done():
+			return sim.Result{}, false, ctx.Err()
+		}
 		defer func() { <-e.limit }()
+		if err := ctx.Err(); err != nil {
+			return sim.Result{}, false, err
+		}
 		res = e.execute(j)
 	}
 	if !cached && e.store != nil {
@@ -467,7 +493,7 @@ func (e *Engine) run(j Job) (res sim.Result, cached bool) {
 		e.store.Put(key, res) //nolint:errcheck
 	}
 	completed = true
-	return res, cached
+	return res, cached, nil
 }
 
 // config returns the default system config at this engine's scale.
@@ -514,9 +540,25 @@ func (e *Engine) execute(j Job) sim.Result {
 // shards), and every completion feeds the Progress callback with an ETA.
 // Results are returned in input order.
 func (e *Engine) RunAll(jobs []Job) []sim.Result {
+	results, _ := e.RunAllContext(context.Background(), jobs, nil) // background ctx: err impossible
+	return results
+}
+
+// RunAllContext is RunAll with cooperative cancellation and an optional
+// per-call progress observer (nil falls back to Options.Progress). When
+// ctx is cancelled, every shard stops at its next job boundary — a
+// simulation already in flight runs to completion, everything not yet
+// started is skipped — and ctx's error is returned alongside the partial
+// results: completed indices hold real results, skipped ones are zero.
+// Partial results still land in the memo and store, so a resubmitted sweep
+// resumes instead of recomputing.
+func (e *Engine) RunAllContext(ctx context.Context, jobs []Job, progress func(Progress)) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	if len(jobs) == 0 {
-		return results
+		return results, ctx.Err()
+	}
+	if progress == nil {
+		progress = e.progress
 	}
 	shards := e.workers
 	if shards > len(jobs) {
@@ -543,7 +585,7 @@ func (e *Engine) RunAll(jobs []Job) []sim.Result {
 			simulated++
 		}
 		elapsed := time.Since(start)
-		e.progress(Progress{
+		progress(Progress{
 			Done: done, Total: len(jobs), Cached: cached,
 			Job: label, Address: addr,
 			Elapsed:   elapsed,
@@ -569,10 +611,16 @@ func (e *Engine) RunAll(jobs []Job) []sim.Result {
 			}()
 			src := rng.New(e.seed ^ (uint64(shard+1) * 0x9e3779b97f4a7c15))
 			for _, k := range src.Perm(len(idx)) {
+				if ctx.Err() != nil {
+					return
+				}
 				i := idx[k]
-				res, cached := e.run(jobs[i])
+				res, cached, err := e.run(ctx, jobs[i])
+				if err != nil {
+					return
+				}
 				results[i] = res
-				if e.progress != nil {
+				if progress != nil {
 					report(jobs[i].String(), jobs[i].ContentAddress(e.scale), cached)
 				}
 			}
@@ -582,5 +630,5 @@ func (e *Engine) RunAll(jobs []Job) []sim.Result {
 	if panicked != nil {
 		panic(panicked)
 	}
-	return results
+	return results, ctx.Err()
 }

@@ -125,26 +125,37 @@ func (s *Store) Put(key string, res sim.Result) error {
 	if err != nil {
 		return fmt.Errorf("engine: encoding result: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
-	if err != nil {
+	_, statErr := os.Stat(p)
+	if err := WriteFileAtomic(p, data); err != nil {
 		return fmt.Errorf("engine: writing result store: %w", err)
+	}
+	if statErr != nil { // the write created the entry rather than replacing it
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file and
+// rename, so concurrent readers — and crashes — never observe a torn
+// file. It is the torn-write discipline every persistence layer here
+// (store records, job journals, job result documents) shares.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: writing result store: %w", err)
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: writing result store: %w", err)
+		return err
 	}
-	_, statErr := os.Stat(p)
-	if err := os.Rename(tmp.Name(), p); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("engine: writing result store: %w", err)
-	}
-	if statErr != nil { // the rename created the entry rather than replacing it
-		s.entries.Add(1)
+		return err
 	}
 	return nil
 }
@@ -159,6 +170,21 @@ func (s *Store) Len() int { return int(s.entries.Load()) }
 // own records from a bounded read instead of loading every record's full
 // contents on every process start.
 var recordPrefix = fmt.Appendf(nil, "{\n\t\"version\": %d,", StoreSchemaVersion)
+
+// isShardDir reports whether name is a two-hex-digit shard directory —
+// the only kind of subdirectory the store creates.
+func isShardDir(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		c := name[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // hasCurrentVersionPrefix reports whether the file starts with the exact
 // byte prefix Put writes for the current schema. False on any error — the
@@ -190,7 +216,16 @@ func (s *Store) countEntries() int {
 	const staleAfter = time.Hour
 	n := 0
 	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			// Only descend into the store's own <hh> shard directories:
+			// anything else under the root (a foreign tool's data, a
+			// mispointed jobs journal) is not ours to sweep.
+			if path != s.dir && !isShardDir(d.Name()) {
+				return filepath.SkipDir
+			}
 			return nil
 		}
 		switch {

@@ -193,3 +193,38 @@ func TestDefaultDirEnvOverride(t *testing.T) {
 		t.Errorf("DefaultDir = %q", d)
 	}
 }
+
+// TestOpenLeavesForeignSubdirectoriesAlone: the Open-time sweep must stay
+// inside the store's own two-hex-digit shard directories. A foreign tree
+// under the root — another tool's data, or a jobs journal mispointed
+// inside the store — holds .json files with no "version" field, which the
+// stale-schema cleanup would otherwise delete as garbage.
+func TestOpenLeavesForeignSubdirectoriesAlone(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "results")
+	if err := os.MkdirAll(foreign, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	foreignPath := filepath.Join(foreign, "doc.json")
+	if err := os.WriteFile(foreignPath, []byte(`{"rows":[{"speedup":1.5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(foreignPath); err != nil {
+		t.Error("foreign document swept at Open")
+	}
+	if n := reopened.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1 (foreign document must not be counted)", n)
+	}
+}

@@ -1,0 +1,532 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// tiny keeps manager tests fast while still running real simulations.
+var tiny = engine.Scale{TracesPerSuite: 1, TraceLen: 10_000, Warmup: 5_000, Sim: 20_000}
+
+// testRequest is the spec body the test compiler understands: a fan of
+// distinct prefetch-queue capacities over one trace + prefetcher — an
+// arbitrarily long batch of non-coalescing engine jobs.
+type testRequest struct {
+	Prefetcher string `json:"prefetcher"`
+	Fan        int    `json:"fan"`
+}
+
+// testCompiler compiles testRequest specs, mirroring how internal/server
+// injects its request compilation.
+func testCompiler(eng *engine.Engine) Compiler {
+	return func(spec Spec) (*Plan, error) {
+		if spec.Type != "fan" {
+			return nil, fmt.Errorf("unknown type %q", spec.Type)
+		}
+		var req testRequest
+		if err := json.Unmarshal(spec.Request, &req); err != nil {
+			return nil, err
+		}
+		if req.Fan <= 0 || req.Prefetcher == "" {
+			return nil, fmt.Errorf("bad fan request %+v", req)
+		}
+		jobs := make([]engine.Job, req.Fan)
+		for i := range jobs {
+			jobs[i] = engine.Job{
+				Traces:    []string{"lbm-1274"},
+				L1:        []string{req.Prefetcher},
+				Overrides: engine.Overrides{PQCapacity: 8 + i},
+			}
+		}
+		fp, _ := json.Marshal(req)
+		scale := eng.Scale()
+		return &Plan{
+			Fingerprint: string(fp),
+			Jobs:        jobs,
+			Finalize: func(results []sim.Result) any {
+				addrs := make([]string, len(jobs))
+				ipc := 0.0
+				for i, r := range results {
+					addrs[i] = jobs[i].ContentAddress(scale)
+					ipc += r.MeanIPC()
+				}
+				return map[string]any{"addresses": addrs, "ipc_sum": ipc}
+			},
+		}, nil
+	}
+}
+
+func newManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	if opts.Engine == nil {
+		opts.Engine = engine.New(engine.Options{Scale: tiny})
+	}
+	if opts.Compile == nil {
+		opts.Compile = testCompiler(opts.Engine)
+	}
+	m, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx) //nolint:errcheck
+	})
+	return m
+}
+
+func fanSpec(pf string, fan int, pri Priority) Spec {
+	return Spec{
+		Type:     "fan",
+		Request:  json.RawMessage(fmt.Sprintf(`{"prefetcher":%q,"fan":%d}`, pf, fan)),
+		Priority: pri,
+	}
+}
+
+// waitState polls until the job reaches want (or any terminal state) and
+// returns the final record.
+func waitState(t *testing.T, m *Manager, id string, want State) Record {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if rec.State == want || rec.State.Terminal() {
+			if rec.State != want {
+				t.Fatalf("job %s landed in %s (error %q), want %s", id, rec.State, rec.Error, want)
+			}
+			return rec
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Record{}
+}
+
+func TestSubmitRunsAndCoalesces(t *testing.T) {
+	m := newManager(t, Options{})
+	rec, coalesced, err := m.Submit(fanSpec("IP-stride", 3, ""))
+	if err != nil || coalesced {
+		t.Fatalf("submit: coalesced=%v err=%v", coalesced, err)
+	}
+	if rec.State != Queued || rec.Spec.Priority != Normal {
+		t.Fatalf("fresh record = %+v", rec)
+	}
+	final := waitState(t, m, rec.ID, Succeeded)
+	if final.Progress.Done != 3 || final.Progress.Total != 3 {
+		t.Errorf("progress = %+v, want 3/3", final.Progress)
+	}
+
+	// Byte-different spelling of the same request (whitespace, field
+	// order) must coalesce onto the same content-addressed job — here
+	// returning the already-succeeded record without re-running.
+	again, coalesced, err := m.Submit(Spec{
+		Type:    "fan",
+		Request: json.RawMessage(`{ "fan": 3, "prefetcher": "IP-stride" }`),
+	})
+	if err != nil || !coalesced || again.ID != rec.ID {
+		t.Fatalf("resubmit: id %s vs %s, coalesced=%v, err=%v", again.ID, rec.ID, coalesced, err)
+	}
+
+	doc, err := m.Result(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.(map[string]any)["ipc_sum"].(float64) <= 0 {
+		t.Errorf("result doc = %v", doc)
+	}
+
+	// Different work hashes differently.
+	other, _, err := m.Submit(fanSpec("IP-stride", 4, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ID == rec.ID {
+		t.Error("distinct specs share an ID")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := newManager(t, Options{})
+	for name, spec := range map[string]Spec{
+		"unknown type":     fanSpec("IP-stride", 2, ""), /* patched below */
+		"bad priority":     fanSpec("IP-stride", 2, "urgent"),
+		"uncompilable fan": fanSpec("IP-stride", 0, ""),
+	} {
+		if name == "unknown type" {
+			spec.Type = "nope"
+		}
+		if _, _, err := m.Submit(spec); err == nil {
+			t.Errorf("%s: submit accepted", name)
+		}
+	}
+	if c := m.Counters(); c.Queued+c.Running+c.Succeeded+c.Failed > 0 {
+		t.Errorf("rejected submissions left records: %+v", c)
+	}
+}
+
+// TestPriorityLanes: with one worker busy on a long job, a high-priority
+// submission overtakes an earlier normal one.
+func TestPriorityLanes(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny, Workers: 1})
+	m := newManager(t, Options{Engine: eng, Workers: 1})
+
+	long, _, err := m.Submit(fanSpec("IP-stride", 24, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, _, err := m.Submit(fanSpec("PMP", 2, Normal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, _, err := m.Submit(fanSpec("Gaze", 2, High))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitState(t, m, long.ID, Succeeded)
+	h := waitState(t, m, high.ID, Succeeded)
+	n := waitState(t, m, normal.ID, Succeeded)
+	if !h.Started.Before(n.Started) {
+		t.Errorf("high lane started %v, after normal lane %v", h.Started, n.Started)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny, Workers: 1})
+	m := newManager(t, Options{Engine: eng, Workers: 1})
+
+	running, _, err := m.Submit(fanSpec("IP-stride", 64, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := m.Submit(fanSpec("PMP", 2, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The queued job cancels instantly, without ever starting.
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := m.Get(queued.ID)
+	if rec.State != Canceled || !rec.Started.IsZero() {
+		t.Fatalf("queued cancel: %+v", rec)
+	}
+	// Cancelling a terminal job is a conflict.
+	if _, err := m.Cancel(queued.ID); !errors.Is(err, ErrTerminal) {
+		t.Errorf("second cancel err = %v, want ErrTerminal", err)
+	}
+	if _, err := m.Cancel("no-such-id"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown cancel err = %v, want ErrNotFound", err)
+	}
+
+	// The running job stops at a shard boundary: progress made, but short
+	// of the full fan.
+	waitState(t, m, running.ID, Running)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec, _ := m.Get(running.ID)
+		if rec.Progress.Done > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("running job made no progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, running.ID, Canceled)
+	if final.Progress.Done == 0 || final.Progress.Done >= final.Progress.Total {
+		t.Errorf("canceled mid-flight, progress = %d/%d", final.Progress.Done, final.Progress.Total)
+	}
+
+	// A canceled job resubmits under the same ID and can finish.
+	resub, coalesced, err := m.Submit(fanSpec("PMP", 2, ""))
+	if err != nil || coalesced || resub.ID != queued.ID {
+		t.Fatalf("resubmit after cancel: id %s vs %s, coalesced=%v, err=%v",
+			resub.ID, queued.ID, coalesced, err)
+	}
+	waitState(t, m, resub.ID, Succeeded)
+}
+
+func TestQueueDepth(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny, Workers: 1})
+	m := newManager(t, Options{Engine: eng, Workers: 1, QueueDepth: 1})
+
+	long, _, err := m.Submit(fanSpec("IP-stride", 32, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, long.ID, Running) // off the queue, onto the worker
+	if _, _, err := m.Submit(fanSpec("PMP", 2, "")); err != nil {
+		t.Fatalf("first queued submit: %v", err)
+	}
+	if _, _, err := m.Submit(fanSpec("Gaze", 2, "")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestWatchStreamsMonotonicProgress(t *testing.T) {
+	m := newManager(t, Options{})
+	rec, _, err := m.Submit(fanSpec("IP-stride", 8, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, stop, err := m.Watch(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	last, n := -1, 0
+	var final Record
+	for snap := range ch {
+		if snap.Progress.Done < last {
+			t.Fatalf("progress went backwards: %d after %d", snap.Progress.Done, last)
+		}
+		last = snap.Progress.Done
+		final = snap
+		n++
+	}
+	if final.State != Succeeded || n < 2 {
+		t.Errorf("final = %s after %d events", final.State, n)
+	}
+	// Watching a terminal job yields exactly the final snapshot.
+	ch, stop, err = m.Watch(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	snap, ok := <-ch
+	if !ok || snap.State != Succeeded {
+		t.Fatalf("terminal watch = %+v, %v", snap, ok)
+	}
+	if _, again := <-ch; again {
+		t.Error("terminal watch channel not closed")
+	}
+}
+
+// TestConcurrentSubmitCancel hammers the manager from many goroutines —
+// its assertions are weak (everything terminal, no lost records) because
+// its real job is giving -race something to chew on.
+func TestConcurrentSubmitCancel(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny})
+	m := newManager(t, Options{Engine: eng, Workers: 3, QueueDepth: 1024})
+
+	const goroutines = 8
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ids []string
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 10; i++ {
+				// Small spec space on purpose: concurrent identical
+				// submissions exercise coalescing.
+				rec, _, err := m.Submit(fanSpec("IP-stride", 1+src.Intn(4), ""))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, rec.ID)
+				mu.Unlock()
+				if src.Intn(3) == 0 {
+					m.Cancel(rec.ID) //nolint:errcheck // racing a finishing job is the point
+				}
+				m.Counters()
+				m.List()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			rec, ok := m.Get(id)
+			if !ok {
+				t.Fatalf("job %s lost", id)
+			}
+			if rec.State.Terminal() {
+				if rec.State == Failed || rec.State == Interrupted {
+					t.Errorf("job %s: %s (%s)", id, rec.State, rec.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, rec.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestJournalRecovery restarts a manager over a half-written journal:
+// queued jobs must resume (and then run to completion), the job that was
+// running at the crash must surface as interrupted, and the torn trailing
+// line must be healed by compaction.
+func TestJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	queuedSpec := fanSpec("IP-stride", 2, "")
+	crashedSpec := fanSpec("PMP", 3, "")
+
+	// Forge the journal a crashed process would leave: a queued job, a
+	// job that had started running, and a torn final append.
+	var lines []byte
+	for _, e := range []entry{
+		{Time: time.Now(), ID: "crashed-job", State: Queued, Spec: &crashedSpec},
+		{Time: time.Now(), ID: "queued-job", State: Queued, Spec: &queuedSpec},
+		{Time: time.Now(), ID: "crashed-job", State: Running},
+	} {
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(append(lines, data...), '\n')
+	}
+	lines = append(lines, []byte(`{"time":"2026-07-30T12:00:00Z","id":"torn`)...)
+	if err := os.WriteFile(filepath.Join(dir, "journal.ndjson"), lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newManager(t, Options{Dir: dir})
+	c := m.Counters()
+	if c.Recovered != 1 || c.Interrupted != 1 {
+		t.Fatalf("counters after recovery = %+v, want 1 recovered / 1 interrupted", c)
+	}
+
+	// The queued job resumes and completes without resubmission.
+	rec := waitState(t, m, "queued-job", Succeeded)
+	if !rec.Recovered {
+		t.Error("resumed job not marked recovered")
+	}
+
+	// The crashed job is surfaced, not silently re-run...
+	crashed, ok := m.Get("crashed-job")
+	if !ok || crashed.State != Interrupted || !crashed.Recovered {
+		t.Fatalf("crashed job = %+v, want interrupted+recovered", crashed)
+	}
+	// ...and a resubmission re-queues it under its journaled ID — except
+	// the ID was forged here, so it re-queues under the content address.
+	resub, coalesced, err := m.Submit(crashedSpec)
+	if err != nil || coalesced {
+		t.Fatalf("resubmit interrupted: coalesced=%v err=%v", coalesced, err)
+	}
+	waitState(t, m, resub.ID, Succeeded)
+
+	// Compaction healed the torn line: a fresh replay parses cleanly and
+	// reproduces the table.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m2 := newManager(t, Options{Dir: dir})
+	if rec, ok := m2.Get("queued-job"); !ok || rec.State != Succeeded {
+		t.Errorf("after second restart, queued-job = %+v", rec)
+	}
+	if rec, ok := m2.Get("crashed-job"); !ok || rec.State != Interrupted {
+		t.Errorf("after second restart, crashed-job = %+v", rec)
+	}
+	if doc, err := m2.Result(resub.ID); err != nil {
+		t.Errorf("result after restart: %v", err)
+	} else if _, ok := doc.(json.RawMessage); !ok {
+		t.Errorf("restarted result doc is %T, want persisted json.RawMessage", doc)
+	}
+}
+
+// TestShutdownInterruptsRunning: an expired drain budget cancels running
+// jobs, journals them interrupted, and a restarted manager surfaces them.
+func TestShutdownInterruptsRunning(t *testing.T) {
+	dir := t.TempDir()
+	eng := engine.New(engine.Options{Scale: tiny, Workers: 1})
+	m, err := Open(Options{Engine: eng, Compile: testCompiler(eng), Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := m.Submit(fanSpec("IP-stride", 256, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, rec.ID, Running)
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.Shutdown(expired); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Get(rec.ID)
+	if after.State != Interrupted {
+		t.Fatalf("after shutdown: %+v, want interrupted", after)
+	}
+	if after.Progress.Done >= after.Progress.Total {
+		t.Errorf("drain cancelled nothing: %d/%d", after.Progress.Done, after.Progress.Total)
+	}
+	if _, _, err := m.Submit(fanSpec("Gaze", 1, "")); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after shutdown: %v, want ErrClosed", err)
+	}
+
+	m2 := newManager(t, Options{Dir: dir})
+	rec2, ok := m2.Get(rec.ID)
+	if !ok || rec2.State != Interrupted {
+		t.Fatalf("restart surfaced %+v, want interrupted", rec2)
+	}
+}
+
+// TestLostResultResubmits: a succeeded job whose persisted document has
+// vanished (failed best-effort write + restart, manual cleanup) must not
+// coalesce into a dead end — resubmission re-runs it under the same ID.
+func TestLostResultResubmits(t *testing.T) {
+	dir := t.TempDir()
+	m := newManager(t, Options{Dir: dir})
+	spec := fanSpec("IP-stride", 2, "")
+	rec, _, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, rec.ID, Succeeded)
+
+	// While the document exists, resubmission coalesces.
+	if _, coalesced, err := m.Submit(spec); err != nil || !coalesced {
+		t.Fatalf("intact result: coalesced=%v err=%v", coalesced, err)
+	}
+
+	// A durable manager serves the document from disk; losing the file
+	// loses the result.
+	if err := os.Remove(filepath.Join(dir, "results", rec.ID+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(rec.ID); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("result after loss: %v, want ErrNotReady", err)
+	}
+	resub, coalesced, err := m.Submit(spec)
+	if err != nil || coalesced || resub.ID != rec.ID {
+		t.Fatalf("lost result resubmit: id %s vs %s, coalesced=%v, err=%v",
+			resub.ID, rec.ID, coalesced, err)
+	}
+	waitState(t, m, rec.ID, Succeeded)
+	if _, err := m.Result(rec.ID); err != nil {
+		t.Fatalf("result after re-run: %v", err)
+	}
+}

@@ -1,0 +1,504 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/jobs"
+)
+
+// newJobsTestServer wires engine + jobs manager + server the way
+// cmd/gazeserve does, with single-worker determinism for cancellation
+// tests. Durability is exercised at the jobs-package level; HTTP tests
+// stay in-memory.
+func newJobsTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Options{Scale: tiny, Workers: 1})
+	mgr, err := jobs.Open(jobs.Options{Engine: eng, Compile: Compiler(eng), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng).AttachJobs(mgr).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck
+	})
+	return ts
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, req JobSubmitRequest) (JobStatus, *http.Response) {
+	t.Helper()
+	var st JobStatus
+	r := postJSON(t, ts.URL+"/jobs", req, nil)
+	if r.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, r
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	r, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s = %d", id, r.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitJobState(t *testing.T, ts *httptest.Server, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getJob(t, ts, id)
+		switch st.State {
+		case want:
+			return st
+		case string(jobs.Succeeded), string(jobs.Failed), string(jobs.Canceled), string(jobs.Interrupted):
+			t.Fatalf("job %s landed in %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+// mustRaw marshals a request body for the raw "request" field.
+func mustRaw(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestJobsEndToEndSensitivitySweep is the acceptance path: a
+// multi-prefetcher sensitivity sweep submitted as a background job,
+// progress observed as a monotonic NDJSON stream, and the final document
+// identical — same rows, same content addresses — to the synchronous
+// /sweep answer for the same request.
+func TestJobsEndToEndSensitivitySweep(t *testing.T) {
+	ts := newJobsTestServer(t)
+	// Budget overrides stretch each simulation so the events stream —
+	// opened a round trip after the submit — reliably sees progress
+	// events before the job completes.
+	sweep := SweepRequest{
+		Traces:      []string{"lbm-1274"},
+		Prefetchers: []string{"IP-stride", "PMP", "Gaze"},
+		Overrides:   &engine.Overrides{WarmupInstructions: 20_000, SimInstructions: 100_000},
+		Axis:        &SweepAxis{Param: "dram_mtps", Values: []float64{800, 3200}},
+	}
+
+	st, r := submitJob(t, ts, JobSubmitRequest{Type: "sweep", Request: mustRaw(t, sweep)})
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", r.StatusCode)
+	}
+	if st.ID == "" || st.Coalesced {
+		t.Fatalf("submit = %+v", st)
+	}
+
+	// Stream events until the terminal snapshot: progress must be
+	// monotonic and the job must succeed.
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type = %q", ct)
+	}
+	var (
+		events   []JobStatus
+		lastDone = -1
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if ev.Progress.Done < lastDone {
+			t.Fatalf("progress went backwards: %d after %d", ev.Progress.Done, lastDone)
+		}
+		lastDone = ev.Progress.Done
+		events = append(events, ev)
+	}
+	if len(events) < 2 {
+		t.Fatalf("only %d events", len(events))
+	}
+	final := events[len(events)-1]
+	if final.State != string(jobs.Succeeded) {
+		t.Fatalf("final event state = %s (error %q)", final.State, final.Error)
+	}
+	if final.Progress.Done != final.Progress.Total || final.Progress.Total == 0 {
+		t.Fatalf("final progress = %d/%d", final.Progress.Done, final.Progress.Total)
+	}
+
+	// The job's document equals the synchronous answer for the same
+	// request — rows, sensitivity curve and per-row content addresses.
+	var jobResult SweepResponse
+	r2, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", r2.StatusCode)
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&jobResult); err != nil {
+		t.Fatal(err)
+	}
+	var syncResult SweepResponse
+	postJSON(t, ts.URL+"/sweep", sweep, &syncResult)
+	if !reflect.DeepEqual(jobResult, syncResult) {
+		t.Errorf("job result differs from synchronous sweep:\njob:  %+v\nsync: %+v", jobResult, syncResult)
+	}
+	for i, row := range jobResult.Rows {
+		if row.Address == "" || row.Address != syncResult.Rows[i].Address {
+			t.Errorf("row %d address %q vs sync %q", i, row.Address, syncResult.Rows[i].Address)
+		}
+	}
+
+	// Resubmitting the same sweep coalesces onto the succeeded job.
+	again, _ := submitJob(t, ts, JobSubmitRequest{Type: "sweep", Request: mustRaw(t, sweep)})
+	if !again.Coalesced || again.ID != st.ID {
+		t.Errorf("resubmit = %+v, want coalesced onto %s", again, st.ID)
+	}
+}
+
+// TestJobsCancelMidFlight: the second acceptance path — cancel a running
+// sweep and observe the engine stop at a shard boundary, the job landing
+// in canceled with partial progress. Budget overrides slow each
+// simulation to tens of milliseconds so the cancel deterministically
+// lands mid-flight, and the DELETE is triggered by the events stream's
+// first real completion.
+func TestJobsCancelMidFlight(t *testing.T) {
+	ts := newJobsTestServer(t)
+	sweep := SweepRequest{
+		Traces:      []string{"bwaves_s-2609"},
+		Prefetchers: []string{"IP-stride", "PMP", "Gaze"},
+		Overrides:   &engine.Overrides{WarmupInstructions: 20_000, SimInstructions: 100_000},
+		Axis: &SweepAxis{Param: "pq_capacity", Values: []float64{
+			8, 12, 16, 24, 32, 48, 64, 96,
+		}},
+	}
+	st, r := submitJob(t, ts, JobSubmitRequest{Type: "sweep", Request: mustRaw(t, sweep)})
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", r.StatusCode)
+	}
+
+	// Follow the events stream and hang up the job at its first real
+	// completion — one engine job done, dozens still to go.
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if jobs.State(ev.State).Terminal() {
+			t.Fatalf("job reached %s before the cancel fired", ev.State)
+		}
+		if ev.State == string(jobs.Running) && ev.Progress.Done >= 1 {
+			break
+		}
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status = %d", dr.StatusCode)
+	}
+
+	final := waitJobState(t, ts, st.ID, string(jobs.Canceled))
+	if final.Progress.Done == 0 || final.Progress.Done >= final.Progress.Total {
+		t.Errorf("cancel was not mid-flight: %d/%d", final.Progress.Done, final.Progress.Total)
+	}
+	if final.Finished == nil {
+		t.Error("canceled job has no finish time")
+	}
+
+	// The result is gone with the job: 409 names the state.
+	rr, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusConflict {
+		t.Errorf("result of canceled job = %d, want 409", rr.StatusCode)
+	}
+	// Cancelling again conflicts too.
+	dr2, err := http.DefaultClient.Do(req.Clone(req.Context()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr2.Body.Close()
+	if dr2.StatusCode != http.StatusConflict {
+		t.Errorf("second DELETE = %d, want 409", dr2.StatusCode)
+	}
+}
+
+func TestJobsListAndValidation(t *testing.T) {
+	ts := newJobsTestServer(t)
+
+	// Empty list is [], never null.
+	r, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if string(raw["jobs"]) != "[]" {
+		t.Errorf(`empty list = %s, want []`, raw["jobs"])
+	}
+
+	for name, body := range map[string]JobSubmitRequest{
+		"unknown type": {Type: "nope", Request: mustRaw(t, SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"})},
+		"no request":   {Type: "sweep"},
+		"bad priority": {Type: "simulate", Priority: "urgent", Request: mustRaw(t, SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"})},
+		"invalid sweep": {Type: "sweep", Request: mustRaw(t, SweepRequest{
+			Traces: []string{"no-such-trace"}, Prefetchers: []string{"Gaze"}})},
+		"unknown field": {Type: "simulate", Request: json.RawMessage(`{"trace":"lbm-1274","prefetcher":"Gaze","coers":2}`)},
+	} {
+		_, r := submitJob(t, ts, body)
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, r.StatusCode)
+		}
+	}
+
+	// Unknown IDs 404 across the sub-resources.
+	for _, path := range []string{"/jobs/xyz", "/jobs/xyz/result", "/jobs/xyz/events"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, r.StatusCode)
+		}
+	}
+
+	// A simulate job runs too, and lists afterwards.
+	st, r2 := submitJob(t, ts, JobSubmitRequest{
+		Type:    "simulate",
+		Request: mustRaw(t, SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}),
+	})
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("simulate job status = %d", r2.StatusCode)
+	}
+	waitJobState(t, ts, st.ID, string(jobs.Succeeded))
+	var sim SimulateResponse
+	rr, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if err := json.NewDecoder(rr.Body).Decode(&sim); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Speedup <= 1 || sim.Address == "" {
+		t.Errorf("simulate job result = %+v", sim)
+	}
+
+	var list JobListResponse
+	lr, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Body.Close()
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID {
+		t.Errorf("list = %+v", list.Jobs)
+	}
+}
+
+// TestStatsJobsCounters: /stats reports the jobs subsystem next to the
+// engine and trace-cache fields — null without a manager, live counters
+// with one.
+func TestStatsJobsCounters(t *testing.T) {
+	// Without a manager the field is null, like store_entries.
+	plain := newTestServer(t)
+	r, err := http.Get(plain.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if got, ok := raw["jobs"]; !ok || string(got) != "null" {
+		t.Errorf("no manager: jobs = %s, want null", got)
+	}
+
+	// One job succeeds; a second is submitted behind it (single job
+	// worker, so it queues) and is canceled while still queued — a
+	// deterministic canceled count with no mid-flight timing.
+	ts := newJobsTestServer(t)
+	blocker, _ := submitJob(t, ts, JobSubmitRequest{
+		Type:    "simulate",
+		Request: mustRaw(t, SimulateRequest{Trace: "lbm-1274", Prefetcher: "IP-stride"}),
+	})
+	canceled, _ := submitJob(t, ts, JobSubmitRequest{
+		Type: "sweep",
+		Request: mustRaw(t, SweepRequest{
+			Traces: []string{"lbm-1274"}, Prefetchers: []string{"PMP"},
+			Overrides: &engine.Overrides{WarmupInstructions: 20_000, SimInstructions: 100_000},
+			Axis:      &SweepAxis{Param: "pq_capacity", Values: []float64{8, 16, 32, 64}},
+		}),
+	})
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+canceled.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	waitJobState(t, ts, blocker.ID, string(jobs.Succeeded))
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if js := getJob(t, ts, canceled.ID); js.State == string(jobs.Canceled) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancel never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var stats StatsResponse
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs == nil {
+		t.Fatal("stats.jobs missing with a manager attached")
+	}
+	if stats.Jobs.Succeeded != 1 || stats.Jobs.Canceled != 1 {
+		t.Errorf("jobs counters = %+v, want 1 succeeded / 1 canceled", stats.Jobs)
+	}
+	// The existing cache fields still ride alongside.
+	if stats.Counters.Simulated == 0 || stats.TraceCacheEntries == 0 {
+		t.Errorf("engine fields missing: %+v", stats)
+	}
+}
+
+// TestJobsDisabled: without an attached manager the routes answer 503,
+// not 404 — the subsystem exists, this deployment just has it off.
+func TestJobsDisabled(t *testing.T) {
+	ts := newTestServer(t)
+	_, r := submitJob(t, ts, JobSubmitRequest{
+		Type:    "simulate",
+		Request: mustRaw(t, SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}),
+	})
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit without manager = %d, want 503", r.StatusCode)
+	}
+	g, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("list without manager = %d, want 503", g.StatusCode)
+	}
+}
+
+// TestSimulateClientDisconnectAbortsWork: the synchronous endpoints honor
+// the request context — a dropped connection stops shard work at the next
+// job boundary instead of simulating for nobody.
+func TestSimulateClientDisconnectAbortsWork(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny, Workers: 1})
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+
+	// A sweep big enough to still be running when the client walks away.
+	body := mustRaw(t, SweepRequest{
+		Traces:      []string{"lbm-1274"},
+		Prefetchers: []string{"IP-stride", "PMP", "Gaze"},
+		Axis:        &SweepAxis{Param: "pq_capacity", Values: []float64{8, 12, 16, 24, 32, 48, 64, 96}},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Give the sweep a moment to start, then hang up.
+	deadline := time.Now().Add(30 * time.Second)
+	for eng.Counters().Simulated == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("request unexpectedly completed")
+	}
+
+	// The engine must stop near where it was hung up on, not run the full
+	// grid. Poll briefly: the abort lands at the next shard boundary.
+	// (25 distinct simulations: 8 values x 3 prefetchers + 1 folded
+	// baseline.)
+	const grid = 25
+	time.Sleep(50 * time.Millisecond)
+	settled := eng.Counters().Simulated
+	if settled >= grid {
+		t.Fatalf("disconnect did not abort: %d/%d simulated", settled, grid)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if again := eng.Counters().Simulated; again > settled+1 {
+		t.Errorf("work kept flowing after disconnect: %d -> %d", settled, again)
+	}
+}

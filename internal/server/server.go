@@ -13,6 +13,7 @@ import (
 	"net/http"
 
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/internal/prefetchers"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -21,11 +22,21 @@ import (
 
 // Server serves the gazeserve HTTP API over one shared engine.
 type Server struct {
-	eng *engine.Engine
+	eng  *engine.Engine
+	jobs *jobs.Manager
 }
 
 // New builds a server on the given engine.
 func New(e *engine.Engine) *Server { return &Server{eng: e} }
+
+// AttachJobs enables the asynchronous jobs API on this server. The
+// manager should be built with Compiler(e) for the same engine so
+// background jobs share the synchronous handlers' validation, caps and
+// memo. Without a manager the /jobs routes answer 503.
+func (s *Server) AttachJobs(m *jobs.Manager) *Server {
+	s.jobs = m
+	return s
+}
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -36,6 +47,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	return mux
 }
 
@@ -53,12 +70,16 @@ type SimulateRequest struct {
 }
 
 // SimulateResponse carries the metrics the paper's tables report.
+// Address is the underlying engine job's content address — the identity
+// the memo and persisted store file the result under — so clients can
+// correlate synchronous rows, background-job rows and store entries.
 type SimulateResponse struct {
 	Traces           []string          `json:"traces"`
 	Prefetcher       string            `json:"prefetcher"`
 	L2               string            `json:"l2,omitempty"`
 	Cores            int               `json:"cores"`
 	Overrides        *engine.Overrides `json:"overrides,omitempty"`
+	Address          string            `json:"address,omitempty"`
 	IPC              float64           `json:"ipc"`
 	Speedup          float64           `json:"speedup"`
 	Accuracy         float64           `json:"accuracy"`
@@ -118,7 +139,10 @@ type SensitivityPoint struct {
 // distinguishable states for monitoring clients. The trace_cache_*
 // fields describe the process-wide materialized-trace cache: how many
 // immutable record slabs are resident, how often jobs were served one
-// versus generating it, and the slabs' memory footprint.
+// versus generating it, and the slabs' memory footprint. Jobs summarizes
+// the background-jobs subsystem (null when no jobs manager is attached,
+// mirroring store_entries): current per-state counts plus the number of
+// queued jobs recovered from the journal at startup.
 type StatsResponse struct {
 	Scale              engine.Scale    `json:"scale"`
 	Counters           engine.Counters `json:"counters"`
@@ -129,6 +153,7 @@ type StatsResponse struct {
 	TraceCacheHits     uint64          `json:"trace_cache_hits"`
 	TraceCacheMisses   uint64          `json:"trace_cache_misses"`
 	TraceCacheBytes    int64           `json:"trace_cache_bytes"`
+	Jobs               *jobs.Counters  `json:"jobs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -176,6 +201,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		n := st.Len()
 		resp.StoreEntries = &n
 	}
+	if s.jobs != nil {
+		c := s.jobs.Counters()
+		resp.Jobs = &c
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -199,24 +228,52 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	job, err := jobFor(req)
+	plan, err := compileSimulate(s.eng.Scale(), req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// One batched engine pass under the request's context: the baseline
+	// and the target run in parallel, both memoize for later requests, and
+	// a client that disconnects mid-run aborts the work at the next shard
+	// boundary instead of wasting it.
+	results, err := s.eng.RunAllContext(r.Context(), plan.jobs, nil)
+	if err != nil {
+		return // client gone; nobody to answer
+	}
+	writeJSON(w, http.StatusOK, plan.assemble(results))
+}
+
+// requestPlan is a compiled synchronous request: the engine jobs to run
+// and the closure assembling the response document from their results.
+// It is the same shape jobs.Plan carries, so the background-jobs Compiler
+// is a thin wrapper over the identical validation and caps.
+type requestPlan struct {
+	jobs     []engine.Job
+	assemble func(results []sim.Result) any
+}
+
+// compileSimulate validates a /simulate request and plans its two engine
+// jobs (baseline + target). All errors are client errors.
+func compileSimulate(scale engine.Scale, req SimulateRequest) (*requestPlan, error) {
+	job, err := jobFor(req)
+	if err != nil {
+		return nil, err
+	}
 	// Per-knob override bounds don't compose into a work bound on their
 	// own: 16 cores at maxed-out budgets would simulate for hours. Cap the
 	// request's total work (baseline + target across all cores).
-	if work := 2 * uint64(len(job.Traces)) * effectiveInstructions(s.eng.Scale(), job.Overrides); work > maxSimulateInstructions {
-		httpError(w, http.StatusBadRequest,
+	if work := 2 * uint64(len(job.Traces)) * effectiveInstructions(scale, job.Overrides); work > maxSimulateInstructions {
+		return nil, fmt.Errorf(
 			"request simulates %d instructions, exceeding the limit of %d (lower cores or the warmup/sim overrides)",
 			work, uint64(maxSimulateInstructions))
-		return
 	}
-	// One batched engine pass: the baseline and the target run in
-	// parallel, and both memoize for later requests.
-	results := s.eng.RunAll([]engine.Job{job.Baseline(), job})
-	writeJSON(w, http.StatusOK, responseFor(req, job, results[1], results[0]))
+	return &requestPlan{
+		jobs: []engine.Job{job.Baseline(), job},
+		assemble: func(results []sim.Result) any {
+			return responseFor(scale, req, job, results[1], results[0])
+		},
+	}, nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -225,19 +282,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	plan, err := compileSweep(s.eng.Scale(), req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, err := s.eng.RunAllContext(r.Context(), plan.jobs, nil)
+	if err != nil {
+		return // client gone; nobody to answer
+	}
+	writeJSON(w, http.StatusOK, plan.assemble(results))
+}
+
+// compileSweep validates a /sweep request and plans its full grid —
+// baselines included — plus the row/geomean/sensitivity assembly. All
+// errors are client errors.
+func compileSweep(scale engine.Scale, req SweepRequest) (*requestPlan, error) {
 	traces := req.Traces
 	if req.Suite != "" {
 		for _, info := range workload.Suite(req.Suite) {
 			traces = append(traces, info.Name)
 		}
 		if len(traces) == len(req.Traces) {
-			httpError(w, http.StatusBadRequest, "unknown suite %q", req.Suite)
-			return
+			return nil, fmt.Errorf("unknown suite %q", req.Suite)
 		}
 	}
 	if len(traces) == 0 || len(req.Prefetchers) == 0 {
-		httpError(w, http.StatusBadRequest, "sweep needs traces (or a suite) and prefetchers")
-		return
+		return nil, fmt.Errorf("sweep needs traces (or a suite) and prefetchers")
 	}
 	// Dedupe traces (suite traces can overlap explicit ones) and
 	// prefetchers: a repeat would produce duplicate rows, double-weight
@@ -255,15 +326,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		base = *req.Overrides
 	}
 	if err := base.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	points := []engine.Overrides{base}
 	var axisValues []float64
 	if req.Axis != nil {
 		if len(req.Axis.Values) == 0 {
-			httpError(w, http.StatusBadRequest, "axis %q has no values", req.Axis.Param)
-			return
+			return nil, fmt.Errorf("axis %q has no values", req.Axis.Param)
 		}
 		points = points[:0]
 		// Dedupe values like traces above: a repeated value would yield
@@ -276,8 +345,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			seenVal[v] = true
 			o, err := base.WithParam(req.Axis.Param, v)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "%v", err)
-				return
+				return nil, err
 			}
 			points = append(points, o)
 			axisValues = append(axisValues, v)
@@ -288,10 +356,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// every positive integer, so per-name validation alone cannot bound a
 	// sweep — cap the grid itself.
 	if grid := len(points) * len(traces) * (len(pfs) + 1); grid > maxSweepJobs {
-		httpError(w, http.StatusBadRequest,
+		return nil, fmt.Errorf(
 			"sweep of %d axis values x %d traces x %d prefetchers needs %d jobs, exceeding the limit of %d",
 			len(points), len(traces), len(pfs), grid, maxSweepJobs)
-		return
 	}
 	// The job cap alone stopped bounding cost once Overrides exposed
 	// instruction budgets over HTTP: a capped grid of maxed-out budgets
@@ -299,13 +366,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	jobsPerPoint := uint64(len(traces)) * uint64(len(pfs)+1)
 	var totalInstr uint64
 	for _, o := range points {
-		totalInstr += effectiveInstructions(s.eng.Scale(), o) * jobsPerPoint
+		totalInstr += effectiveInstructions(scale, o) * jobsPerPoint
 	}
 	if totalInstr > maxSweepInstructions {
-		httpError(w, http.StatusBadRequest,
+		return nil, fmt.Errorf(
 			"sweep simulates %d instructions in total, exceeding the limit of %d (shrink the grid or the warmup/sim overrides)",
 			totalInstr, uint64(maxSweepInstructions))
-		return
 	}
 
 	// Validate each distinct trace and prefetcher name once before
@@ -314,59 +380,58 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// baselines included — through one shard-parallel pass.
 	for _, tr := range traces {
 		if !workload.Exists(tr) {
-			httpError(w, http.StatusBadRequest, "unknown trace %q", tr)
-			return
+			return nil, fmt.Errorf("unknown trace %q", tr)
 		}
 	}
 	for _, pf := range pfs {
 		if _, err := prefetchers.New(pf); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, err
 		}
 	}
-	var jobs []engine.Job
+	var grid []engine.Job
 	for _, o := range points {
 		for _, tr := range traces {
-			jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{"none"}, Overrides: o})
+			grid = append(grid, engine.Job{Traces: []string{tr}, L1: []string{"none"}, Overrides: o})
 			for _, pf := range pfs {
-				jobs = append(jobs, engine.Job{Traces: []string{tr}, L1: []string{pf}, Overrides: o})
+				grid = append(grid, engine.Job{Traces: []string{tr}, L1: []string{pf}, Overrides: o})
 			}
 		}
 	}
-	results := s.eng.RunAll(jobs)
-
-	var resp SweepResponse
-	stride := len(pfs) + 1
-	pointStride := len(traces) * stride
-	for vi := range points {
-		perPF := make(map[string][]float64)
-		for ti, tr := range traces {
-			off := vi*pointStride + ti*stride
-			baseline := results[off]
-			for pi, pf := range pfs {
-				i := off + pi + 1
-				row := responseFor(SimulateRequest{Trace: tr, Prefetcher: pf}, jobs[i], results[i], baseline)
-				resp.Rows = append(resp.Rows, row)
-				perPF[pf] = append(perPF[pf], row.Speedup)
+	assemble := func(results []sim.Result) any {
+		var resp SweepResponse
+		stride := len(pfs) + 1
+		pointStride := len(traces) * stride
+		for vi := range points {
+			perPF := make(map[string][]float64)
+			for ti, tr := range traces {
+				off := vi*pointStride + ti*stride
+				baseline := results[off]
+				for pi, pf := range pfs {
+					i := off + pi + 1
+					row := responseFor(scale, SimulateRequest{Trace: tr, Prefetcher: pf}, grid[i], results[i], baseline)
+					resp.Rows = append(resp.Rows, row)
+					perPF[pf] = append(perPF[pf], row.Speedup)
+				}
+			}
+			if req.Axis == nil {
+				resp.GeomeanSpeedup = make(map[string]float64)
+				for pf, vals := range perPF {
+					resp.GeomeanSpeedup[pf] = stats.Geomean(vals)
+				}
+				continue
+			}
+			for _, pf := range pfs {
+				resp.Sensitivity = append(resp.Sensitivity, SensitivityPoint{
+					Param:          req.Axis.Param,
+					Value:          axisValues[vi],
+					Prefetcher:     pf,
+					GeomeanSpeedup: stats.Geomean(perPF[pf]),
+				})
 			}
 		}
-		if req.Axis == nil {
-			resp.GeomeanSpeedup = make(map[string]float64)
-			for pf, vals := range perPF {
-				resp.GeomeanSpeedup[pf] = stats.Geomean(vals)
-			}
-			continue
-		}
-		for _, pf := range pfs {
-			resp.Sensitivity = append(resp.Sensitivity, SensitivityPoint{
-				Param:          req.Axis.Param,
-				Value:          axisValues[vi],
-				Prefetcher:     pf,
-				GeomeanSpeedup: stats.Geomean(perPF[pf]),
-			})
-		}
+		return resp
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return &requestPlan{jobs: grid, assemble: assemble}, nil
 }
 
 // maxCores and maxSweepJobs bound per-request simulation size: the paper
@@ -449,7 +514,7 @@ func jobFor(req SimulateRequest) (engine.Job, error) {
 	return job, nil
 }
 
-func responseFor(req SimulateRequest, job engine.Job, res, base sim.Result) SimulateResponse {
+func responseFor(scale engine.Scale, req SimulateRequest, job engine.Job, res, base sim.Result) SimulateResponse {
 	var overrides *engine.Overrides
 	if !job.Overrides.IsZero() {
 		o := job.Overrides
@@ -461,6 +526,7 @@ func responseFor(req SimulateRequest, job engine.Job, res, base sim.Result) Simu
 		L2:               req.L2,
 		Cores:            len(job.Traces),
 		Overrides:        overrides,
+		Address:          job.ContentAddress(scale),
 		IPC:              res.MeanIPC(),
 		Speedup:          engine.Speedup(res, base),
 		Accuracy:         res.Accuracy(),
