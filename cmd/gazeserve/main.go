@@ -8,11 +8,16 @@
 //	gazeserve -addr :9000 -scale quick
 //	gazeserve -no-cache               # in-memory memoization only
 //	gazeserve -jobs-workers 4 -jobs-dir /var/lib/gaze/jobs
+//	gazeserve -trace-dir /var/lib/gaze/traces -trace-cache-mb 4096
 //
 // Endpoints:
 //
 //	GET  /healthz           liveness probe
-//	GET  /traces            workload catalogue (?suite= filters)
+//	GET  /traces            workload catalogue + ingested traces (?suite= filters)
+//	POST /traces            ingest a trace (gztr/champsim, optionally gzipped) → 201 + address
+//	GET  /traces/{addr}         ingested-trace manifest
+//	GET  /traces/{addr}/data    export (?format=gztr|champsim[.gz])
+//	DELETE /traces/{addr}       delete (409 while referenced by live work)
 //	GET  /prefetchers       the paper's evaluated prefetcher names
 //	GET  /stats             engine scale + cache counters + store size/schema + jobs counters
 //	POST /simulate          {"trace","prefetcher","l2","cores","overrides"} → §IV-A3 metrics
@@ -51,6 +56,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/server"
+	"repro/internal/traceset"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -64,9 +71,19 @@ func main() {
 		jobsWorkers = flag.Int("jobs-workers", 2, "concurrently running background jobs")
 		jobsQueue   = flag.Int("jobs-queue", 64, "max queued background jobs")
 		jobsDir     = flag.String("jobs-dir", "", `job journal directory ("" = beside the result store, "none" = not durable)`)
+		traceDir    = flag.String("trace-dir", "", `ingested-trace registry directory ("" = beside the result store, "none" = disabled)`)
+		traceCache  = flag.Int64("trace-cache-mb", 2048, "materialized-trace cache budget in MB (0 = unbounded)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
 	)
 	flag.Parse()
+
+	// Generous by default, but bounded: synthetic slabs are small, while
+	// ingested real traces can be arbitrarily large — an unbounded cache
+	// would grow with every distinct uploaded trace for the life of the
+	// server.
+	if *traceCache > 0 {
+		workload.SetTraceCacheBudget(*traceCache << 20)
+	}
 
 	sc, err := engine.ScaleByName(*scale)
 	if err != nil {
@@ -116,9 +133,34 @@ func main() {
 			dir, c.Recovered, c.Interrupted)
 	}
 
+	// The trace registry follows the jobs-dir convention: a durable
+	// sibling of the result store ("<store>.traces") unless pointed
+	// elsewhere or disabled. Registering it as a workload source is what
+	// lets every entry point run `ingested:<address>` names.
+	srvHandle := server.New(eng).AttachJobs(mgr)
+	tdir := *traceDir
+	switch {
+	case tdir == "none":
+		tdir = ""
+	case tdir == "" && opts.Store != nil:
+		tdir = opts.Store.Dir() + ".traces"
+	case tdir == "":
+		tdir = engine.DefaultDir() + ".traces"
+	}
+	if tdir != "" {
+		reg, err := traceset.Open(tdir, traceset.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		workload.RegisterSource(reg)
+		srvHandle.AttachTraces(reg)
+		log.Printf("gazeserve: trace registry at %s (%d ingested traces)", tdir, reg.Len())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(server.New(eng).AttachJobs(mgr).Handler()),
+		Handler:           logRequests(srvHandle.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -7,7 +7,13 @@
 //	gazesim -trace bwaves_s-2609 -prefetcher Gaze
 //	gazesim -suite cloud -prefetcher PMP -cores 4
 //	gazesim -trace lbm-1274 -prefetcher Gaze -mtps 1600 -llc-mb 1
+//	gazesim -trace-dir ~/traces -trace ingested:<address> -prefetcher Gaze
 //	gazesim -traces  (list the catalogue)
+//
+// With -trace-dir, traces ingested by gazetrace (or gazeserve's POST
+// /traces) run by their `ingested:<address>` names; the trace's content
+// digest folds into the shared result-store keys, so registry runs cache
+// soundly across entry points too.
 //
 // The -mtps, -llc-mb, -l2-kb and -pq flags perturb the Table II system
 // through declarative engine.Overrides — the paper's Fig 16 sensitivity
@@ -25,6 +31,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/profiling"
+	"repro/internal/traceset"
 	"repro/internal/workload"
 )
 
@@ -44,6 +51,8 @@ func main() {
 		pq         = flag.Int("pq", 0, "override prefetch-queue capacity")
 		cacheDir   = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persisted result store")
+		traceDir   = flag.String("trace-dir", "", "ingested-trace registry directory (enables -trace ingested:<address>)")
+		traceCache = flag.Int64("trace-cache-mb", 2048, "materialized-trace cache budget in MB (0 = unbounded)")
 		listTraces = flag.Bool("traces", false, "list the workload catalogue")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -57,9 +66,27 @@ func main() {
 	}
 	defer stopProfiles()
 
+	if *traceCache > 0 {
+		workload.SetTraceCacheBudget(*traceCache << 20)
+	}
+	var reg *traceset.Registry
+	if *traceDir != "" {
+		reg, err = traceset.Open(*traceDir, traceset.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		workload.RegisterSource(reg)
+	}
+
 	if *listTraces {
 		for _, info := range workload.Catalogue() {
 			fmt.Printf("%-8s %s\n", info.Suite, info.Name)
+		}
+		if reg != nil {
+			for _, m := range reg.List() {
+				fmt.Printf("%-8s %s\n", "ingested", m.Name())
+			}
 		}
 		return
 	}

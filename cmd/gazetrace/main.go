@@ -1,0 +1,252 @@
+// Command gazetrace manages the content-addressed trace registry from the
+// shell — the offline counterpart of gazeserve's /traces API. Point it at
+// the same -dir gazeserve uses and ingested traces are immediately
+// runnable by every entry point as `ingested:<address>`.
+//
+// Usage:
+//
+//	gazetrace ingest -dir ~/traces capture.champsim.gz more.gztr
+//	gazetrace ingest -dir ~/traces < capture.champsim.gz
+//	gazetrace ls -dir ~/traces
+//	gazetrace inspect -dir ~/traces <address>
+//	gazetrace export -dir ~/traces -format champsim.gz -o out.champsim.gz <address>
+//	gazetrace convert -format gztr -o out.gztr capture.champsim.gz
+//
+// ingest accepts any supported format (native GZTR, ChampSim-style lines,
+// gzip-wrapped variants; sniffed per file) and prints one line per input:
+// the registry address plus whether the upload created a new entry or
+// deduplicated onto an existing one. convert is registry-free format
+// conversion (input sniffed, output per -format).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"flag"
+
+	"repro/internal/trace"
+	"repro/internal/traceset"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gazetrace: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gazetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `gazetrace — content-addressed trace registry tool
+
+commands:
+  ingest  -dir DIR [file...]          ingest traces (stdin when no files)
+  ls      -dir DIR                    list registry entries
+  inspect -dir DIR ADDRESS            print one entry's manifest
+  export  -dir DIR [-format F] [-o FILE] ADDRESS
+                                      write an entry's records (default stdout, gztr)
+  convert [-format F] [-o FILE] [file]
+                                      re-encode a trace without a registry
+formats: gztr | gztr.gz | champsim | champsim.gz (ingest/convert inputs are sniffed)
+`)
+}
+
+func openRegistry(dir string) (*traceset.Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("need -dir (the registry directory)")
+	}
+	return traceset.Open(dir, traceset.Options{})
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := fs.String("dir", "", "registry directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	reg, err := openRegistry(*dir)
+	if err != nil {
+		return err
+	}
+	ingest := func(r io.Reader, label string) error {
+		m, created, err := reg.Ingest(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		verdict := "created"
+		if !created {
+			verdict = "deduplicated"
+		}
+		fmt.Printf("%s  %d records  %s  (%s, from %s)\n", m.Address, m.Records, verdict, label, m.SourceFormat)
+		return nil
+	}
+	if fs.NArg() == 0 {
+		return ingest(os.Stdin, "stdin")
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = ingest(f, path)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	dir := fs.String("dir", "", "registry directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	reg, err := openRegistry(*dir)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 0, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDRESS\tRECORDS\tSTORED\tINGESTED\tSOURCE")
+	for _, m := range reg.List() {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\n",
+			m.Address, m.Records, m.StoredBytes, m.IngestedAt.Format("2006-01-02 15:04:05"), m.SourceFormat)
+	}
+	return tw.Flush()
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dir := fs.String("dir", "", "registry directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect takes exactly one address")
+	}
+	reg, err := openRegistry(*dir)
+	if err != nil {
+		return err
+	}
+	addr := fs.Arg(0)
+	m, ok := reg.Get(addr)
+	if !ok {
+		return fmt.Errorf("no such trace %s", addr)
+	}
+	st := m.Footprint
+	fmt.Printf("address             %s\n", m.Address)
+	fmt.Printf("name                %s\n", workload.IngestedName(m.Address))
+	fmt.Printf("records             %d\n", m.Records)
+	fmt.Printf("stored bytes        %d\n", m.StoredBytes)
+	fmt.Printf("source format       %s\n", m.SourceFormat)
+	fmt.Printf("ingested at         %s\n", m.IngestedAt.Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("loads               %d\n", st.Loads)
+	fmt.Printf("regions             %d\n", st.Regions)
+	fmt.Printf("mean density        %.2f blocks\n", st.MeanDensity)
+	fmt.Printf("fully dense         %d\n", st.Dense)
+	fmt.Printf("single-block        %d\n", st.SingleBlock)
+	fmt.Printf("density histogram   1:%d  2-8:%d  9-32:%d  33-63:%d  64:%d\n",
+		st.DensityHistogram[0], st.DensityHistogram[1], st.DensityHistogram[2],
+		st.DensityHistogram[3], st.DensityHistogram[4])
+	fmt.Printf("trigger ambiguity   %.2f footprints/offset\n", st.TriggerAmbiguity)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dir := fs.String("dir", "", "registry directory")
+	format := fs.String("format", "gztr", "output format")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		return fmt.Errorf("export takes exactly one address")
+	}
+	f, err := trace.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	reg, err := openRegistry(*dir)
+	if err != nil {
+		return err
+	}
+	recs, err := reg.Records(fs.Arg(0), 0)
+	if err != nil {
+		return err
+	}
+	return writeOutput(*out, func(w io.Writer) error {
+		return trace.WriteAll(w, f, recs)
+	})
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	format := fs.String("format", "gztr", "output format")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	f, err := trace.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		file, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		in = file
+	default:
+		return fmt.Errorf("convert takes at most one input file")
+	}
+	rd, _, err := trace.Detect(in)
+	if err != nil {
+		return err
+	}
+	recs, err := trace.Collect(rd, 0)
+	if err != nil {
+		return err
+	}
+	return writeOutput(*out, func(w io.Writer) error {
+		return trace.WriteAll(w, f, recs)
+	})
+}
+
+// writeOutput writes through fn to path, or stdout when path is empty.
+func writeOutput(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

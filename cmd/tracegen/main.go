@@ -1,15 +1,21 @@
-// Command tracegen writes a named synthetic workload to a binary trace
-// file, or prints its footprint statistics (the §III-C density analysis).
+// Command tracegen writes a named synthetic workload to a trace file —
+// native GZTR, ChampSim-style lines, or gzip-wrapped variants — or prints
+// its footprint statistics (the §III-C density analysis). The -format
+// flag exists so synthetic traces round-trip through the same external
+// decoders real captured traces use: a tracegen-exported champsim.gz file
+// ingests into the traceset registry exactly like a foreign one.
 //
 // Usage:
 //
 //	tracegen -trace PageRank-61 -n 500000 -o pagerank.gztr
+//	tracegen -trace lbm-1274 -n 200000 -format champsim.gz -o lbm.champsim.gz
 //	tracegen -trace fotonik3d_s-8225 -n 200000 -stats
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/trace"
@@ -20,10 +26,16 @@ func main() {
 	var (
 		name      = flag.String("trace", "", "workload trace name")
 		n         = flag.Int("n", 200_000, "number of records")
-		out       = flag.String("o", "", "output file (binary trace format)")
+		out       = flag.String("o", "", "output file")
+		format    = flag.String("format", "gztr", "output format: gztr | gztr.gz | champsim | champsim.gz")
 		showStats = flag.Bool("stats", false, "print footprint statistics instead of writing")
 	)
 	flag.Parse()
+	outFormat, err := trace.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "need -trace (run 'gazesim -traces' for the catalogue)")
 		os.Exit(1)
@@ -62,21 +74,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	w, err := trace.NewWriter(f)
-	if err != nil {
+	if err := writeTrace(f, outFormat, recs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for _, rec := range recs {
-		if err := w.Write(rec); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d records to %s\n", len(recs), *out)
+	fmt.Printf("wrote %d records to %s (%s)\n", len(recs), *out, outFormat)
+}
+
+// writeTrace encodes recs to w in the requested format, finalizing the
+// stream (gzip footers included).
+func writeTrace(w io.Writer, f trace.Format, recs []trace.Record) error {
+	return trace.WriteAll(w, f, recs)
 }

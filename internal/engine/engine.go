@@ -87,14 +87,20 @@ const canonicalVersion = StoreSchemaVersion
 // at equal budgets). It is a struct, not a map, so encoding/json emits
 // fields in one fixed order on every process and platform.
 type canonicalJob struct {
-	V         int       `json:"v"`
-	TraceLen  int       `json:"trace_len"`
-	Warmup    uint64    `json:"warmup"`
-	Sim       uint64    `json:"sim"`
-	Traces    []string  `json:"traces"`
-	L1        []string  `json:"l1,omitempty"`
-	L2        []string  `json:"l2,omitempty"`
-	Overrides Overrides `json:"overrides,omitzero"`
+	V        int      `json:"v"`
+	TraceLen int      `json:"trace_len"`
+	Warmup   uint64   `json:"warmup"`
+	Sim      uint64   `json:"sim"`
+	Traces   []string `json:"traces"`
+	// TraceDigests pins per-core trace content for traces resolved outside
+	// the synthetic catalogue (ingested real traces): one digest per core,
+	// "" for catalogue traces, omitted entirely — preserving every
+	// existing key — when all cores run catalogue traces, whose names
+	// regenerate their records bit for bit and so are already identities.
+	TraceDigests []string  `json:"trace_digests,omitempty"`
+	L1           []string  `json:"l1,omitempty"`
+	L2           []string  `json:"l2,omitempty"`
+	Overrides    Overrides `json:"overrides,omitzero"`
 }
 
 // CanonicalJSON returns the job's canonical encoding at a scale — the
@@ -120,14 +126,15 @@ func (j Job) CanonicalJSON(scale Scale) string {
 		o.PQCapacity, o.PQDrainRate = 0, 0
 	}
 	doc := canonicalJob{
-		V:         canonicalVersion,
-		TraceLen:  scale.TraceLen,
-		Warmup:    warmup,
-		Sim:       sim,
-		Traces:    j.Traces,
-		L1:        l1,
-		L2:        l2,
-		Overrides: o,
+		V:            canonicalVersion,
+		TraceLen:     scale.TraceLen,
+		Warmup:       warmup,
+		Sim:          sim,
+		Traces:       j.Traces,
+		TraceDigests: traceDigests(j.Traces),
+		L1:           l1,
+		L2:           l2,
+		Overrides:    o,
 	}
 	data, err := json.Marshal(doc)
 	if err != nil { // no field of canonicalJob can fail to encode
@@ -141,6 +148,25 @@ func (j Job) CanonicalJSON(scale Scale) string {
 // under it) and Progress reports.
 func (j Job) ContentAddress(scale Scale) string {
 	return hashKey(j.CanonicalJSON(scale))
+}
+
+// traceDigests returns the per-core trace-content digests the canonical
+// encoding folds in, or nil when every core runs a catalogue trace.
+// Ingested traces carry their record-stream digest inside the name
+// (workload.TraceDigest is a pure parse, no registry I/O), so the
+// encoding stays deterministic on any process — including ones with no
+// trace registry attached.
+func traceDigests(traces []string) []string {
+	var out []string
+	for i, tr := range traces {
+		if d, ok := workload.TraceDigest(tr); ok {
+			if out == nil {
+				out = make([]string, len(traces))
+			}
+			out[i] = d
+		}
+	}
+	return out
 }
 
 // canonicalNames broadcasts a prefetcher slice to n cores with "none"
@@ -381,38 +407,48 @@ func (e *Engine) Counters() Counters {
 // engines share it — so these numbers describe the process, not one
 // engine instance.
 type Stats struct {
-	Counters          Counters `json:"counters"`
-	TraceCacheEntries int      `json:"trace_cache_entries"`
-	TraceCacheHits    uint64   `json:"trace_cache_hits"`
-	TraceCacheMisses  uint64   `json:"trace_cache_misses"`
-	TraceCacheBytes   int64    `json:"trace_cache_bytes"`
+	Counters            Counters `json:"counters"`
+	TraceCacheEntries   int      `json:"trace_cache_entries"`
+	TraceCacheHits      uint64   `json:"trace_cache_hits"`
+	TraceCacheMisses    uint64   `json:"trace_cache_misses"`
+	TraceCacheBytes     int64    `json:"trace_cache_bytes"`
+	TraceCacheEvictions uint64   `json:"trace_cache_evictions"`
 }
 
 // Stats returns a snapshot of the engine and trace-cache counters.
 func (e *Engine) Stats() Stats {
 	tc := workload.TraceCacheStats()
 	return Stats{
-		Counters:          e.Counters(),
-		TraceCacheEntries: tc.Entries,
-		TraceCacheHits:    tc.Hits,
-		TraceCacheMisses:  tc.Misses,
-		TraceCacheBytes:   tc.Bytes,
+		Counters:            e.Counters(),
+		TraceCacheEntries:   tc.Entries,
+		TraceCacheHits:      tc.Hits,
+		TraceCacheMisses:    tc.Misses,
+		TraceCacheBytes:     tc.Bytes,
+		TraceCacheEvictions: tc.Evictions,
 	}
 }
 
 // Run executes one job, deduplicated three ways: concurrent identical jobs
 // coalesce onto one execution, repeated jobs hit the in-process memo, and
-// repeated jobs across processes hit the persisted store.
+// repeated jobs across processes hit the persisted store. It is for
+// catalogue-trace jobs, whose materialization cannot fail once validated;
+// jobs that may reference registry traces (deletable at runtime) should
+// use RunContext and handle the error.
 func (e *Engine) Run(j Job) sim.Result {
-	res, _, _ := e.run(context.Background(), j) // background ctx: err impossible
+	res, _, err := e.run(context.Background(), j)
+	if err != nil { // background ctx: only a trace-supply failure
+		panic(fmt.Sprintf("engine: running %s: %v", j, err))
+	}
 	return res
 }
 
-// RunContext is Run with cooperative cancellation: when ctx is done before
-// the simulation starts (while queued on the worker semaphore or waiting on
-// an identical in-flight job), it returns ctx's error without simulating.
-// A simulation that already started runs to completion — cancellation is
-// job-granular, never mid-simulation.
+// RunContext is Run with cooperative cancellation and an error return:
+// when ctx is done before the simulation starts (while queued on the
+// worker semaphore or waiting on an identical in-flight job), it returns
+// ctx's error without simulating — a simulation that already started runs
+// to completion, cancellation is job-granular, never mid-simulation. It
+// also surfaces trace-materialization failures (a registry trace deleted
+// or damaged between validation and execution) instead of panicking.
 func (e *Engine) RunContext(ctx context.Context, j Job) (sim.Result, error) {
 	res, _, err := e.run(ctx, j)
 	return res, err
@@ -485,7 +521,13 @@ func (e *Engine) run(ctx context.Context, j Job) (res sim.Result, cached bool, e
 		if err := ctx.Err(); err != nil {
 			return sim.Result{}, false, err
 		}
-		res = e.execute(j)
+		res, err = e.execute(j)
+		if err != nil {
+			// Not memoized: the failure may be transient state (a trace
+			// deleted mid-flight), and completed stays false so waiters
+			// retry rather than inheriting a zero result.
+			return sim.Result{}, false, err
+		}
 	}
 	if !cached && e.store != nil {
 		// Persistence is best-effort: a read-only cache dir must not
@@ -504,7 +546,7 @@ func (e *Engine) config(cores int) sim.Config {
 	return cfg
 }
 
-func (e *Engine) execute(j Job) sim.Result {
+func (e *Engine) execute(j Job) (sim.Result, error) {
 	cores := len(j.Traces)
 	cfg := j.Overrides.Apply(e.config(cores))
 	l1s := Broadcast(j.L1, cores)
@@ -515,8 +557,14 @@ func (e *Engine) execute(j Job) sim.Result {
 		// The process-wide materialized-trace cache hands every job of a
 		// sweep (and every concurrent shard, single-flight) one shared
 		// immutable record slab per {trace, length} instead of
-		// regenerating it per job.
-		recs := workload.MustMaterialize(name, e.scale.TraceLen)
+		// regenerating it per job. Materialization can fail at runtime for
+		// registry-backed traces (deleted or damaged after validation), so
+		// it flows through the error return rather than panicking —
+		// catalogue generation remains infallible for validated jobs.
+		recs, err := workload.Materialize(name, e.scale.TraceLen)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("engine: materializing trace for %s: %w", j, err)
+		}
 		spec := sim.CoreSpec{
 			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
 			L1Prefetcher: prefetchers.MustNew(l1s[i]),
@@ -530,7 +578,7 @@ func (e *Engine) execute(j Job) sim.Result {
 	if err != nil {
 		panic(fmt.Sprintf("engine: building system for %s: %v", j, err))
 	}
-	return sys.Run()
+	return sys.Run(), nil
 }
 
 // RunAll executes a sweep: jobs are split round-robin into one shard per
@@ -538,9 +586,14 @@ func (e *Engine) execute(j Job) sim.Result {
 // deterministic RNG (seeded from Options.Seed and the shard index, so
 // identical sweeps schedule identically while expensive jobs spread across
 // shards), and every completion feeds the Progress callback with an ETA.
-// Results are returned in input order.
+// Results are returned in input order. Like Run, it is for catalogue-trace
+// jobs and panics on a trace-supply failure; registry-referencing sweeps
+// go through RunAllContext.
 func (e *Engine) RunAll(jobs []Job) []sim.Result {
-	results, _ := e.RunAllContext(context.Background(), jobs, nil) // background ctx: err impossible
+	results, err := e.RunAllContext(context.Background(), jobs, nil)
+	if err != nil { // background ctx: only a trace-supply failure
+		panic(fmt.Sprintf("engine: running sweep: %v", err))
+	}
 	return results
 }
 
@@ -551,7 +604,9 @@ func (e *Engine) RunAll(jobs []Job) []sim.Result {
 // started is skipped — and ctx's error is returned alongside the partial
 // results: completed indices hold real results, skipped ones are zero.
 // Partial results still land in the memo and store, so a resubmitted sweep
-// resumes instead of recomputing.
+// resumes instead of recomputing. A job whose trace supply fails (a
+// registry trace deleted mid-sweep) stops its shard and the first such
+// error is returned the same way — never swallowed into silent zero rows.
 func (e *Engine) RunAllContext(ctx context.Context, jobs []Job, progress func(Progress)) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	if len(jobs) == 0 {
@@ -596,9 +651,13 @@ func (e *Engine) RunAllContext(ctx context.Context, jobs []Job, progress func(Pr
 	// A panic inside a bare goroutine would kill the whole process (and
 	// gazeserve with it) — capture the first one and re-raise it on the
 	// caller's goroutine, where net/http's handler recover can see it.
+	// Non-cancellation job errors (trace supply) are captured the same
+	// way and returned.
 	var (
 		panicOnce sync.Once
 		panicked  any
+		errOnce   sync.Once
+		jobErr    error
 	)
 	for s := range order {
 		wg.Add(1)
@@ -617,6 +676,9 @@ func (e *Engine) RunAllContext(ctx context.Context, jobs []Job, progress func(Pr
 				i := idx[k]
 				res, cached, err := e.run(ctx, jobs[i])
 				if err != nil {
+					if ctx.Err() == nil {
+						errOnce.Do(func() { jobErr = err })
+					}
 					return
 				}
 				results[i] = res
@@ -630,5 +692,8 @@ func (e *Engine) RunAllContext(ctx context.Context, jobs []Job, progress func(Pr
 	if panicked != nil {
 		panic(panicked)
 	}
-	return results, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, jobErr
 }

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -303,5 +306,48 @@ func TestJobValidate(t *testing.T) {
 		if err := j.Validate(); err == nil {
 			t.Errorf("Validate(%v) accepted an invalid job", j)
 		}
+	}
+}
+
+// brokenSource resolves a name at validation time but fails to load it —
+// the shape of a registry trace deleted (or damaged on disk) between
+// validation and execution.
+type brokenSource struct{ name string }
+
+func (b brokenSource) Exists(name string) bool { return name == b.name }
+func (b brokenSource) Load(string, int) ([]trace.Record, error) {
+	return nil, errSupply
+}
+
+var errSupply = fmt.Errorf("trace supply failed")
+
+// TestTraceSupplyFailureSurfacesAsError: a trace that stops materializing
+// mid-flight must flow out of RunContext/RunAllContext as an error — not
+// a process-killing panic, not silent zero results.
+func TestTraceSupplyFailureSurfacesAsError(t *testing.T) {
+	workload.ResetSources()
+	workload.ResetTraceCache()
+	t.Cleanup(workload.ResetSources)
+	t.Cleanup(workload.ResetTraceCache)
+	name := workload.IngestedName("feedfacefeedfacefeedfacefeedfacefeedfacefeedfacefeedfacefeedface")
+	workload.RegisterSource(brokenSource{name: name})
+
+	e := New(Options{Scale: tiny})
+	job := Job{Traces: []string{name}, L1: []string{"none"}}
+	if err := job.Validate(); err != nil {
+		t.Fatalf("job should validate while the source resolves it: %v", err)
+	}
+	if _, err := e.RunContext(context.Background(), job); !errors.Is(err, errSupply) {
+		t.Fatalf("RunContext err = %v, want the supply error", err)
+	}
+	// The sweep path returns the first job error rather than zero rows.
+	results, err := e.RunAllContext(context.Background(), []Job{job, tinyJob("none")}, nil)
+	if !errors.Is(err, errSupply) {
+		t.Fatalf("RunAllContext err = %v, want the supply error", err)
+	}
+	_ = results
+	// The engine is not poisoned: catalogue jobs still run.
+	if res := e.Run(tinyJob("IP-stride")); res.MeanIPC() <= 0 {
+		t.Error("engine unusable after a supply failure")
 	}
 }

@@ -64,6 +64,30 @@ func TestContentAddressGolden(t *testing.T) {
 			canonical: `{"v":2,"trace_len":1000,"warmup":50,"sim":100,"traces":["lbm-1274"],"l1":["Gaze"],"overrides":{"llc_mb_per_core":0.5,"l2_kb":256,"pq_capacity":16,"pq_drain_rate":0.5}}`,
 			address:   "79889db4e22b517ef2c15b7aa26d30594ba9127a42065b7a86373f6d8ee469b7",
 		},
+		{
+			// Ingested traces fold their record-stream digest into the
+			// encoding (trace_digests), so result-store keys pin trace
+			// CONTENT, not just a registry name. The field is omitted for
+			// all-catalogue jobs — the cases above must never grow it.
+			name: "ingested trace",
+			job: Job{
+				Traces: []string{"ingested:8a2b9f6d1f9c7a1f0d3e5b7c9a1d2e3f4a5b6c7d8e9f0a1b2c3d4e5f6a7b8c9d"},
+				L1:     []string{"Gaze"},
+			},
+			canonical: `{"v":2,"trace_len":1000,"warmup":100,"sim":200,"traces":["ingested:8a2b9f6d1f9c7a1f0d3e5b7c9a1d2e3f4a5b6c7d8e9f0a1b2c3d4e5f6a7b8c9d"],"trace_digests":["8a2b9f6d1f9c7a1f0d3e5b7c9a1d2e3f4a5b6c7d8e9f0a1b2c3d4e5f6a7b8c9d"],"l1":["Gaze"]}`,
+			address:   "a8d3b7fe0a10bff2e2c4ca73eeb07fb29eb7ea4cf565187322d480d06cf5accc",
+		},
+		{
+			// Mixed cores: catalogue traces contribute "" digests, keeping
+			// per-core alignment.
+			name: "ingested and catalogue traces mixed",
+			job: Job{
+				Traces: []string{"ingested:8a2b9f6d1f9c7a1f0d3e5b7c9a1d2e3f4a5b6c7d8e9f0a1b2c3d4e5f6a7b8c9d", "lbm-1274"},
+				L1:     []string{"Gaze", "PMP"},
+			},
+			canonical: `{"v":2,"trace_len":1000,"warmup":100,"sim":200,"traces":["ingested:8a2b9f6d1f9c7a1f0d3e5b7c9a1d2e3f4a5b6c7d8e9f0a1b2c3d4e5f6a7b8c9d","lbm-1274"],"trace_digests":["8a2b9f6d1f9c7a1f0d3e5b7c9a1d2e3f4a5b6c7d8e9f0a1b2c3d4e5f6a7b8c9d",""],"l1":["Gaze","PMP"]}`,
+			address:   "92a09e2426cae101f775559d499d1746e29bedc436b073d492ca4030f3962726",
+		},
 	}
 	for _, c := range cases {
 		if got := c.job.CanonicalJSON(scale); got != c.canonical {

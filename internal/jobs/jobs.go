@@ -585,6 +585,29 @@ func (m *Manager) Counters() Counters {
 	return c
 }
 
+// UsesTrace reports whether any queued or running job's compiled plan
+// references the named trace. It is the in-use protection behind
+// DELETE /traces/{addr}: a trace that live background work will
+// materialize must not be deleted out from under it. Terminal jobs drop
+// their plans and never count.
+func (m *Manager) UsesTrace(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range m.recs {
+		if rec.plan == nil || rec.State.Terminal() {
+			continue
+		}
+		for _, j := range rec.plan.Jobs {
+			for _, tr := range j.Traces {
+				if tr == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // Result returns a succeeded job's result document: the in-memory value
 // Finalize produced, or — after a restart — the persisted document as
 // json.RawMessage. Non-succeeded jobs return ErrNotReady (wrapped with

@@ -17,13 +17,19 @@ import (
 	"repro/internal/prefetchers"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/traceset"
 	"repro/internal/workload"
 )
 
 // Server serves the gazeserve HTTP API over one shared engine.
 type Server struct {
-	eng  *engine.Engine
-	jobs *jobs.Manager
+	eng    *engine.Engine
+	jobs   *jobs.Manager
+	traces *traceset.Registry
+
+	// inflight tracks ingested traces referenced by running synchronous
+	// requests, for DELETE /traces in-use protection.
+	inflight traceUse
 }
 
 // New builds a server on the given engine.
@@ -43,6 +49,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("POST /traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /traces/{addr}", s.handleTraceManifest)
+	mux.HandleFunc("GET /traces/{addr}/data", s.handleTraceData)
+	mux.HandleFunc("DELETE /traces/{addr}", s.handleTraceDelete)
 	mux.HandleFunc("GET /prefetchers", s.handlePrefetchers)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
@@ -143,17 +153,22 @@ type SensitivityPoint struct {
 // the background-jobs subsystem (null when no jobs manager is attached,
 // mirroring store_entries): current per-state counts plus the number of
 // queued jobs recovered from the journal at startup.
+// IngestedTraces mirrors StoreEntries' null-vs-0 discipline for the trace
+// registry: null when none is attached, the entry count otherwise.
 type StatsResponse struct {
-	Scale              engine.Scale    `json:"scale"`
-	Counters           engine.Counters `json:"counters"`
-	StoreDir           string          `json:"store_dir,omitempty"`
-	StoreEntries       *int            `json:"store_entries"`
-	StoreSchemaVersion int             `json:"store_schema_version"`
-	TraceCacheEntries  int             `json:"trace_cache_entries"`
-	TraceCacheHits     uint64          `json:"trace_cache_hits"`
-	TraceCacheMisses   uint64          `json:"trace_cache_misses"`
-	TraceCacheBytes    int64           `json:"trace_cache_bytes"`
-	Jobs               *jobs.Counters  `json:"jobs"`
+	Scale               engine.Scale    `json:"scale"`
+	Counters            engine.Counters `json:"counters"`
+	StoreDir            string          `json:"store_dir,omitempty"`
+	StoreEntries        *int            `json:"store_entries"`
+	StoreSchemaVersion  int             `json:"store_schema_version"`
+	TraceCacheEntries   int             `json:"trace_cache_entries"`
+	TraceCacheHits      uint64          `json:"trace_cache_hits"`
+	TraceCacheMisses    uint64          `json:"trace_cache_misses"`
+	TraceCacheBytes     int64           `json:"trace_cache_bytes"`
+	TraceCacheEvictions uint64          `json:"trace_cache_evictions"`
+	TraceRegistryDir    string          `json:"trace_registry_dir,omitempty"`
+	IngestedTraces      *int            `json:"ingested_traces"`
+	Jobs                *jobs.Counters  `json:"jobs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -172,9 +187,18 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			out = append(out, entry{Name: info.Name, Suite: info.Suite})
 		}
 	}
+	// Ingested traces list beside the catalogue under the "ingested"
+	// suite, named exactly as /simulate and /sweep accept them.
+	if s.traces != nil && (suite == "" || suite == ingestedSuite) {
+		for _, m := range s.traces.List() {
+			out = append(out, entry{Name: m.Name(), Suite: ingestedSuite})
+		}
+	}
 	// Every catalogue suite is non-empty, so zero matches under a filter
-	// means the suite name is wrong — flag it like POST /sweep does.
-	if suite != "" && len(out) == 0 {
+	// means the suite name is wrong — flag it like POST /sweep does. The
+	// ingested suite is the exception: it exists whenever a registry is
+	// attached, and an empty registry is a valid (empty) listing.
+	if suite != "" && len(out) == 0 && !(suite == ingestedSuite && s.traces != nil) {
 		httpError(w, http.StatusBadRequest, "unknown suite %q", suite)
 		return
 	}
@@ -188,18 +212,24 @@ func (s *Server) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := s.eng.Stats()
 	resp := StatsResponse{
-		Scale:              s.eng.Scale(),
-		Counters:           stats.Counters,
-		StoreSchemaVersion: engine.StoreSchemaVersion,
-		TraceCacheEntries:  stats.TraceCacheEntries,
-		TraceCacheHits:     stats.TraceCacheHits,
-		TraceCacheMisses:   stats.TraceCacheMisses,
-		TraceCacheBytes:    stats.TraceCacheBytes,
+		Scale:               s.eng.Scale(),
+		Counters:            stats.Counters,
+		StoreSchemaVersion:  engine.StoreSchemaVersion,
+		TraceCacheEntries:   stats.TraceCacheEntries,
+		TraceCacheHits:      stats.TraceCacheHits,
+		TraceCacheMisses:    stats.TraceCacheMisses,
+		TraceCacheBytes:     stats.TraceCacheBytes,
+		TraceCacheEvictions: stats.TraceCacheEvictions,
 	}
 	if st := s.eng.Store(); st != nil {
 		resp.StoreDir = st.Dir()
 		n := st.Len()
 		resp.StoreEntries = &n
+	}
+	if s.traces != nil {
+		resp.TraceRegistryDir = s.traces.Dir()
+		n := s.traces.Len()
+		resp.IngestedTraces = &n
 	}
 	if s.jobs != nil {
 		c := s.jobs.Counters()
@@ -236,10 +266,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// One batched engine pass under the request's context: the baseline
 	// and the target run in parallel, both memoize for later requests, and
 	// a client that disconnects mid-run aborts the work at the next shard
-	// boundary instead of wasting it.
+	// boundary instead of wasting it. Ingested traces are held referenced
+	// for the duration so a concurrent DELETE /traces can refuse.
+	release := s.inflight.acquire(plan.jobs)
+	defer release()
+	if !s.recheckIngested(w, plan.jobs) {
+		return
+	}
 	results, err := s.eng.RunAllContext(r.Context(), plan.jobs, nil)
 	if err != nil {
-		return // client gone; nobody to answer
+		if r.Context().Err() != nil {
+			return // client gone; nobody to answer
+		}
+		httpError(w, http.StatusConflict, "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, plan.assemble(results))
 }
@@ -287,9 +327,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	release := s.inflight.acquire(plan.jobs)
+	defer release()
+	if !s.recheckIngested(w, plan.jobs) {
+		return
+	}
 	results, err := s.eng.RunAllContext(r.Context(), plan.jobs, nil)
 	if err != nil {
-		return // client gone; nobody to answer
+		if r.Context().Err() != nil {
+			return // client gone; nobody to answer
+		}
+		httpError(w, http.StatusConflict, "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, plan.assemble(results))
 }

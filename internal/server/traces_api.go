@@ -1,0 +1,258 @@
+// Trace registry API: upload real traces and run them by name. A trace
+// POSTed in any supported format (native GZTR, ChampSim-style lines,
+// gzip-wrapped variants) becomes a durable, content-addressed registry
+// entry usable as `ingested:<address>` everywhere a catalogue name is —
+// sync /simulate and /sweep, the async jobs API, and the CLIs sharing the
+// registry directory.
+//
+//	POST   /traces               upload → 201 + manifest (200 on dedup)
+//	GET    /traces               catalogue + ingested entries (existing route)
+//	GET    /traces/{addr}        manifest
+//	GET    /traces/{addr}/data   export (?format=gztr|champsim[.gz])
+//	DELETE /traces/{addr}        delete; 409 while referenced by live work
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/traceset"
+	"repro/internal/workload"
+)
+
+// maxTraceUploadBytes bounds one trace upload (the encoded stream, not
+// the decoded records — the registry's record cap bounds those). Far
+// above any sweep-request body, far below a memory-exhaustion payload.
+const maxTraceUploadBytes = 256 << 20
+
+// AttachTraces enables the trace-registry API on this server. The caller
+// should also workload.RegisterSource(reg) so ingested names resolve in
+// the engine; the server only serves the registry over HTTP. Without a
+// registry the /traces mutation routes answer 503.
+func (s *Server) AttachTraces(reg *traceset.Registry) *Server {
+	s.traces = reg
+	return s
+}
+
+// tracesEnabled answers 503 (and returns false) when no registry is
+// attached — mirroring jobsEnabled so clients get a clear signal.
+func (s *Server) tracesEnabled(w http.ResponseWriter) bool {
+	if s.traces == nil {
+		httpError(w, http.StatusServiceUnavailable, "trace registry not enabled on this server")
+		return false
+	}
+	return true
+}
+
+// traceUse counts ingested-trace references held by in-flight synchronous
+// requests, so DELETE /traces/{addr} can refuse while a /simulate or
+// /sweep is actively running the trace (async jobs are covered by
+// jobs.Manager.UsesTrace — their plans outlive the HTTP request).
+type traceUse struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+// acquire registers every ingested trace the job grid references and
+// returns the matching release. Catalogue traces are skipped — they are
+// not deletable, so tracking them would be pure overhead.
+func (u *traceUse) acquire(jobs []engine.Job) (release func()) {
+	var names []string
+	for _, j := range jobs {
+		for _, tr := range j.Traces {
+			if _, ok := workload.IngestedDigest(tr); ok {
+				names = append(names, tr)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return func() {}
+	}
+	u.mu.Lock()
+	if u.n == nil {
+		u.n = make(map[string]int)
+	}
+	for _, name := range names {
+		u.n[name]++
+	}
+	u.mu.Unlock()
+	return func() {
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		for _, name := range names {
+			if u.n[name]--; u.n[name] <= 0 {
+				delete(u.n, name)
+			}
+		}
+	}
+}
+
+// inUse reports whether any in-flight synchronous request references name.
+func (u *traceUse) inUse(name string) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.n[name] > 0
+}
+
+// recheckIngested closes the delete race on the synchronous paths: a
+// DELETE /traces that slipped between compile-time validation and the
+// inflight acquire has already removed its trace, so re-validating the
+// ingested names AFTER acquiring guarantees every surviving trace is
+// visible to the delete handler's in-use check for the rest of the
+// request. On a missing trace it answers 409 and returns false.
+func (s *Server) recheckIngested(w http.ResponseWriter, jobs []engine.Job) bool {
+	for _, j := range jobs {
+		for _, tr := range j.Traces {
+			if _, ok := workload.IngestedDigest(tr); ok && !workload.Exists(tr) {
+				httpError(w, http.StatusConflict, "trace %q was deleted while the request was being prepared", tr)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TraceUploadResponse is the POST /traces (and GET /traces/{addr}) body:
+// the registry manifest plus the workload name the entry runs under.
+type TraceUploadResponse struct {
+	// Name is the trace's workload name ("ingested:<address>") — what
+	// /simulate, /sweep and job requests reference.
+	Name string `json:"name"`
+	// Deduplicated reports that the upload matched an existing entry
+	// (POST answers 200 instead of 201).
+	Deduplicated bool `json:"deduplicated,omitempty"`
+	traceset.Manifest
+}
+
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if !s.tracesEnabled(w) {
+		return
+	}
+	m, created, err := s.traces.Ingest(http.MaxBytesReader(w, r.Body, maxTraceUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			httpError(w, http.StatusRequestEntityTooLarge, "trace exceeds the %d-byte upload limit", int64(maxTraceUploadBytes))
+		case errors.Is(err, traceset.ErrEmpty),
+			errors.Is(err, traceset.ErrTooLarge),
+			errors.Is(err, trace.ErrCorrupt),
+			errors.Is(err, trace.ErrTruncated):
+			httpError(w, http.StatusBadRequest, "ingesting trace: %v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, "ingesting trace: %v", err)
+		}
+		return
+	}
+	status := http.StatusCreated
+	if !created {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, TraceUploadResponse{Name: m.Name(), Deduplicated: !created, Manifest: m})
+}
+
+func (s *Server) handleTraceManifest(w http.ResponseWriter, r *http.Request) {
+	if !s.tracesEnabled(w) {
+		return
+	}
+	addr := r.PathValue("addr")
+	m, ok := s.traces.Get(addr)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no ingested trace %q", addr)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceUploadResponse{Name: m.Name(), Manifest: m})
+}
+
+func (s *Server) handleTraceData(w http.ResponseWriter, r *http.Request) {
+	if !s.tracesEnabled(w) {
+		return
+	}
+	addr := r.PathValue("addr")
+	format := trace.FormatGZTR
+	if q := r.URL.Query().Get("format"); q != "" {
+		var err error
+		if format, err = trace.ParseFormat(q); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	// The registry stores the raw gztr representation: copy it verbatim,
+	// or re-encode record by record for other formats. Either way the
+	// export streams in constant memory — a 10M-record trace must not
+	// cost a quarter-gigabyte slab per concurrent download.
+	f, err := s.traces.OpenData(addr)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no ingested trace %q", addr)
+		return
+	}
+	defer f.Close()
+	if format == trace.FormatChampSim {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	if format == trace.FormatGZTR {
+		io.Copy(w, f) //nolint:errcheck // client disconnects are routine
+		return
+	}
+	fr, err := trace.NewFileReader(f)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "reading stored trace: %v", err)
+		return
+	}
+	rw, err := trace.NewFormatWriter(w, format)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Errors past this point are mid-stream (client gone, or a damaged
+	// stored file): the status line is already written, so just stop.
+	for {
+		rec, err := fr.Next()
+		if err != nil {
+			break
+		}
+		if rw.Write(rec) != nil {
+			return
+		}
+	}
+	rw.Close() //nolint:errcheck // finalizes gzip envelopes; client disconnects are routine
+}
+
+func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.tracesEnabled(w) {
+		return
+	}
+	addr := r.PathValue("addr")
+	if _, ok := s.traces.Get(addr); !ok {
+		httpError(w, http.StatusNotFound, "no ingested trace %q", addr)
+		return
+	}
+	// In-use protection: queued/running background jobs hold compiled
+	// plans naming the trace, and in-flight sync requests hold acquired
+	// references. Deleting under either would fail their materialization
+	// mid-sweep.
+	name := workload.IngestedName(addr)
+	if (s.jobs != nil && s.jobs.UsesTrace(name)) || s.inflight.inUse(name) {
+		httpError(w, http.StatusConflict, "trace %q is referenced by in-flight work; cancel or wait, then retry", name)
+		return
+	}
+	if err := s.traces.Delete(addr); err != nil {
+		if errors.Is(err, traceset.ErrNotFound) {
+			httpError(w, http.StatusNotFound, "no ingested trace %q", addr)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "deleting trace: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ingestedSuite is the suite label ingested traces carry in GET /traces
+// listings, distinguishing them from every synthetic catalogue suite.
+const ingestedSuite = "ingested"

@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traceset"
+	"repro/internal/workload"
+)
+
+// newTraceTestServer wires engine + trace registry + jobs manager the way
+// cmd/gazeserve does: the registry is registered as a workload source (so
+// ingested names simulate) and attached to the server (so they serve over
+// HTTP). wrapCompile, when non-nil, decorates the jobs compiler — tests
+// use it to hold a job in running deterministically.
+func newTraceTestServer(t *testing.T, wrapCompile func(jobs.Compiler) jobs.Compiler) (*httptest.Server, *traceset.Registry) {
+	t.Helper()
+	reg, err := traceset.Open(t.TempDir(), traceset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.ResetSources()
+	workload.ResetTraceCache()
+	workload.RegisterSource(reg)
+	t.Cleanup(workload.ResetSources)
+	t.Cleanup(workload.ResetTraceCache)
+
+	eng := engine.New(engine.Options{Scale: tiny, Workers: 1})
+	compile := Compiler(eng)
+	if wrapCompile != nil {
+		compile = wrapCompile(compile)
+	}
+	mgr, err := jobs.Open(jobs.Options{Engine: eng, Compile: compile, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng).AttachJobs(mgr).AttachTraces(reg).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck
+	})
+	return ts, reg
+}
+
+// externalTrace fabricates a "real captured trace": catalogue-generated
+// records encoded in an external format.
+func externalTrace(t *testing.T, name string, n int, f trace.Format) ([]trace.Record, []byte) {
+	t.Helper()
+	recs, err := workload.Generate(name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, f, recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs, buf.Bytes()
+}
+
+func uploadTrace(t *testing.T, ts *httptest.Server, payload []byte) (TraceUploadResponse, int) {
+	t.Helper()
+	r, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var resp TraceUploadResponse
+	if r.StatusCode == http.StatusCreated || r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, r.StatusCode
+}
+
+// TestTraceUploadEndToEnd is the acceptance path: a gzip ChampSim-format
+// trace uploaded over HTTP is listed, inspectable, exportable, runnable by
+// name through sync /sweep AND the async jobs API (with content addresses
+// agreeing), dedups a byte-different re-upload, and deletes cleanly.
+func TestTraceUploadEndToEnd(t *testing.T) {
+	ts, reg := newTraceTestServer(t, nil)
+	recs, champsimGz := externalTrace(t, "leslie3d-134", 4_000, trace.FormatChampSimGz)
+
+	// Upload the gzip ChampSim stream: 201 + manifest.
+	resp, status := uploadTrace(t, ts, champsimGz)
+	if status != http.StatusCreated {
+		t.Fatalf("upload status = %d, want 201", status)
+	}
+	if resp.Records != len(recs) || resp.SourceFormat != trace.FormatChampSimGz {
+		t.Fatalf("manifest = %+v", resp.Manifest)
+	}
+	if resp.Address != traceset.DigestRecords(recs) {
+		t.Fatalf("address %s does not match the record digest", resp.Address)
+	}
+	name := resp.Name
+
+	// Re-uploading the same logical trace as different bytes (raw GZTR
+	// re-encoding) dedups: 200, same address, Deduplicated set.
+	_, gztr := externalTrace(t, "leslie3d-134", 4_000, trace.FormatGZTR)
+	if bytes.Equal(gztr, champsimGz) {
+		t.Fatal("test premise broken: payloads should differ")
+	}
+	dedup, status := uploadTrace(t, ts, gztr)
+	if status != http.StatusOK || !dedup.Deduplicated || dedup.Address != resp.Address {
+		t.Fatalf("re-upload: status %d, %+v", status, dedup)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry holds %d entries, want 1", reg.Len())
+	}
+
+	// Listed beside the catalogue under the ingested suite.
+	var listing []struct{ Name, Suite string }
+	r, err := http.Get(ts.URL + "/traces?suite=ingested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing) != 1 || listing[0].Name != name || listing[0].Suite != "ingested" {
+		t.Fatalf("ingested listing = %+v", listing)
+	}
+
+	// Manifest endpoint.
+	r, err = http.Get(ts.URL + "/traces/" + resp.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var manifest TraceUploadResponse
+	if err := json.NewDecoder(r.Body).Decode(&manifest); err != nil {
+		t.Fatal(err)
+	}
+	if manifest.Name != name || manifest.Records != len(recs) {
+		t.Fatalf("manifest endpoint = %+v", manifest)
+	}
+
+	// Export round-trips identical records in both gztr and champsim.
+	for _, format := range []string{"", "?format=champsim"} {
+		r, err := http.Get(ts.URL + "/traces/" + resp.Address + "/data" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("export %q: status %d, %v", format, r.StatusCode, err)
+		}
+		rd, _, err := trace.Detect(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.Collect(rd, 0)
+		if err != nil || len(got) != len(recs) {
+			t.Fatalf("export %q: %d records, err %v", format, len(got), err)
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("export %q: record %d differs", format, i)
+			}
+		}
+	}
+
+	// Sync sweep by name.
+	var sweep SweepResponse
+	pr := postJSON(t, ts.URL+"/sweep", SweepRequest{
+		Traces: []string{name}, Prefetchers: []string{"Gaze"},
+	}, &sweep)
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", pr.StatusCode)
+	}
+	if len(sweep.Rows) != 1 || sweep.Rows[0].IPC <= 0 || sweep.Rows[0].Address == "" {
+		t.Fatalf("sweep rows = %+v", sweep.Rows)
+	}
+	// The engine job's content address must fold in the trace digest: the
+	// canonical encoding of the row's job carries trace_digests.
+	job := engine.Job{Traces: []string{name}, L1: []string{"Gaze"}}
+	if sweep.Rows[0].Address != job.ContentAddress(tiny) {
+		t.Errorf("row address %s != recomputed content address", sweep.Rows[0].Address)
+	}
+	if !bytes.Contains([]byte(job.CanonicalJSON(tiny)), []byte(`"trace_digests":["`+resp.Address+`"]`)) {
+		t.Errorf("canonical encoding lacks the trace digest: %s", job.CanonicalJSON(tiny))
+	}
+
+	// Async jobs API on the same request coalesces onto the same engine
+	// work and returns the same rows.
+	st, jr := submitJob(t, ts, JobSubmitRequest{
+		Type:    "sweep",
+		Request: mustRaw(t, SweepRequest{Traces: []string{name}, Prefetchers: []string{"Gaze"}}),
+	})
+	if jr.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit status = %d", jr.StatusCode)
+	}
+	waitJobState(t, ts, st.ID, string(jobs.Succeeded))
+	rr, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	var jobSweep SweepResponse
+	if err := json.NewDecoder(rr.Body).Decode(&jobSweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobSweep.Rows) != 1 || jobSweep.Rows[0].Address != sweep.Rows[0].Address {
+		t.Fatalf("async rows = %+v, want the sync row", jobSweep.Rows)
+	}
+	if jobSweep.Rows[0].IPC != sweep.Rows[0].IPC {
+		t.Errorf("async IPC %v != sync IPC %v", jobSweep.Rows[0].IPC, sweep.Rows[0].IPC)
+	}
+
+	// Delete (no live references) and verify the name stops resolving.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/traces/"+resp.Address, nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d, want 204", dr.StatusCode)
+	}
+	if mr, err := http.Get(ts.URL + "/traces/" + resp.Address); err == nil {
+		mr.Body.Close()
+		if mr.StatusCode != http.StatusNotFound {
+			t.Errorf("manifest after delete: %d, want 404", mr.StatusCode)
+		}
+	}
+	pr = postJSON(t, ts.URL+"/sweep", SweepRequest{Traces: []string{name}, Prefetchers: []string{"Gaze"}}, nil)
+	if pr.StatusCode != http.StatusBadRequest {
+		t.Errorf("sweep over deleted trace: %d, want 400", pr.StatusCode)
+	}
+}
+
+// TestTraceDeleteWhileReferenced holds a background job in running (its
+// Finalize blocks on a gate) and checks DELETE answers 409 until the job
+// completes, then 204.
+func TestTraceDeleteWhileReferenced(t *testing.T) {
+	gate := make(chan struct{})
+	ts, _ := newTraceTestServer(t, func(base jobs.Compiler) jobs.Compiler {
+		return func(spec jobs.Spec) (*jobs.Plan, error) {
+			plan, err := base(spec)
+			if err != nil {
+				return nil, err
+			}
+			inner := plan.Finalize
+			plan.Finalize = func(results []sim.Result) any {
+				<-gate
+				return inner(results)
+			}
+			return plan, nil
+		}
+	})
+	_, payload := externalTrace(t, "lbm-1274", 2_000, trace.FormatChampSimGz)
+	resp, status := uploadTrace(t, ts, payload)
+	if status != http.StatusCreated {
+		t.Fatalf("upload status = %d", status)
+	}
+
+	st, _ := submitJob(t, ts, JobSubmitRequest{
+		Type:    "simulate",
+		Request: mustRaw(t, SimulateRequest{Trace: resp.Name, Prefetcher: "Gaze"}),
+	})
+	waitJobState(t, ts, st.ID, string(jobs.Running))
+
+	del := func() int {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/traces/"+resp.Address, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		return r.StatusCode
+	}
+	if got := del(); got != http.StatusConflict {
+		t.Fatalf("delete while running = %d, want 409", got)
+	}
+	close(gate)
+	waitJobState(t, ts, st.ID, string(jobs.Succeeded))
+	if got := del(); got != http.StatusNoContent {
+		t.Errorf("delete after completion = %d, want 204", got)
+	}
+}
+
+// TestConcurrentTraceUploadHammer posts one payload from many goroutines
+// (run under -race in CI): exactly one 201, one registry entry, and one
+// address across all responses.
+func TestConcurrentTraceUploadHammer(t *testing.T) {
+	ts, reg := newTraceTestServer(t, nil)
+	_, payload := externalTrace(t, "mcf_s-1554", 3_000, trace.FormatChampSim)
+
+	const workers = 12
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		created int
+		addrs   = make(map[string]bool)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, status := uploadTrace(t, ts, payload)
+			mu.Lock()
+			defer mu.Unlock()
+			switch status {
+			case http.StatusCreated:
+				created++
+			case http.StatusOK:
+			default:
+				t.Errorf("upload status = %d", status)
+				return
+			}
+			addrs[resp.Address] = true
+		}()
+	}
+	wg.Wait()
+	if created != 1 {
+		t.Errorf("got %d 201s, want exactly 1", created)
+	}
+	if len(addrs) != 1 {
+		t.Errorf("observed %d distinct addresses", len(addrs))
+	}
+	if reg.Len() != 1 {
+		t.Errorf("registry holds %d entries, want 1", reg.Len())
+	}
+}
+
+func TestTraceUploadRejectsBadPayloads(t *testing.T) {
+	ts, _ := newTraceTestServer(t, nil)
+	for name, payload := range map[string][]byte{
+		"empty":         {},
+		"garbage lines": []byte("hello world this is not a trace\n"),
+		"torn gztr":     {'G', 'Z', 'T', 'R', 1, 0x80},
+	} {
+		_, status := uploadTrace(t, ts, payload)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, status)
+		}
+	}
+}
+
+func TestTraceEndpointsWithoutRegistry(t *testing.T) {
+	ts := newTestServer(t)
+	if _, status := uploadTrace(t, ts, []byte("x")); status != http.StatusServiceUnavailable {
+		t.Errorf("upload without registry = %d, want 503", status)
+	}
+	r, err := http.Get(ts.URL + "/traces/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("manifest without registry = %d, want 503", r.StatusCode)
+	}
+	// The catalogue listing keeps working, with no ingested suite.
+	r, err = http.Get(ts.URL + "/traces?suite=ingested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("?suite=ingested without registry = %d, want 400", r.StatusCode)
+	}
+}
+
+func TestStatsReportsTraceRegistry(t *testing.T) {
+	ts, _ := newTraceTestServer(t, nil)
+	_, payload := externalTrace(t, "lbm-1274", 1_000, trace.FormatGZTRGz)
+	if _, status := uploadTrace(t, ts, payload); status != http.StatusCreated {
+		t.Fatal("upload failed")
+	}
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw["ingested_traces"]); got != "1" {
+		t.Errorf("ingested_traces = %s, want 1", got)
+	}
+	if _, ok := raw["trace_cache_evictions"]; !ok {
+		t.Error("stats response missing trace_cache_evictions")
+	}
+	if _, ok := raw["trace_registry_dir"]; !ok {
+		t.Error("stats response missing trace_registry_dir")
+	}
+
+	// Without a registry: null, mirroring store_entries.
+	plain := newTestServer(t)
+	r2, err := http.Get(plain.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var raw2 map[string]json.RawMessage
+	if err := json.NewDecoder(r2.Body).Decode(&raw2); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw2["ingested_traces"]); got != "null" {
+		t.Errorf("no registry: ingested_traces = %s, want null", got)
+	}
+}
+
+// TestTraceUseTracker covers the sync-request reference counter directly.
+func TestTraceUseTracker(t *testing.T) {
+	var u traceUse
+	name := workload.IngestedName("aa11")
+	jobsRef := []engine.Job{
+		{Traces: []string{name, "lbm-1274"}},
+		{Traces: []string{name}},
+	}
+	if u.inUse(name) {
+		t.Fatal("fresh tracker reports in use")
+	}
+	rel1 := u.acquire(jobsRef)
+	rel2 := u.acquire(jobsRef[:1])
+	if !u.inUse(name) {
+		t.Fatal("acquired trace not in use")
+	}
+	if u.inUse("lbm-1274") {
+		t.Error("catalogue trace tracked")
+	}
+	rel1()
+	if !u.inUse(name) {
+		t.Fatal("released too early")
+	}
+	rel2()
+	rel2() // idempotent-ish: double release must not underflow into in-use
+	if u.inUse(name) {
+		t.Fatal("release did not clear the reference")
+	}
+}

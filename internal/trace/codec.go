@@ -58,6 +58,10 @@ func (w *Writer) Write(r Record) error {
 // Flush writes any buffered bytes to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// Close implements RecordWriter; the GZTR stream needs no footer, so Close
+// is Flush.
+func (w *Writer) Close() error { return w.Flush() }
+
 func (w *Writer) putUvarint(v uint64) error {
 	n := binary.PutUvarint(w.buf[:], v)
 	_, err := w.w.Write(w.buf[:n])
@@ -77,39 +81,80 @@ type FileReader struct {
 	prevAddr uint64
 }
 
-// NewFileReader validates the header and returns a trace Reader.
+// NewFileReader validates the header and returns a trace Reader. A header
+// cut short returns ErrTruncated; wrong magic bytes return ErrCorrupt.
 func NewFileReader(r io.Reader) (*FileReader, error) {
 	br := bufio.NewReader(r)
 	var hdr [5]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: header is %d bytes, want %d", ErrTruncated, n, len(magic))
+		}
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	if hdr != magic {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:])
 	}
 	return &FileReader{r: br}, nil
 }
 
-// Next implements Reader.
+// readUvarint decodes one varint, reporting whether any byte was consumed.
+// The distinction is what makes truncation detectable: stdlib
+// binary.ReadUvarint returns a bare io.EOF for a stream that ends mid-
+// varint, indistinguishable from a clean end-of-trace, which would turn a
+// torn tail into a silent short read.
+func (f *FileReader) readUvarint() (v uint64, started bool, err error) {
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := f.r.ReadByte()
+		if err != nil {
+			return 0, i > 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, true, fmt.Errorf("%w: varint overflows uint64", ErrCorrupt)
+			}
+			return v | uint64(b)<<shift, true, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, true, fmt.Errorf("%w: varint exceeds %d bytes", ErrCorrupt, binary.MaxVarintLen64)
+}
+
+// readVarint is readUvarint with zig-zag decoding (mirrors binary.ReadVarint).
+func (f *FileReader) readVarint() (int64, bool, error) {
+	uv, started, err := f.readUvarint()
+	v := int64(uv >> 1)
+	if uv&1 != 0 {
+		v = ^v
+	}
+	return v, started, err
+}
+
+// Next implements Reader. The end of the stream at a record boundary is a
+// clean io.EOF; a stream that ends inside a record — mid-varint or between
+// a record's three fields — returns ErrTruncated, and structurally invalid
+// bytes (varint overflow, out-of-range NonMem) return ErrCorrupt.
 func (f *FileReader) Next() (Record, error) {
-	head, err := binary.ReadUvarint(f.r)
-	if err == io.EOF {
-		return Record{}, io.EOF
-	}
+	head, started, err := f.readUvarint()
 	if err != nil {
-		return Record{}, ErrCorrupt
+		if err == io.EOF && !started {
+			return Record{}, io.EOF
+		}
+		return Record{}, recordErr(err)
 	}
-	pcD, err := binary.ReadVarint(f.r)
+	pcD, _, err := f.readVarint()
 	if err != nil {
-		return Record{}, ErrCorrupt
+		return Record{}, recordErr(err)
 	}
-	addrD, err := binary.ReadVarint(f.r)
+	addrD, _, err := f.readVarint()
 	if err != nil {
-		return Record{}, ErrCorrupt
+		return Record{}, recordErr(err)
 	}
 	nonMem := head >> 1
 	if nonMem > 0xffff {
-		return Record{}, ErrCorrupt
+		return Record{}, fmt.Errorf("%w: non-mem run %d exceeds uint16", ErrCorrupt, nonMem)
 	}
 	f.prevPC += uint64(pcD)
 	f.prevAddr += uint64(addrD)
@@ -119,4 +164,14 @@ func (f *FileReader) Next() (Record, error) {
 		NonMem: uint16(nonMem),
 		Kind:   Kind(head & 1),
 	}, nil
+}
+
+// recordErr maps a mid-record read failure to the typed decode errors:
+// any end-of-input inside a record is truncation, everything else passes
+// through (ErrCorrupt stays ErrCorrupt, transport errors stay themselves).
+func recordErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: stream ends mid-record", ErrTruncated)
+	}
+	return err
 }

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Format names an encoded-trace representation the codec layer speaks:
+// the native GZTR binary stream, the ChampSim-style line format, and
+// gzip-wrapped variants of both.
+type Format string
+
+// Supported formats.
+const (
+	FormatGZTR       Format = "gztr"
+	FormatGZTRGz     Format = "gztr.gz"
+	FormatChampSim   Format = "champsim"
+	FormatChampSimGz Format = "champsim.gz"
+)
+
+// Formats lists every supported format in display order.
+func Formats() []Format {
+	return []Format{FormatGZTR, FormatGZTRGz, FormatChampSim, FormatChampSimGz}
+}
+
+// ParseFormat validates a CLI/API spelling of a format.
+func ParseFormat(s string) (Format, error) {
+	for _, f := range Formats() {
+		if s == string(f) {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("trace: unknown format %q (want %v)", s, Formats())
+}
+
+// gzipped reports whether the format is gzip-wrapped.
+func (f Format) gzipped() bool { return f == FormatGZTRGz || f == FormatChampSimGz }
+
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// Detect sniffs r's leading bytes and returns a Reader decoding it plus
+// the detected format. A gzip envelope (by magic) is unwrapped first; the
+// inner stream is GZTR if it carries the GZTR magic and is otherwise read
+// as ChampSim-style lines (whose first malformed line surfaces ErrCorrupt
+// from Next). Empty input returns ErrTruncated.
+func Detect(r io.Reader) (Reader, Format, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(gzipMagic))
+	if err != nil && err != io.EOF {
+		return nil, "", err
+	}
+	if len(head) == 0 {
+		return nil, "", fmt.Errorf("%w: empty input", ErrTruncated)
+	}
+	if bytes.Equal(head, gzipMagic) {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: bad gzip envelope: %v", ErrCorrupt, err)
+		}
+		rd, inner, err := detectRaw(bufio.NewReader(gz))
+		if err != nil {
+			return nil, "", err
+		}
+		return rd, inner + ".gz", nil
+	}
+	return detectRaw(br)
+}
+
+// detectRaw dispatches on the unwrapped stream: GZTR magic or lines.
+func detectRaw(br *bufio.Reader) (Reader, Format, error) {
+	head, err := br.Peek(len(magic))
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, "", err
+	}
+	if len(head) == 0 {
+		return nil, "", fmt.Errorf("%w: empty input", ErrTruncated)
+	}
+	if bytes.Equal(head, magic[:]) {
+		fr, err := NewFileReader(br)
+		if err != nil {
+			return nil, "", err
+		}
+		return fr, FormatGZTR, nil
+	}
+	return NewChampSimReader(br), FormatChampSim, nil
+}
+
+// NewFormatReader decodes r as an explicitly named format — the
+// non-sniffing counterpart of Detect, for CLI conversions where the
+// caller states what the input is.
+func NewFormatReader(r io.Reader, f Format) (Reader, error) {
+	if f.gzipped() {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad gzip envelope: %v", ErrCorrupt, err)
+		}
+		r = gz
+	}
+	switch f {
+	case FormatGZTR, FormatGZTRGz:
+		return NewFileReader(r)
+	case FormatChampSim, FormatChampSimGz:
+		return NewChampSimReader(r), nil
+	}
+	return nil, fmt.Errorf("trace: unknown format %q", f)
+}
+
+// gzRecordWriter finalizes the gzip envelope after the inner encoder.
+type gzRecordWriter struct {
+	RecordWriter
+	gz *gzip.Writer
+}
+
+func (g gzRecordWriter) Close() error {
+	if err := g.RecordWriter.Close(); err != nil {
+		return err
+	}
+	return g.gz.Close()
+}
+
+// NewFormatWriter encodes records to w in the named format. Callers must
+// Close the returned writer to flush buffers and finalize gzip envelopes.
+func NewFormatWriter(w io.Writer, f Format) (RecordWriter, error) {
+	var gz *gzip.Writer
+	if f.gzipped() {
+		gz = gzip.NewWriter(w)
+		w = gz
+	}
+	var (
+		rw  RecordWriter
+		err error
+	)
+	switch f {
+	case FormatGZTR, FormatGZTRGz:
+		rw, err = NewWriter(w)
+	case FormatChampSim, FormatChampSimGz:
+		rw = NewChampSimWriter(w)
+	default:
+		err = fmt.Errorf("trace: unknown format %q", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if gz != nil {
+		return gzRecordWriter{RecordWriter: rw, gz: gz}, nil
+	}
+	return rw, nil
+}
+
+// WriteAll encodes recs to w in the named format and finalizes the stream.
+func WriteAll(w io.Writer, f Format, recs []Record) error {
+	rw, err := NewFormatWriter(w, f)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := rw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return rw.Close()
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through the GZTR decoder. The decoder
+// must never panic, never loop past the input (each record consumes at
+// least three bytes), and must terminate every stream with exactly one of
+// the defined outcomes: a clean io.EOF, ErrTruncated for a stream that
+// ends mid-record, or ErrCorrupt for structurally invalid bytes. CI runs
+// this as a short smoke (-fuzztime=10s) on every push; the seed corpus
+// covers the interesting boundaries so even the no-fuzzing `go test` run
+// exercises them.
+func FuzzReader(f *testing.F) {
+	// Valid stream: header + three records.
+	var valid bytes.Buffer
+	if err := WriteAll(&valid, FormatGZTR, []Record{
+		{PC: 0x400100, Addr: 0x10000040, NonMem: 3},
+		{PC: 0x400104, Addr: 0x10000080, NonMem: 0, Kind: Store},
+		{PC: 0x400100, Addr: 0xffffffffffffffff, NonMem: 65535},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-1])                                                                           // torn varint tail
+	f.Add(valid.Bytes()[:len(magic)+1])                                                                            // one dangling head byte
+	f.Add(magic[:])                                                                                                // header only: clean empty trace
+	f.Add(magic[:3])                                                                                               // truncated header
+	f.Add([]byte("NOPE\x01"))                                                                                      // bad magic
+	f.Add([]byte{})                                                                                                // empty input
+	f.Add(append(append([]byte{}, magic[:]...), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)) // overlong varint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("NewFileReader: untyped error %v", err)
+			}
+			return
+		}
+		// Each record consumes >= 3 bytes, so the loop is bounded by the
+		// input length; exceeding it means the reader fabricated records.
+		max := len(data)
+		for n := 0; ; n++ {
+			_, err := fr.Next()
+			if err == nil {
+				if n > max {
+					t.Fatalf("decoded %d records from %d bytes", n, len(data))
+				}
+				continue
+			}
+			if err != io.EOF && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("Next: untyped error %v", err)
+			}
+			break
+		}
+	})
+}

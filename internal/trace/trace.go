@@ -53,6 +53,20 @@ type Reader interface {
 // ErrCorrupt reports a malformed encoded trace.
 var ErrCorrupt = errors.New("trace: corrupt encoding")
 
+// ErrTruncated reports an encoded trace that ends mid-record — a torn
+// varint tail, a partial header, or a gzip stream cut short. It is
+// distinct from ErrCorrupt so ingestion can tell "this file is damaged"
+// from "this upload was cut off", but both are client errors.
+var ErrTruncated = errors.New("trace: truncated encoding")
+
+// RecordWriter encodes records to a stream. Close finalizes the encoding
+// (flushing buffers and, for gzip-wrapped formats, writing the footer);
+// a stream abandoned before Close may be unreadable.
+type RecordWriter interface {
+	Write(Record) error
+	Close() error
+}
+
 // SliceReader replays an in-memory record slice.
 type SliceReader struct {
 	recs []Record

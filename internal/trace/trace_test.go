@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -174,24 +176,104 @@ func TestCodecRoundTripProperty(t *testing.T) {
 }
 
 func TestFileReaderBadMagic(t *testing.T) {
-	if _, err := NewFileReader(bytes.NewReader([]byte("NOPE\x01xxx"))); err == nil {
-		t.Error("expected error on bad magic")
+	if _, err := NewFileReader(bytes.NewReader([]byte("NOPE\x01xxx"))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
 	}
 }
 
-func TestFileReaderTruncated(t *testing.T) {
+func TestFileReaderTruncatedHeader(t *testing.T) {
+	for _, n := range []int{0, 1, 4} {
+		if _, err := NewFileReader(bytes.NewReader(magic[:n])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("%d-byte header: err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+// encodeRecords is the raw GZTR byte stream of recs, for truncation tests.
+func encodeRecords(t *testing.T, recs []Record) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	w, _ := NewWriter(&buf)
-	_ = w.Write(Record{PC: 1, Addr: 2, NonMem: 3})
-	_ = w.Flush()
-	data := buf.Bytes()
-	// Truncate mid-record.
-	fr, err := NewFileReader(bytes.NewReader(data[:len(data)-1]))
+	if err := WriteAll(&buf, FormatGZTR, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFileReaderTruncated cuts a valid stream at every possible byte
+// offset past the header: each cut must decode some prefix of the records
+// and then fail with ErrTruncated — never a silent short read (the failure
+// mode of stdlib ReadUvarint, which reports a torn varint as a clean EOF)
+// and never a panic.
+func TestFileReaderTruncated(t *testing.T) {
+	recs := []Record{
+		{PC: 1, Addr: 2, NonMem: 3},
+		{PC: 0x400100, Addr: 0xdeadbeef00, NonMem: 700, Kind: Store},
+		{PC: 0x400100, Addr: 0, NonMem: 0},
+	}
+	data := encodeRecords(t, recs)
+	// A cut at a record boundary is a valid, shorter trace (the format is
+	// self-delimiting per record, not per file); every other cut must fail
+	// typed. Boundary offsets are the lengths of each prefix's encoding.
+	boundary := make(map[int]int) // offset -> records before it
+	for k := 0; k <= len(recs); k++ {
+		boundary[len(encodeRecords(t, recs[:k]))] = k
+	}
+	for cut := len(magic); cut < len(data); cut++ {
+		fr, err := NewFileReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		got, err := Collect(fr, 0)
+		if want, ok := boundary[cut]; ok {
+			if err != nil || len(got) != want {
+				t.Errorf("cut %d (boundary): decoded %d records with err %v, want clean %d", cut, len(got), err, want)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut %d: decoded %d records with err %v, want ErrTruncated", cut, len(got), err)
+		}
+		if len(got) >= len(recs) {
+			t.Errorf("cut %d: short input decoded all %d records", cut, len(got))
+		}
+	}
+	// The untruncated stream still decodes cleanly.
+	fr, err := NewFileReader(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fr.Next(); err == nil {
-		t.Error("expected corrupt/EOF error on truncated record")
+	if got, err := Collect(fr, 0); err != nil || len(got) != len(recs) {
+		t.Errorf("full stream: %d records, err %v", len(got), err)
+	}
+}
+
+func TestFileReaderOverlongVarint(t *testing.T) {
+	// 11 continuation bytes never terminate a varint: structurally corrupt.
+	data := append(append([]byte{}, magic[:]...), bytes.Repeat([]byte{0x80}, 11)...)
+	fr, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("overlong varint: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileReaderOversizedNonMem(t *testing.T) {
+	// head = (0x10000<<1): a non-mem run that overflows uint16.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(0x10000)<<1)
+	buf.Write(tmp[:n])
+	buf.WriteByte(0) // pc delta 0
+	buf.WriteByte(0) // addr delta 0
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized NonMem: err = %v, want ErrCorrupt", err)
 	}
 }
 

@@ -14,6 +14,15 @@ import (
 // slabs keyed by {name, length}; population is single-flight, so
 // concurrent shards requesting the same trace block on one generation
 // instead of racing duplicates.
+//
+// The cache is byte-budget bounded: synthetic slabs are small and
+// regenerate cheaply, but once arbitrarily large ingested traces join the
+// catalogue an unbounded cache is a memory liability in a long-lived
+// server. SetTraceCacheBudget caps the resident footprint; over budget,
+// ready entries are evicted least-recently-used first (in-flight entries
+// and the most recent slab are never evicted — callers already hold
+// references, eviction only drops the map's, so evicted slabs stay valid
+// for whoever has them and are simply re-materialized on next request).
 
 // CacheStats is a point-in-time snapshot of the materialized-trace cache.
 type CacheStats struct {
@@ -25,6 +34,8 @@ type CacheStats struct {
 	Misses uint64 `json:"misses"`
 	// Bytes is the resident record-slab footprint (records x record size).
 	Bytes int64 `json:"bytes"`
+	// Evictions counts slabs dropped to honor the byte budget.
+	Evictions uint64 `json:"evictions"`
 }
 
 type traceKey struct {
@@ -34,31 +45,80 @@ type traceKey struct {
 
 // traceEntry is one cache slot. ready is closed once recs/err are final;
 // readers that find an in-flight entry block on it — the single-flight
-// discipline that keeps shards from generating duplicates.
+// discipline that keeps shards from generating duplicates. done and
+// lastUse drive LRU eviction and are guarded by traceCache.mu.
 type traceEntry struct {
-	ready chan struct{}
-	recs  []trace.Record
-	err   error
+	ready   chan struct{}
+	recs    []trace.Record
+	err     error
+	done    bool
+	bytes   int64
+	lastUse uint64
 }
 
 var traceCache = struct {
-	mu      sync.Mutex
-	entries map[traceKey]*traceEntry
-	hits    uint64
-	misses  uint64
-	bytes   int64
+	mu        sync.Mutex
+	entries   map[traceKey]*traceEntry
+	hits      uint64
+	misses    uint64
+	bytes     int64
+	evictions uint64
+	budget    int64  // max resident bytes; <= 0 means unbounded
+	clock     uint64 // logical LRU clock, bumped per touch
 }{entries: make(map[traceKey]*traceEntry)}
 
+// SetTraceCacheBudget bounds the cache's resident slab footprint to at
+// most budget bytes (<= 0 restores unbounded). Lowering the budget evicts
+// immediately. The budget is process-wide, like the cache itself.
+func SetTraceCacheBudget(budget int64) {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	traceCache.budget = budget
+	evictLocked(nil)
+}
+
+// evictLocked drops ready entries, least-recently-used first, until the
+// footprint fits the budget. keep (the entry just materialized, when set)
+// is exempt: evicting the slab its caller is about to receive would make
+// one oversized trace thrash the whole cache on every request.
+func evictLocked(keep *traceEntry) {
+	if traceCache.budget <= 0 {
+		return
+	}
+	for traceCache.bytes > traceCache.budget {
+		var (
+			victimKey traceKey
+			victim    *traceEntry
+		)
+		for k, e := range traceCache.entries {
+			if !e.done || e == keep {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(traceCache.entries, victimKey)
+		traceCache.bytes -= victim.bytes
+		traceCache.evictions++
+	}
+}
+
 // Materialize returns the first n records of the named workload from the
-// process-wide cache, generating them on first request. The returned
-// slice is shared and immutable: callers must not modify it (wrap it in
-// trace.NewSliceReader / trace.NewLooping to consume it). It is safe for
-// concurrent use from any number of goroutines.
+// process-wide cache, generating (or source-loading) them on first
+// request. The returned slice is shared and immutable: callers must not
+// modify it (wrap it in trace.NewSliceReader / trace.NewLooping to consume
+// it). It is safe for concurrent use from any number of goroutines.
 func Materialize(name string, n int) ([]trace.Record, error) {
 	key := traceKey{name: name, n: n}
 	traceCache.mu.Lock()
 	if e, ok := traceCache.entries[key]; ok {
 		traceCache.hits++
+		traceCache.clock++
+		e.lastUse = traceCache.clock
 		traceCache.mu.Unlock()
 		<-e.ready
 		return e.recs, e.err
@@ -68,7 +128,7 @@ func Materialize(name string, n int) ([]trace.Record, error) {
 	traceCache.misses++
 	traceCache.mu.Unlock()
 
-	e.recs, e.err = Generate(name, n)
+	e.recs, e.err = produce(name, n)
 
 	traceCache.mu.Lock()
 	if cur, ok := traceCache.entries[key]; ok && cur == e {
@@ -79,7 +139,12 @@ func Materialize(name string, n int) ([]trace.Record, error) {
 			// map and Entries only ever hold materialized traces.
 			delete(traceCache.entries, key)
 		} else {
-			traceCache.bytes += int64(len(e.recs)) * trace.RecordBytes
+			e.done = true
+			e.bytes = int64(len(e.recs)) * trace.RecordBytes
+			traceCache.clock++
+			e.lastUse = traceCache.clock
+			traceCache.bytes += e.bytes
+			evictLocked(e)
 		}
 	}
 	traceCache.mu.Unlock()
@@ -96,26 +161,47 @@ func MustMaterialize(name string, n int) []trace.Record {
 	return recs
 }
 
+// InvalidateTrace drops every resident slab of the named trace, at any
+// length. It is the delete-side hook for registry traces: after an
+// ingested trace is removed from disk, its cached slabs must not keep
+// serving a name that no longer resolves. In-flight generations are left
+// to complete (their callers hold the slab either way). Invalidations are
+// not counted as evictions — the budget did not force them.
+func InvalidateTrace(name string) {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	for k, e := range traceCache.entries {
+		if k.name == name && e.done {
+			delete(traceCache.entries, k)
+			traceCache.bytes -= e.bytes
+		}
+	}
+}
+
 // TraceCacheStats returns a snapshot of the cache counters.
 func TraceCacheStats() CacheStats {
 	traceCache.mu.Lock()
 	defer traceCache.mu.Unlock()
 	return CacheStats{
-		Entries: len(traceCache.entries),
-		Hits:    traceCache.hits,
-		Misses:  traceCache.misses,
-		Bytes:   traceCache.bytes,
+		Entries:   len(traceCache.entries),
+		Hits:      traceCache.hits,
+		Misses:    traceCache.misses,
+		Bytes:     traceCache.bytes,
+		Evictions: traceCache.evictions,
 	}
 }
 
-// ResetTraceCache discards every materialized trace and zeroes the
-// counters. It is for tests and benchmarks that need a cold cache or a
-// clean counter baseline; callers must ensure no Materialize call is in
-// flight (in-flight generations complete against the old entries and are
-// simply not retained).
+// ResetTraceCache discards every materialized trace, zeroes the counters
+// and restores an unbounded budget. It is for tests and benchmarks that
+// need a cold cache or a clean counter baseline; callers must ensure no
+// Materialize call is in flight (in-flight generations complete against
+// the old entries and are simply not retained).
 func ResetTraceCache() {
 	traceCache.mu.Lock()
 	defer traceCache.mu.Unlock()
 	traceCache.entries = make(map[traceKey]*traceEntry)
 	traceCache.hits, traceCache.misses, traceCache.bytes = 0, 0, 0
+	traceCache.evictions = 0
+	traceCache.budget = 0
+	traceCache.clock = 0
 }

@@ -88,7 +88,161 @@ func TestResetTraceCache(t *testing.T) {
 	MustMaterialize("lbm-1274", 1_000)
 	ResetTraceCache()
 	st := TraceCacheStats()
-	if st.Entries != 0 || st.Hits != 0 || st.Misses != 0 || st.Bytes != 0 {
+	if st.Entries != 0 || st.Hits != 0 || st.Misses != 0 || st.Bytes != 0 || st.Evictions != 0 {
 		t.Errorf("stats after reset = %+v, want all zero", st)
+	}
+}
+
+// TestTraceCacheBudgetEvictsLRU bounds the cache to two slabs' worth of
+// bytes and touches three traces: the least-recently-used one must be
+// evicted, the footprint must fit the budget, and a re-request must
+// regenerate (miss) rather than serve a dropped slab.
+func TestTraceCacheBudgetEvictsLRU(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	const n = 1_000
+	slab := int64(n) * trace.RecordBytes
+	SetTraceCacheBudget(2 * slab)
+
+	MustMaterialize("lbm-1274", n)         // LRU after the touch below
+	MustMaterialize("mcf_s-1554", n)       //
+	MustMaterialize("lbm-1274", n)         // touch: mcf is now LRU
+	MustMaterialize("fotonik3d_s-8225", n) // over budget: evicts mcf
+
+	st := TraceCacheStats()
+	if st.Entries != 2 || st.Bytes != 2*slab {
+		t.Errorf("after eviction: %d entries / %d bytes, want 2 / %d", st.Entries, st.Bytes, 2*slab)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+
+	missesBefore := st.Misses
+	a := MustMaterialize("lbm-1274", n) // still resident: hit
+	if TraceCacheStats().Misses != missesBefore {
+		t.Error("lbm-1274 was evicted but should have been recently used")
+	}
+	MustMaterialize("mcf_s-1554", n) // evicted: regenerates
+	if got := TraceCacheStats().Misses; got != missesBefore+1 {
+		t.Errorf("misses = %d, want %d (mcf should regenerate)", got, missesBefore+1)
+	}
+	_ = a
+}
+
+// TestTraceCacheBudgetKeepsNewestSlab: a single slab larger than the
+// whole budget must still be handed to its caller and stay resident (the
+// alternative is regenerating it on every request), while everything else
+// is evicted.
+func TestTraceCacheBudgetKeepsNewestSlab(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	SetTraceCacheBudget(100) // smaller than any slab
+	recs := MustMaterialize("lbm-1274", 1_000)
+	if len(recs) != 1_000 {
+		t.Fatalf("materialized %d records", len(recs))
+	}
+	st := TraceCacheStats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want the newest slab retained", st.Entries)
+	}
+	MustMaterialize("mcf_s-1554", 1_000)
+	st = TraceCacheStats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Errorf("after second oversized slab: %+v, want 1 entry / 1 eviction", st)
+	}
+}
+
+// TestSetTraceCacheBudgetEvictsImmediately: lowering the budget under the
+// current footprint evicts without waiting for the next Materialize.
+func TestSetTraceCacheBudgetEvictsImmediately(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	MustMaterialize("lbm-1274", 1_000)
+	MustMaterialize("mcf_s-1554", 1_000)
+	SetTraceCacheBudget(int64(1_000)*trace.RecordBytes + 1)
+	st := TraceCacheStats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Errorf("after budget drop: %+v, want 1 entry / 1 eviction", st)
+	}
+}
+
+// fakeSource serves one in-memory trace under a fixed name.
+type fakeSource struct {
+	name string
+	recs []trace.Record
+}
+
+func (f *fakeSource) Exists(name string) bool { return name == f.name }
+func (f *fakeSource) Load(name string, n int) ([]trace.Record, error) {
+	if name != f.name {
+		return nil, errTestNoTrace
+	}
+	if n <= 0 || n > len(f.recs) {
+		n = len(f.recs)
+	}
+	return f.recs[:n], nil
+}
+
+var errTestNoTrace = errorString("no such trace")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// TestSourceResolution: a registered Source's traces materialize, cache,
+// and Exists like catalogue names, and unknown names still fail.
+func TestSourceResolution(t *testing.T) {
+	ResetTraceCache()
+	ResetSources()
+	defer ResetSources()
+	defer ResetTraceCache()
+
+	name := IngestedName("deadbeef")
+	recs := []trace.Record{{PC: 1, Addr: 64}, {PC: 2, Addr: 128}, {PC: 3, Addr: 192}}
+	RegisterSource(&fakeSource{name: name, recs: recs})
+
+	if !Exists(name) {
+		t.Fatalf("Exists(%q) = false with a source registered", name)
+	}
+	if Exists(IngestedName("cafef00d")) {
+		t.Error("Exists accepted a name no source serves")
+	}
+
+	got := MustMaterialize(name, 2)
+	if len(got) != 2 || got[0] != recs[0] {
+		t.Fatalf("materialized %v", got)
+	}
+	// Longer than the source trace: every record, no error (the simulator
+	// loops short traces).
+	all := MustMaterialize(name, 10)
+	if len(all) != 3 {
+		t.Fatalf("n beyond trace length returned %d records, want 3", len(all))
+	}
+	st := TraceCacheStats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (two lengths)", st.Misses)
+	}
+
+	InvalidateTrace(name)
+	if TraceCacheStats().Entries != 0 {
+		t.Error("InvalidateTrace left slabs resident")
+	}
+	if TraceCacheStats().Evictions != 0 {
+		t.Error("InvalidateTrace counted as eviction")
+	}
+}
+
+func TestTraceDigest(t *testing.T) {
+	if d, ok := TraceDigest("lbm-1274"); ok || d != "" {
+		t.Errorf("catalogue name has digest %q", d)
+	}
+	if d, ok := TraceDigest(IngestedName("abc123")); !ok || d != "abc123" {
+		t.Errorf("ingested digest = %q, %v", d, ok)
+	}
+	if _, ok := TraceDigest("ingested:"); ok {
+		t.Error("empty address parsed as a digest")
+	}
+	if _, ok := TraceDigest("no-such-trace"); ok {
+		t.Error("unknown plain name has a digest")
 	}
 }

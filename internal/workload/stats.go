@@ -12,25 +12,26 @@ import (
 // the numbers behind the paper's §III-C observation that streaming
 // footprints are extremely dense while interleaved irregular footprints
 // are nearly empty.
+// The JSON tags are part of the traceset registry's manifest schema.
 type FootprintStats struct {
 	// Regions is the number of distinct 4KB regions touched.
-	Regions int
+	Regions int `json:"regions"`
 	// SingleBlock counts regions whose footprint has exactly one block
 	// (what the Filter Table exists to discard).
-	SingleBlock int
+	SingleBlock int `json:"single_block"`
 	// Dense counts fully-dense regions (all 64 blocks touched).
-	Dense int
+	Dense int `json:"dense"`
 	// MeanDensity is the average touched-block count per region.
-	MeanDensity float64
+	MeanDensity float64 `json:"mean_density"`
 	// DensityHistogram buckets regions by footprint popcount:
 	// [1], [2-8], [9-32], [33-63], [64].
-	DensityHistogram [5]int
+	DensityHistogram [5]int `json:"density_histogram"`
 	// TriggerAmbiguity is the mean number of distinct observed footprints
 	// per trigger offset (>1 means the trigger offset alone cannot
 	// identify the pattern — the weakness of Offset/PMP keying).
-	TriggerAmbiguity float64
+	TriggerAmbiguity float64 `json:"trigger_ambiguity"`
 	// Loads is the number of load records inspected.
-	Loads int
+	Loads int `json:"loads"`
 }
 
 // AnalyzeFootprints replays records and reconstructs per-region footprints

@@ -97,10 +97,26 @@ func Suites() []string {
 	return []string{"spec06", "spec17", "ligra", "parsec", "cloud", "gap", "qmm.srv", "qmm.clt"}
 }
 
-// Exists reports whether a trace name is in the catalogue.
+// Exists reports whether a trace name resolves: in the synthetic
+// catalogue, or through a registered Source (e.g. an ingested real trace).
 func Exists(name string) bool {
-	_, ok := registry[name]
-	return ok
+	if _, ok := registry[name]; ok {
+		return true
+	}
+	return sourceFor(name) != nil
+}
+
+// produce yields the first n records of a trace name from wherever it
+// resolves: the synthetic catalogue generates them, registered Sources
+// load them. It is the supply behind Materialize.
+func produce(name string, n int) ([]trace.Record, error) {
+	if _, ok := registry[name]; ok {
+		return Generate(name, n)
+	}
+	if s := sourceFor(name); s != nil {
+		return s.Load(name, n)
+	}
+	return nil, fmt.Errorf("workload: unknown trace %q", name)
 }
 
 func newGen(name string, spec profile) *gen {
