@@ -20,6 +20,10 @@
 //	DELETE /traces/{addr}       delete (409 while referenced by live work)
 //	GET  /prefetchers       the paper's evaluated prefetcher names
 //	GET  /stats             engine scale + cache counters + store size/schema + jobs counters
+//	GET  /metrics           the same counters in Prometheus text format
+//	GET  /analytics/matrix  cached metric matrix over completed results (ETag/304)
+//	GET  /analytics/speedup cached speedup matrix + per-prefetcher geomeans (ETag/304)
+//	POST /admin/gc          one result-store GC cycle ({"max_age":"30m"} optional)
 //	POST /simulate          {"trace","prefetcher","l2","cores","overrides"} → §IV-A3 metrics
 //	POST /sweep             {"suite"|"traces","prefetchers","overrides","axis"} → rows + geomeans
 //	POST /jobs              {"type":"sweep"|"simulate","priority","request":{...}} → 202 + id
@@ -74,6 +78,11 @@ func main() {
 		traceDir    = flag.String("trace-dir", "", `ingested-trace registry directory ("" = beside the result store, "none" = disabled)`)
 		traceCache  = flag.Int64("trace-cache-mb", 2048, "materialized-trace cache budget in MB (0 = unbounded)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
+		admitRPS    = flag.Float64("admit-rps", 0, "per-client admitted requests/second on POST /simulate, /sweep and /jobs (0 = no admission control)")
+		admitBurst  = flag.Int("admit-burst", 8, "per-client burst allowance for -admit-rps")
+		gcAge       = flag.Duration("store-gc-age", 14*24*time.Hour, "result-store GC age floor: entries modified within this window are kept")
+		gcEvery     = flag.Duration("store-gc-every", 0, "run result-store GC on this period (0 = only on demand via -store-gc or POST /admin/gc)")
+		gcNow       = flag.Bool("store-gc", false, "run one result-store GC cycle at startup")
 	)
 	flag.Parse()
 
@@ -158,6 +167,20 @@ func main() {
 		log.Printf("gazeserve: trace registry at %s (%d ingested traces)", tdir, reg.Len())
 	}
 
+	srvHandle.SetGCAge(*gcAge)
+	if *admitRPS > 0 {
+		srvHandle.SetAdmission(*admitRPS, *admitBurst)
+		log.Printf("gazeserve: admission control %.3g req/s per client (burst %d)", *admitRPS, *admitBurst)
+	}
+	if *gcNow && opts.Store != nil {
+		if st, err := srvHandle.RunGC(*gcAge); err != nil {
+			log.Printf("gazeserve: store gc: %v", err)
+		} else {
+			log.Printf("gazeserve: store gc reclaimed %d entries (%d bytes), kept %d referenced / %d young",
+				st.Deleted, st.ReclaimedBytes, st.KeptReferenced, st.KeptYoung)
+		}
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(srvHandle.Handler()),
@@ -166,6 +189,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic collection shares RunGC with POST /admin/gc, so it honors
+	// the same ref sources (live job plans, cached analytics documents).
+	if *gcEvery > 0 && opts.Store != nil {
+		go func() {
+			t := time.NewTicker(*gcEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if st, err := srvHandle.RunGC(*gcAge); err != nil {
+						log.Printf("gazeserve: store gc: %v", err)
+					} else if st.Deleted > 0 {
+						log.Printf("gazeserve: store gc reclaimed %d entries (%d bytes)",
+							st.Deleted, st.ReclaimedBytes)
+					}
+				}
+			}
+		}()
+		log.Printf("gazeserve: periodic store gc every %v (age floor %v)", *gcEvery, *gcAge)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("gazeserve: listening on %s (scale %s)", *addr, *scale)

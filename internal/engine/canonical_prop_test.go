@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// This file property-tests the canonical job encoding — the preimage of
+// every content address, so every invariant here is a cache-correctness
+// invariant: two spellings that run the same simulation MUST share one
+// encoding (or results stop deduplicating), and two jobs that differ in
+// any outcome-affecting way MUST NOT (or one would be served the other's
+// result).
+
+// randomOverrides draws a valid Overrides with each knob independently
+// present or defaulted.
+func randomOverrides(rng *rand.Rand) Overrides {
+	var o Overrides
+	if rng.Intn(2) == 0 {
+		o.LLCMBPerCore = []float64{0.5, 1, 2, 4, 8}[rng.Intn(5)]
+	}
+	if rng.Intn(2) == 0 {
+		o.L2KB = []int{128, 256, 512, 1024}[rng.Intn(4)]
+	}
+	if rng.Intn(2) == 0 {
+		o.DRAMMTPS = []int{1600, 3200, 6400}[rng.Intn(3)]
+	}
+	if rng.Intn(3) == 0 {
+		o.PQCapacity = 1 + rng.Intn(64)
+	}
+	if rng.Intn(3) == 0 {
+		o.PQDrainRate = float64(1+rng.Intn(8)) / 2
+	}
+	if rng.Intn(4) == 0 {
+		o.WarmupInstructions = uint64(1_000 * (1 + rng.Intn(50)))
+	}
+	if rng.Intn(4) == 0 {
+		o.SimInstructions = uint64(10_000 * (1 + rng.Intn(50)))
+	}
+	return o
+}
+
+func randomJob(rng *rand.Rand) Job {
+	traces := []string{"lbm-1274", "milc-127", "bwaves-1963", "gcc-13"}
+	pfs := []string{"Gaze", "IP-stride", "none", ""}
+	cores := 1 << rng.Intn(3)
+	j := Job{Overrides: randomOverrides(rng)}
+	for i := 0; i < cores; i++ {
+		j.Traces = append(j.Traces, traces[rng.Intn(len(traces))])
+	}
+	// Empty, broadcast-1 or per-core prefetcher slices, like real requests.
+	switch rng.Intn(3) {
+	case 0: // no L1 slice
+	case 1:
+		j.L1 = []string{pfs[rng.Intn(len(pfs))]}
+	default:
+		for i := 0; i < cores; i++ {
+			j.L1 = append(j.L1, pfs[rng.Intn(len(pfs))])
+		}
+	}
+	if rng.Intn(3) == 0 {
+		j.L2 = []string{pfs[rng.Intn(len(pfs))]}
+	}
+	return j
+}
+
+// TestCanonicalJSONRoundTrips: the canonical encoding is valid JSON that
+// decodes back to a job running the identical simulation — re-encoding
+// the decoded form is a fixed point. This is what makes store records
+// self-describing: the persisted key alone reconstructs the job.
+func TestCanonicalJSONRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x51a7e))
+	for i := 0; i < 500; i++ {
+		j := randomJob(rng)
+		enc := j.CanonicalJSON(Quick)
+
+		var doc struct {
+			V        int       `json:"v"`
+			TraceLen int       `json:"trace_len"`
+			Warmup   uint64    `json:"warmup"`
+			Sim      uint64    `json:"sim"`
+			Traces   []string  `json:"traces"`
+			L1       []string  `json:"l1"`
+			L2       []string  `json:"l2"`
+			Over     Overrides `json:"overrides"`
+		}
+		if err := json.Unmarshal([]byte(enc), &doc); err != nil {
+			t.Fatalf("job %d: canonical encoding is not JSON: %v\n%s", i, err, enc)
+		}
+		if doc.V != canonicalVersion {
+			t.Fatalf("job %d: encoded version %d, want %d", i, doc.V, canonicalVersion)
+		}
+
+		// Rebuild a job from the decoded document. The decoded budgets are
+		// already folded (warmup/sim fields), so pin them via overrides —
+		// the fold rule says that must reproduce the identical encoding at
+		// ANY scale.
+		back := Job{Traces: doc.Traces, L1: doc.L1, L2: doc.L2, Overrides: doc.Over}
+		back.Overrides.WarmupInstructions = doc.Warmup
+		back.Overrides.SimInstructions = doc.Sim
+		sameScale := Scale{TraceLen: doc.TraceLen, Warmup: 1, Sim: 1, TracesPerSuite: 1}
+		if got := back.CanonicalJSON(sameScale); got != enc {
+			t.Fatalf("job %d: round trip not a fixed point\n in  %s\n out %s", i, enc, got)
+		}
+	}
+}
+
+// TestContentAddressSpellingInvariance: every equivalent spelling of a
+// job — broadcast vs expanded prefetcher slices, "" vs "none", nil vs
+// all-disabled slices, budget overrides equal to the scale's budgets —
+// shares one content address. (Full joint permutation of the trace slice
+// is NOT an equivalence: core i's trace is core i's workload.)
+func TestContentAddressSpellingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xadd2))
+	for i := 0; i < 500; i++ {
+		j := randomJob(rng)
+		addr := j.ContentAddress(Quick)
+		cores := len(j.Traces)
+
+		variants := []Job{}
+
+		// Broadcast-1 slice <-> fully expanded slice.
+		if len(j.L1) == 1 {
+			v := j
+			v.L1 = make([]string, cores)
+			for k := range v.L1 {
+				v.L1[k] = j.L1[0]
+			}
+			variants = append(variants, v)
+		}
+
+		// "none" <-> "" on every core.
+		{
+			v := j
+			v.L1 = append([]string(nil), j.L1...)
+			for k, name := range v.L1 {
+				switch name {
+				case "none":
+					v.L1[k] = ""
+				case "":
+					v.L1[k] = "none"
+				}
+			}
+			variants = append(variants, v)
+		}
+
+		// A nil L2 <-> an explicit all-"none" L2.
+		if j.L2 == nil {
+			v := j
+			v.L2 = []string{"none"}
+			variants = append(variants, v)
+		}
+
+		// Budget overrides equal to the scale's own budgets fold away.
+		if j.Overrides.WarmupInstructions == 0 && j.Overrides.SimInstructions == 0 {
+			v := j
+			v.Overrides.WarmupInstructions = Quick.Warmup
+			v.Overrides.SimInstructions = Quick.Sim
+			variants = append(variants, v)
+		}
+
+		for vi, v := range variants {
+			if got := v.ContentAddress(Quick); got != addr {
+				t.Fatalf("job %d variant %d: address %s != %s\n job     %+v\n variant %+v",
+					i, vi, got, addr, j, v)
+			}
+		}
+
+		// And the inequivalence direction: a changed outcome-affecting
+		// input must change the address.
+		mut := j
+		mut.Overrides.DRAMMTPS = 12800
+		if mut.Overrides == j.Overrides {
+			continue
+		}
+		if mut.ContentAddress(Quick) == addr {
+			t.Fatalf("job %d: DRAM override did not move the content address", i)
+		}
+	}
+}
+
+// TestContentAddressBaselinePQFold: the no-prefetch baseline folds PQ
+// knobs out of its encoding, so every point of a PQ-axis sweep shares
+// one baseline entry.
+func TestContentAddressBaselinePQFold(t *testing.T) {
+	j := Job{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}}
+	a, _ := j.Overrides.WithParam("pq_capacity", 8)
+	b, _ := j.Overrides.WithParam("pq_capacity", 64)
+	ja, jb := j, j
+	ja.Overrides, jb.Overrides = a, b
+
+	if ja.ContentAddress(Quick) == jb.ContentAddress(Quick) {
+		t.Fatal("PQ capacity must distinguish prefetching jobs")
+	}
+	if ja.Baseline().ContentAddress(Quick) != jb.Baseline().ContentAddress(Quick) {
+		t.Fatal("PQ capacity must fold out of no-prefetch baselines")
+	}
+}
+
+// TestCanonicalJSONDeterminism: the encoding is byte-stable across
+// repeated calls (map iteration or pointer identity never leaks in).
+func TestCanonicalJSONDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		j := randomJob(rng)
+		first := j.CanonicalJSON(Standard)
+		for k := 0; k < 3; k++ {
+			if got := j.CanonicalJSON(Standard); got != first {
+				t.Fatalf("job %d: encoding unstable:\n%s\n%s", i, first, got)
+			}
+		}
+		if hashKey(first) != j.ContentAddress(Standard) {
+			t.Fatalf("job %d: ContentAddress is not the hash of CanonicalJSON", i)
+		}
+	}
+}
+
+// TestResultSetAddressPermutationInvariance mirrors the server-side
+// property at the engine layer: a *set* of jobs content-addresses
+// identically under any enumeration order, because identity sorting
+// happens over addresses, not request order. This is the invariant the
+// /analytics result-set addressing builds on.
+func TestResultSetAddressPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5e7))
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = randomJob(rng)
+	}
+	addrs := make(map[string]bool)
+	for _, j := range jobs {
+		addrs[j.ContentAddress(Quick)] = true
+	}
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(jobs))
+		got := make(map[string]bool)
+		for _, pi := range perm {
+			got[jobs[pi].ContentAddress(Quick)] = true
+		}
+		if len(got) != len(addrs) {
+			t.Fatalf("permuted enumeration changed the address set: %d vs %d", len(got), len(addrs))
+		}
+		for a := range got {
+			if !addrs[a] {
+				t.Fatalf("permuted enumeration invented address %s", a)
+			}
+		}
+	}
+}

@@ -365,6 +365,7 @@ type Engine struct {
 	memo     map[string]sim.Result
 	inflight map[string]chan struct{}
 	counters Counters
+	gcTotals GCTotals
 }
 
 // New builds an engine.
@@ -413,6 +414,7 @@ type Stats struct {
 	TraceCacheMisses    uint64   `json:"trace_cache_misses"`
 	TraceCacheBytes     int64    `json:"trace_cache_bytes"`
 	TraceCacheEvictions uint64   `json:"trace_cache_evictions"`
+	GC                  GCTotals `json:"gc"`
 }
 
 // Stats returns a snapshot of the engine and trace-cache counters.
@@ -425,7 +427,45 @@ func (e *Engine) Stats() Stats {
 		TraceCacheMisses:    tc.Misses,
 		TraceCacheBytes:     tc.Bytes,
 		TraceCacheEvictions: tc.Evictions,
+		GC:                  e.GCTotals(),
 	}
+}
+
+// Lookup returns the already-computed result for a job — from the
+// in-process memo or the persisted store — without ever simulating.
+// It is the read-only probe the analytics layer aggregates over: an
+// analytics request must reflect completed work, never trigger new work.
+// Counters are untouched; Lookup is monitoring-neutral.
+func (e *Engine) Lookup(j Job) (sim.Result, bool) {
+	key := j.CanonicalJSON(e.scale)
+	e.mu.Lock()
+	r, ok := e.memo[key]
+	e.mu.Unlock()
+	if ok {
+		return r, true
+	}
+	if e.store != nil {
+		if r, ok := e.store.Get(key); ok {
+			return r, true
+		}
+	}
+	return sim.Result{}, false
+}
+
+// Has reports whether a job's result is already available, from the memo
+// or a store stat alone — cheaper than Lookup when only existence
+// matters (ETag computation probes every grid cell on every analytics
+// request). Like Store.Has it can answer true for a corrupt store entry
+// until a read heals it; Lookup remains authoritative.
+func (e *Engine) Has(j Job) bool {
+	key := j.CanonicalJSON(e.scale)
+	e.mu.Lock()
+	_, ok := e.memo[key]
+	e.mu.Unlock()
+	if ok {
+		return true
+	}
+	return e.store != nil && e.store.Has(key)
 }
 
 // Run executes one job, deduplicated three ways: concurrent identical jobs

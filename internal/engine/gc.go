@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"errors"
+	"time"
+)
+
+// This file implements result-store garbage collection. The store is
+// append-only in normal operation — every distinct (job, scale) pair adds
+// a record and nothing ever removes one — so a long-lived server
+// accumulates entries without bound. GC reclaims disk with an
+// age + refcount policy:
+//
+//   - age: entries younger than GCPolicy.MaxAge are always kept. Fresh
+//     results are the ones most likely to be re-read (an analytics matrix
+//     assembling, a sweep resuming), and the age floor also protects a
+//     concurrent engine's just-written records from a racing collector.
+//   - refcount: entries whose address any ref source reports live are
+//     always kept, regardless of age. Ref sources are snapshot functions
+//     injected by the caller — internal/jobs contributes the addresses of
+//     every engine job a queued or running background job will run, and
+//     the server's analytics cache contributes the addresses backing its
+//     cached matrices — so GC never deletes a result that live work is
+//     about to read.
+//   - in-flight: addresses the engine itself is computing right now are
+//     protected implicitly; deleting one would race the Put that follows
+//     the simulation.
+//
+// Deleting an unreferenced entry is always safe for correctness — the
+// store is a cache, and a deleted result is simply re-simulated on next
+// request. The policy only bounds how much completed work a collection
+// can discard.
+
+// ErrNoStore is returned by GC on an engine with no persisted store.
+var ErrNoStore = errors.New("engine: no persisted store to collect")
+
+// GCPolicy bounds what a collection may delete.
+type GCPolicy struct {
+	// MaxAge keeps entries modified within the window. Zero means no age
+	// floor: every unreferenced entry is eligible.
+	MaxAge time.Duration
+}
+
+// GCStats reports one collection cycle.
+type GCStats struct {
+	// Scanned counts store entries examined.
+	Scanned int `json:"scanned"`
+	// Deleted counts entries removed; ReclaimedBytes their total size.
+	Deleted        int   `json:"deleted"`
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	// KeptReferenced counts entries retained because a ref source (or the
+	// engine's in-flight set) reported them live; KeptYoung those retained
+	// by the age floor. An entry both young and referenced counts as
+	// referenced.
+	KeptReferenced int `json:"kept_referenced"`
+	KeptYoung      int `json:"kept_young"`
+}
+
+// GCTotals accumulates collection results across an engine's lifetime,
+// for monitoring (/metrics).
+type GCTotals struct {
+	Runs             uint64 `json:"runs"`
+	ReclaimedEntries uint64 `json:"reclaimed_entries"`
+	ReclaimedBytes   int64  `json:"reclaimed_bytes"`
+}
+
+// GC runs one collection cycle over the engine's persisted store: every
+// entry older than policy.MaxAge whose address no ref source (and no
+// in-flight computation) claims is deleted. Each ref function is called
+// once, at the start of the cycle, and must return the set of content
+// addresses that must survive; the engine's own in-flight jobs are always
+// protected. GC is safe to run concurrently with simulations — deletion
+// races a concurrent Put at worst, which recreates an identical record.
+func (e *Engine) GC(policy GCPolicy, refs ...func() map[string]bool) (GCStats, error) {
+	if e.store == nil {
+		return GCStats{}, ErrNoStore
+	}
+	protected := e.inflightAddresses()
+	for _, ref := range refs {
+		for addr := range ref() {
+			protected[addr] = true
+		}
+	}
+	cutoff := time.Now().Add(-policy.MaxAge)
+	var stats GCStats
+	for _, entry := range e.store.Entries() {
+		stats.Scanned++
+		switch {
+		case protected[entry.Address]:
+			stats.KeptReferenced++
+		case policy.MaxAge > 0 && entry.ModTime.After(cutoff):
+			stats.KeptYoung++
+		default:
+			if n, ok := e.store.Remove(entry.Address); ok {
+				stats.Deleted++
+				stats.ReclaimedBytes += n
+			}
+		}
+	}
+	e.mu.Lock()
+	e.gcTotals.Runs++
+	e.gcTotals.ReclaimedEntries += uint64(stats.Deleted)
+	e.gcTotals.ReclaimedBytes += stats.ReclaimedBytes
+	e.mu.Unlock()
+	return stats, nil
+}
+
+// inflightAddresses snapshots the content addresses of every job the
+// engine is computing right now. A GC cycle must not delete them: the
+// simulation's Put would race the delete, and a waiter coalesced onto the
+// in-flight computation expects the result to be durable afterwards.
+func (e *Engine) inflightAddresses() map[string]bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]bool, len(e.inflight))
+	for key := range e.inflight {
+		out[hashKey(key)] = true
+	}
+	return out
+}
+
+// GCTotals returns the engine's cumulative collection counters.
+func (e *Engine) GCTotals() GCTotals {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gcTotals
+}

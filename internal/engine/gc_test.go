@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// entriesByAddress snapshots the store as a set.
+func entriesByAddress(s *Store) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range s.Entries() {
+		out[e.Address] = true
+	}
+	return out
+}
+
+// TestGCNeverDeletesReferenced is the randomized property test the
+// acceptance criteria name: across 1000 collection cycles with random
+// populations, random ref sets, random in-flight claims and random age
+// floors, GC must never delete a referenced (or in-flight) entry, must
+// delete every unreferenced entry when the age floor is off, must keep
+// every entry when the floor is wide, and must report byte-accurate
+// reclaim counts.
+func TestGCNeverDeletesReferenced(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Scale: Quick, Store: store})
+	rng := rand.New(rand.NewSource(0x9a2e))
+
+	result := sim.Result{}
+	nextKey := 0
+	live := make(map[string]string) // address -> key, the model of what's on disk
+
+	var totalDeleted int
+	for cycle := 0; cycle < 1000; cycle++ {
+		// Grow: a random handful of fresh entries.
+		for n := rng.Intn(4); n > 0; n-- {
+			key := "synthetic-job-" + strconv.Itoa(nextKey)
+			nextKey++
+			if err := store.Put(key, result); err != nil {
+				t.Fatal(err)
+			}
+			live[hashKey(key)] = key
+		}
+
+		// Choose a random referenced subset and a random in-flight subset.
+		referenced := make(map[string]bool)
+		inflightKeys := []string{}
+		for addr, key := range live {
+			switch rng.Intn(4) {
+			case 0:
+				referenced[addr] = true
+			case 1:
+				inflightKeys = append(inflightKeys, key)
+			}
+		}
+		e.mu.Lock()
+		for _, key := range inflightKeys {
+			e.inflight[key] = make(chan struct{})
+		}
+		e.mu.Unlock()
+
+		// A third of cycles run with a wide age floor: everything on disk
+		// is young, so nothing may be deleted.
+		var policy GCPolicy
+		wide := rng.Intn(3) == 0
+		if wide {
+			policy.MaxAge = time.Hour
+		}
+
+		stats, err := e.GC(policy, func() map[string]bool { return referenced })
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		e.mu.Lock()
+		for _, key := range inflightKeys {
+			delete(e.inflight, key)
+		}
+		e.mu.Unlock()
+
+		if stats.Scanned != len(live) {
+			t.Fatalf("cycle %d: scanned %d, want %d", cycle, stats.Scanned, len(live))
+		}
+		onDisk := entriesByAddress(store)
+		inflightAddrs := make(map[string]bool, len(inflightKeys))
+		for _, key := range inflightKeys {
+			inflightAddrs[hashKey(key)] = true
+		}
+		survivors := make(map[string]string)
+		for addr, key := range live {
+			protected := referenced[addr] || inflightAddrs[addr]
+			switch {
+			case protected && !onDisk[addr]:
+				t.Fatalf("cycle %d: referenced/in-flight entry %s deleted", cycle, addr)
+			case wide && !onDisk[addr]:
+				t.Fatalf("cycle %d: young entry %s deleted under a wide age floor", cycle, addr)
+			case !wide && !protected && onDisk[addr]:
+				t.Fatalf("cycle %d: unreferenced entry %s survived MaxAge 0", cycle, addr)
+			}
+			if onDisk[addr] {
+				survivors[addr] = key
+			}
+		}
+		if want := len(live) - len(survivors); stats.Deleted != want {
+			t.Fatalf("cycle %d: reported %d deleted, want %d", cycle, stats.Deleted, want)
+		}
+		if stats.Deleted > 0 && stats.ReclaimedBytes <= 0 {
+			t.Fatalf("cycle %d: deleted %d entries but reclaimed %d bytes", cycle, stats.Deleted, stats.ReclaimedBytes)
+		}
+		if stats.KeptReferenced+stats.KeptYoung != len(survivors) {
+			t.Fatalf("cycle %d: kept %d+%d, want %d", cycle, stats.KeptReferenced, stats.KeptYoung, len(survivors))
+		}
+		totalDeleted += stats.Deleted
+		live = survivors
+
+		if store.Len() != len(live) {
+			t.Fatalf("cycle %d: Len() = %d, want %d (incremental count drifted)", cycle, store.Len(), len(live))
+		}
+	}
+	if totalDeleted == 0 {
+		t.Fatal("property test never exercised a deletion")
+	}
+	totals := e.GCTotals()
+	if totals.Runs != 1000 || totals.ReclaimedEntries != uint64(totalDeleted) {
+		t.Fatalf("totals = %+v, want 1000 runs / %d reclaimed", totals, totalDeleted)
+	}
+}
+
+// TestGCNoStore: collecting a store-less engine reports ErrNoStore.
+func TestGCNoStore(t *testing.T) {
+	e := New(Options{Scale: Quick})
+	if _, err := e.GC(GCPolicy{}); err != ErrNoStore {
+		t.Fatalf("err = %v, want ErrNoStore", err)
+	}
+	if totals := e.GCTotals(); totals.Runs != 0 {
+		t.Fatalf("failed cycle counted in totals: %+v", totals)
+	}
+}
+
+// TestGCProtectsConcurrentRuns: a GC racing real engine runs never
+// leaves the engine observing a missing result — Run after GC always
+// succeeds, from memo or recomputation.
+func TestGCProtectsConcurrentRuns(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Scale: Scale{TracesPerSuite: 1, TraceLen: 5_000, Warmup: 1_000, Sim: 5_000}, Store: store})
+	job := Job{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if _, err := e.GC(GCPolicy{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		e.Run(job)
+	}
+	<-done
+}

@@ -164,6 +164,94 @@ func WriteFileAtomic(path string, data []byte) error {
 // incrementally after).
 func (s *Store) Len() int { return int(s.entries.Load()) }
 
+// Has reports whether an entry for key is present on disk, from a stat
+// alone. It does not validate the record's version or key the way Get
+// does, so a corrupt entry can answer true until a Get heals it — callers
+// wanting the result itself must still Get (or Engine.Lookup).
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// StoreEntry describes one persisted record for GC and monitoring:
+// its content address, on-disk size, and last-modified time (the age the
+// GC policy measures — Put refreshes it, so a recomputed entry is young
+// again).
+type StoreEntry struct {
+	Address string
+	Bytes   int64
+	ModTime time.Time
+}
+
+// isAddress reports whether s is a 64-hex-digit content address.
+func isAddress(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Entries walks the store and returns every persisted record that is
+// address-shaped (dir/<hh>/<rest>.json with <hh><rest> a 64-hex-digit
+// address). Foreign files and temp files are skipped; contents are not
+// read, so a stale-schema record still lists (Open sweeps those, and
+// Remove on one is harmless).
+func (s *Store) Entries() []StoreEntry {
+	var out []StoreEntry
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if path != s.dir && !isShardDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if filepath.Ext(path) != ".json" {
+			return nil
+		}
+		addr := filepath.Base(filepath.Dir(path)) + strings.TrimSuffix(d.Name(), ".json")
+		if !isAddress(addr) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		out = append(out, StoreEntry{Address: addr, Bytes: info.Size(), ModTime: info.ModTime()})
+		return nil
+	})
+	return out
+}
+
+// Remove deletes the entry at the given content address, returning the
+// bytes reclaimed and whether an entry existed. It is the GC's delete
+// primitive; a concurrent Put of the same address can recreate the entry
+// immediately after, which is safe — the result is identical by
+// content-addressing.
+func (s *Store) Remove(addr string) (reclaimed int64, existed bool) {
+	if !isAddress(addr) {
+		return 0, false
+	}
+	p := filepath.Join(s.dir, addr[:2], addr[2:]+".json")
+	info, err := os.Stat(p)
+	if err != nil {
+		return 0, false
+	}
+	if os.Remove(p) != nil {
+		return 0, false
+	}
+	s.entries.Add(-1)
+	return info.Size(), true
+}
+
 // recordPrefix is the exact leading bytes Put's MarshalIndent emits for a
 // current-schema record (the trailing comma keeps e.g. version 20 from
 // matching a version-2 check). Open's walk matches it to recognize our

@@ -608,6 +608,27 @@ func (m *Manager) UsesTrace(name string) bool {
 	return false
 }
 
+// LiveAddresses returns the content addresses of every engine job a
+// queued or running background job will still run — the jobs-side ref
+// source for result-store GC (engine.Engine.GC). A collector that deleted
+// one of these entries would force a queued job to re-simulate work the
+// store already holds; terminal jobs drop their plans and hold no refs.
+func (m *Manager) LiveAddresses() map[string]bool {
+	scale := m.eng.Scale()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]bool)
+	for _, rec := range m.recs {
+		if rec.plan == nil || rec.State.Terminal() {
+			continue
+		}
+		for _, j := range rec.plan.Jobs {
+			out[j.ContentAddress(scale)] = true
+		}
+	}
+	return out
+}
+
 // Result returns a succeeded job's result document: the in-memory value
 // Finalize produced, or — after a restart — the persisted document as
 // json.RawMessage. Non-succeeded jobs return ErrNotReady (wrapped with

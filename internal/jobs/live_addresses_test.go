@@ -1,0 +1,82 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// TestLiveAddresses pins the manager's GC ref source: while a job is
+// queued or running, every engine-job address its plan will touch is
+// reported live; once the job reaches a terminal state its addresses
+// drop out. Result-store GC builds its protected set from this, so
+// over-reporting merely delays reclamation but under-reporting would let
+// the collector delete results queued work is about to read.
+func TestLiveAddresses(t *testing.T) {
+	gate := make(chan struct{})
+	eng := engine.New(engine.Options{Scale: tiny})
+	base := testCompiler(eng)
+	m := newManager(t, Options{
+		Engine:  eng,
+		Workers: 1,
+		Compile: func(spec Spec) (*Plan, error) {
+			plan, err := base(spec)
+			if err != nil {
+				return nil, err
+			}
+			inner := plan.Finalize
+			plan.Finalize = func(results []sim.Result) any {
+				<-gate
+				return inner(results)
+			}
+			return plan, nil
+		},
+	})
+
+	if live := m.LiveAddresses(); len(live) != 0 {
+		t.Fatalf("idle manager reports live addresses: %v", live)
+	}
+
+	// First job occupies the lone worker (held at Finalize); the second
+	// waits queued behind it. Both must report their plans' addresses.
+	running, _, err := m.Submit(fanSpec("Gaze", 2, Normal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, Running)
+	queued, _, err := m.Submit(fanSpec("IP-stride", 2, Normal))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scale := eng.Scale()
+	wantAddrs := func(pf string) []string {
+		var out []string
+		for i := 0; i < 2; i++ {
+			j := engine.Job{
+				Traces:    []string{"lbm-1274"},
+				L1:        []string{pf},
+				Overrides: engine.Overrides{PQCapacity: 8 + i},
+			}
+			out = append(out, j.ContentAddress(scale))
+		}
+		return out
+	}
+
+	live := m.LiveAddresses()
+	for _, pf := range []string{"Gaze", "IP-stride"} {
+		for _, addr := range wantAddrs(pf) {
+			if !live[addr] {
+				t.Errorf("address %s of a non-terminal %s job not reported live", addr, pf)
+			}
+		}
+	}
+
+	close(gate)
+	waitState(t, m, running.ID, Succeeded)
+	waitState(t, m, queued.ID, Succeeded)
+	if live := m.LiveAddresses(); len(live) != 0 {
+		t.Fatalf("terminal jobs still report live addresses: %v", live)
+	}
+}

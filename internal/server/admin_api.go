@@ -1,0 +1,75 @@
+// POST /admin/gc: run one result-store collection cycle on demand. The
+// handler assembles the server's ref sources — the background-jobs
+// manager's live plan addresses and the analytics cache's backing
+// addresses — so an operator-triggered collection honors exactly the
+// same protections as gazeserve's periodic collector. The body is
+// optional: empty (or {}) collects with the server's configured default
+// age floor; {"max_age": "30m"} overrides it for one cycle, and
+// {"max_age": "0s"} collects everything unreferenced regardless of age.
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// GCRequest is the optional POST /admin/gc body.
+type GCRequest struct {
+	// MaxAge is a Go duration string ("30m", "24h", "0s"). Empty uses the
+	// server's configured default.
+	MaxAge string `json:"max_age,omitempty"`
+}
+
+// GCResponse reports the cycle.
+type GCResponse struct {
+	engine.GCStats
+	// MaxAgeSeconds echoes the age floor the cycle ran with.
+	MaxAgeSeconds float64 `json:"max_age_seconds"`
+}
+
+// RunGC runs one result-store collection with the server's ref sources
+// attached. It is the single GC entry point — the admin endpoint and
+// gazeserve's periodic collector both call it, so every collection
+// protects background-job plans and cached analytics documents alike.
+func (s *Server) RunGC(maxAge time.Duration) (engine.GCStats, error) {
+	refs := []func() map[string]bool{s.analytics.liveAddresses}
+	if s.jobs != nil {
+		refs = append(refs, s.jobs.LiveAddresses)
+	}
+	return s.eng.GC(engine.GCPolicy{MaxAge: maxAge}, refs...)
+}
+
+func (s *Server) handleAdminGC(w http.ResponseWriter, r *http.Request) {
+	maxAge := s.gcAge
+	var req GCRequest
+	if err := decodeStrict(w, r, &req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.MaxAge != "" {
+		d, err := time.ParseDuration(req.MaxAge)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "max_age: %v", err)
+			return
+		}
+		if d < 0 {
+			httpError(w, http.StatusBadRequest, "max_age: must not be negative")
+			return
+		}
+		maxAge = d
+	}
+	stats, err := s.RunGC(maxAge)
+	if err != nil {
+		if errors.Is(err, engine.ErrNoStore) {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "gc: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GCResponse{GCStats: stats, MaxAgeSeconds: maxAge.Seconds()})
+}

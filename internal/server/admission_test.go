@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestAdmissionBucket drives the token bucket with a fake clock.
+func TestAdmissionBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	a := newAdmission(2, 3) // 2 tokens/s, burst 3
+	a.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := a.take("alice"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := a.take("alice")
+	if ok {
+		t.Fatal("over-burst request admitted")
+	}
+	// Empty bucket at 2 tokens/s: the next token is 500ms out.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retry = %v, want (0, 500ms]", retry)
+	}
+
+	// Another client has its own bucket.
+	if ok, _ := a.take("bob"); !ok {
+		t.Fatal("independent client rejected")
+	}
+
+	// After the refill interval the client is admitted again — and tokens
+	// cap at burst, not beyond.
+	now = now.Add(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		if ok, _ := a.take("alice"); !ok {
+			t.Fatalf("post-refill request %d rejected", i)
+		}
+	}
+	if ok, _ := a.take("alice"); ok {
+		t.Fatal("refill exceeded burst cap")
+	}
+}
+
+// TestAdmissionBucketBound checks the per-client map stays bounded under
+// an address-cycling client.
+func TestAdmissionBucketBound(t *testing.T) {
+	a := newAdmission(1, 1)
+	for i := 0; i < maxAdmissionBuckets+100; i++ {
+		a.take("client-" + strconv.Itoa(i))
+	}
+	a.mu.Lock()
+	n := len(a.buckets)
+	a.mu.Unlock()
+	if n > maxAdmissionBuckets {
+		t.Fatalf("buckets = %d, want <= %d", n, maxAdmissionBuckets)
+	}
+}
+
+// TestAdmissionHTTP exercises the 429 path end to end: status,
+// Retry-After header, JSON error body — and that cheap read endpoints
+// are never limited.
+func TestAdmissionHTTP(t *testing.T) {
+	srv := New(engine.New(engine.Options{Scale: tiny})).SetAdmission(0.001, 1)
+	now := time.Unix(1000, 0)
+	srv.admit.now = func() time.Time { return now }
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// First request takes the lone burst token.
+	if r := postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status = %d", r.StatusCode)
+	}
+	// Second is rejected with Retry-After and the standard error body.
+	r := postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil)
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status = %d, want 429", r.StatusCode)
+	}
+	ra, err := strconv.Atoi(r.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", r.Header.Get("Retry-After"))
+	}
+	if r.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("content type = %q", r.Header.Get("Content-Type"))
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Errorf("429 body not the standard error shape: %v %q", err, body.Error)
+	}
+
+	// The other expensive endpoints share the same bucket.
+	if r := postJSON(t, ts.URL+"/sweep", SweepRequest{Traces: []string{"lbm-1274"}, Prefetchers: []string{"Gaze"}}, nil); r.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("sweep while limited: status = %d, want 429", r.StatusCode)
+	}
+
+	// Cheap reads are never limited.
+	for _, path := range []string{"/stats", "/metrics", "/analytics/matrix?traces=lbm-1274&prefetchers=Gaze", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s while limited: status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// After the advertised wait, the client is admitted again.
+	now = now.Add(time.Duration(ra) * time.Second)
+	if r := postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("after Retry-After: status = %d, want 200", r.StatusCode)
+	}
+}
+
+// TestAdmissionDisabledByDefault: a server without SetAdmission never
+// rate-limits.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 20; i++ {
+		if r := postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil); r.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status = %d", i, r.StatusCode)
+		}
+	}
+}

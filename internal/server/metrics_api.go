@@ -1,0 +1,101 @@
+// GET /metrics: the engine's operational counters in Prometheus text
+// exposition format (text/plain; version=0.0.4), written by hand — the
+// format is three line shapes (# HELP, # TYPE, sample) and taking a
+// client library for it would violate the repo's no-dependency rule.
+// The endpoint is read-only, unauthenticated and cheap (counter
+// snapshots plus one store Len), so scraping it every few seconds is
+// fine.
+//
+// Everything /stats reports as JSON appears here under a gaze_ prefix:
+// engine memo/store/simulated counters, trace-cache occupancy and
+// eviction counters, result-store size and GC totals, jobs-manager state
+// counts, and the analytics document cache. Counters are _total-suffixed
+// per Prometheus naming conventions; gauges are instantaneous values.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// promWriter accumulates one exposition document. Metric names must
+// match [a-zA-Z_:][a-zA-Z0-9_:]* and each name's HELP/TYPE header must
+// precede its samples — both guaranteed here by construction and
+// enforced in tests by a lint pass.
+type promWriter struct {
+	b strings.Builder
+}
+
+func (p *promWriter) metric(name, typ, help string, value float64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+func (p *promWriter) counter(name, help string, v float64) { p.metric(name, "counter", help, v) }
+func (p *promWriter) gauge(name, help string, v float64)   { p.metric(name, "gauge", help, v) }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	var p promWriter
+
+	p.gauge("gaze_stats_schema_version",
+		"Schema version of the /stats document.", float64(StatsSchemaVersion))
+
+	p.counter("gaze_engine_memo_hits_total",
+		"Engine runs served from the in-process memo.", float64(st.Counters.MemoHits))
+	p.counter("gaze_engine_store_hits_total",
+		"Engine runs served from the persisted result store.", float64(st.Counters.StoreHits))
+	p.counter("gaze_engine_simulated_total",
+		"Engine runs computed by the simulator.", float64(st.Counters.Simulated))
+
+	p.gauge("gaze_trace_cache_entries",
+		"Materialized trace slabs resident in memory.", float64(st.TraceCacheEntries))
+	p.gauge("gaze_trace_cache_bytes",
+		"Resident bytes of materialized trace slabs.", float64(st.TraceCacheBytes))
+	p.counter("gaze_trace_cache_hits_total",
+		"Materialize calls served an existing or in-flight slab.", float64(st.TraceCacheHits))
+	p.counter("gaze_trace_cache_misses_total",
+		"Materialize calls that generated a slab.", float64(st.TraceCacheMisses))
+	p.counter("gaze_trace_cache_evictions_total",
+		"Trace slabs dropped to honor the byte budget.", float64(st.TraceCacheEvictions))
+
+	if store := s.eng.Store(); store != nil {
+		p.gauge("gaze_store_entries",
+			"Result records in the persisted store.", float64(store.Len()))
+		p.counter("gaze_store_gc_runs_total",
+			"Result-store GC cycles completed.", float64(st.GC.Runs))
+		p.counter("gaze_store_gc_reclaimed_entries_total",
+			"Result records deleted by GC.", float64(st.GC.ReclaimedEntries))
+		p.counter("gaze_store_gc_reclaimed_bytes_total",
+			"Bytes reclaimed by result-store GC.", float64(st.GC.ReclaimedBytes))
+	}
+
+	if s.jobs != nil {
+		c := s.jobs.Counters()
+		p.gauge("gaze_jobs_queued", "Background jobs waiting to run.", float64(c.Queued))
+		p.gauge("gaze_jobs_running", "Background jobs currently running.", float64(c.Running))
+		p.counter("gaze_jobs_succeeded_total", "Background jobs completed successfully.", float64(c.Succeeded))
+		p.counter("gaze_jobs_failed_total", "Background jobs that failed.", float64(c.Failed))
+		p.counter("gaze_jobs_canceled_total", "Background jobs canceled by clients.", float64(c.Canceled))
+		p.counter("gaze_jobs_interrupted_total", "Background jobs interrupted by shutdown.", float64(c.Interrupted))
+	}
+
+	if s.traces != nil {
+		p.gauge("gaze_ingested_traces",
+			"External traces resident in the registry.", float64(s.traces.Len()))
+	}
+
+	entries, hits, misses := s.analytics.counters()
+	p.gauge("gaze_analytics_cache_entries",
+		"Assembled analytics documents cached in memory.", float64(entries))
+	p.counter("gaze_analytics_cache_hits_total",
+		"Analytics requests served a cached document.", float64(hits))
+	p.counter("gaze_analytics_cache_misses_total",
+		"Analytics requests that assembled a document.", float64(misses))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(p.b.String())) //nolint:errcheck // client disconnects are routine
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/jobs"
+)
+
+// lintPromText validates a Prometheus text-exposition document the way
+// promtool's lint does, within the subset this server emits: every
+// sample line names a valid metric with a parseable float value, every
+// metric is preceded by matching # HELP and # TYPE lines, TYPE is
+// counter or gauge, counters are _total-suffixed and gauges are not,
+// and no metric name repeats.
+func lintPromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	var helpFor, typeFor string
+	types := make(map[string]string)
+	validName := func(name string) bool {
+		if name == "" {
+			return false
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c == ':' ||
+				('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+				(i > 0 && '0' <= c && c <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !validName(parts[0]) || parts[1] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			helpFor = parts[0]
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || !validName(parts[0]) {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if parts[1] != "counter" && parts[1] != "gauge" {
+				t.Fatalf("line %d: TYPE %q not counter|gauge", ln+1, parts[1])
+			}
+			if parts[0] != helpFor {
+				t.Fatalf("line %d: TYPE for %q without preceding HELP", ln+1, parts[0])
+			}
+			if _, dup := types[parts[0]]; dup {
+				t.Fatalf("line %d: metric %q declared twice", ln+1, parts[0])
+			}
+			typeFor, types[parts[0]] = parts[0], parts[1]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment: %q", ln+1, line)
+		default:
+			fields := strings.Fields(line)
+			if len(fields) != 2 || !validName(fields[0]) {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("line %d: unparseable value: %q", ln+1, line)
+			}
+			if fields[0] != typeFor {
+				t.Fatalf("line %d: sample %q without its TYPE header", ln+1, fields[0])
+			}
+			if _, dup := samples[fields[0]]; dup {
+				t.Fatalf("line %d: duplicate sample for %q", ln+1, fields[0])
+			}
+			switch hasTotal := strings.HasSuffix(fields[0], "_total"); {
+			case types[fields[0]] == "counter" && !hasTotal:
+				t.Errorf("counter %q not _total-suffixed", fields[0])
+			case types[fields[0]] == "gauge" && hasTotal:
+				t.Errorf("gauge %q is _total-suffixed", fields[0])
+			}
+			samples[fields[0]] = v
+		}
+	}
+	return samples
+}
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	r, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q, want Prometheus text format", ct)
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintPromText(t, string(body))
+}
+
+// TestMetricsEndpoint lints the exposition and checks the counters move
+// with the engine.
+func TestMetricsEndpoint(t *testing.T) {
+	store, err := engine.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Scale: tiny, Store: store})
+	mgr, err := jobs.Open(jobs.Options{Engine: eng, Compile: Compiler(eng), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Shutdown(context.Background()) }) //nolint:errcheck
+	ts := httptest.NewServer(New(eng).AttachJobs(mgr).Handler())
+	t.Cleanup(ts.Close)
+
+	before := scrape(t, ts.URL)
+	for _, name := range []string{
+		"gaze_stats_schema_version",
+		"gaze_engine_memo_hits_total", "gaze_engine_store_hits_total", "gaze_engine_simulated_total",
+		"gaze_trace_cache_entries", "gaze_trace_cache_bytes",
+		"gaze_trace_cache_hits_total", "gaze_trace_cache_misses_total", "gaze_trace_cache_evictions_total",
+		"gaze_store_entries", "gaze_store_gc_runs_total",
+		"gaze_store_gc_reclaimed_entries_total", "gaze_store_gc_reclaimed_bytes_total",
+		"gaze_jobs_queued", "gaze_jobs_running", "gaze_jobs_succeeded_total",
+		"gaze_analytics_cache_entries", "gaze_analytics_cache_hits_total", "gaze_analytics_cache_misses_total",
+	} {
+		if _, ok := before[name]; !ok {
+			t.Errorf("metric %s missing", name)
+		}
+	}
+	if v := before["gaze_stats_schema_version"]; v != float64(StatsSchemaVersion) {
+		t.Errorf("gaze_stats_schema_version = %v, want %d", v, StatsSchemaVersion)
+	}
+
+	// One simulation moves the engine counters and populates the store.
+	postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil)
+	mid := scrape(t, ts.URL)
+	if mid["gaze_engine_simulated_total"] <= before["gaze_engine_simulated_total"] {
+		t.Error("simulated counter did not advance")
+	}
+	if mid["gaze_store_entries"] < 2 {
+		t.Errorf("store entries = %v, want >= 2 (job + baseline)", mid["gaze_store_entries"])
+	}
+
+	// A GC cycle shows up in the reclaim counters — the acceptance
+	// criterion that reclaimed bytes are visible in /metrics.
+	r := postJSON(t, ts.URL+"/admin/gc", GCRequest{MaxAge: "0s"}, nil)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("admin gc: status = %d", r.StatusCode)
+	}
+	after := scrape(t, ts.URL)
+	if after["gaze_store_gc_runs_total"] != mid["gaze_store_gc_runs_total"]+1 {
+		t.Error("gc runs counter did not advance")
+	}
+	if after["gaze_store_gc_reclaimed_bytes_total"] <= mid["gaze_store_gc_reclaimed_bytes_total"] {
+		t.Error("gc reclaimed-bytes counter did not advance")
+	}
+	if after["gaze_store_entries"] != 0 {
+		t.Errorf("store entries after full GC = %v, want 0", after["gaze_store_entries"])
+	}
+}
+
+// TestMetricsWithoutStoreOrJobs: the optional metric families drop out
+// cleanly instead of exporting zeros for absent subsystems.
+func TestMetricsWithoutStoreOrJobs(t *testing.T) {
+	ts := newTestServer(t)
+	samples := scrape(t, ts.URL)
+	for _, name := range []string{"gaze_store_entries", "gaze_jobs_queued", "gaze_ingested_traces"} {
+		if _, ok := samples[name]; ok {
+			t.Errorf("metric %s present without its subsystem", name)
+		}
+	}
+	if _, ok := samples["gaze_engine_simulated_total"]; !ok {
+		t.Error("core engine metrics missing")
+	}
+}
+
+// TestAdminGCEndpoint covers the admin surface: bad bodies, no-store
+// conflict, and the stats document of a real cycle.
+func TestAdminGCEndpoint(t *testing.T) {
+	t.Run("no store", func(t *testing.T) {
+		ts := newTestServer(t)
+		r := postJSON(t, ts.URL+"/admin/gc", GCRequest{}, nil)
+		if r.StatusCode != http.StatusConflict {
+			t.Fatalf("status = %d, want 409 without a store", r.StatusCode)
+		}
+	})
+
+	store, err := engine.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine.New(engine.Options{Scale: tiny, Store: store})).Handler())
+	t.Cleanup(ts.Close)
+
+	t.Run("validation", func(t *testing.T) {
+		for _, body := range []string{`{"max_age":"not-a-duration"}`, `{"max_age":"-5m"}`, `{"bogus":1}`} {
+			r, err := http.Post(ts.URL+"/admin/gc", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+			if r.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s: status = %d, want 400", body, r.StatusCode)
+			}
+		}
+	})
+
+	t.Run("cycle", func(t *testing.T) {
+		postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil)
+
+		// Default age floor keeps the just-written entries.
+		var young GCResponse
+		if r := postJSON(t, ts.URL+"/admin/gc", GCRequest{MaxAge: "24h"}, &young); r.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", r.StatusCode)
+		}
+		if young.Deleted != 0 || young.KeptYoung != 2 || young.MaxAgeSeconds != 24*3600 {
+			t.Fatalf("young cycle = %+v", young)
+		}
+
+		// max_age 0s collects everything unreferenced.
+		var full GCResponse
+		postJSON(t, ts.URL+"/admin/gc", GCRequest{MaxAge: "0s"}, &full)
+		if full.Deleted != 2 || full.ReclaimedBytes <= 0 {
+			t.Fatalf("full cycle = %+v", full)
+		}
+		if store.Len() != 0 {
+			t.Fatalf("store len = %d after full GC", store.Len())
+		}
+	})
+
+	t.Run("empty body uses default", func(t *testing.T) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/admin/gc", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("empty body: status = %d, want 200", r.StatusCode)
+		}
+	})
+}

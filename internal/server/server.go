@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/jobs"
@@ -30,10 +31,41 @@ type Server struct {
 	// inflight tracks ingested traces referenced by running synchronous
 	// requests, for DELETE /traces in-use protection.
 	inflight traceUse
+
+	// analytics caches assembled comparison matrices per result-set
+	// content address, behind the /analytics ETags.
+	analytics analyticsCache
+
+	// admit rate-limits expensive compile paths per client (nil = no
+	// admission control).
+	admit *admission
+
+	// gcAge is the default age floor for POST /admin/gc and periodic GC
+	// (zero = only explicitly-aged requests collect).
+	gcAge time.Duration
 }
 
 // New builds a server on the given engine.
 func New(e *engine.Engine) *Server { return &Server{eng: e} }
+
+// SetAdmission enables per-client token-bucket admission control on the
+// expensive compile paths (POST /simulate, /sweep and /jobs): each client
+// may start at most rps requests per second sustained, with bursts up to
+// burst. Over-limit requests answer 429 with a Retry-After header. Cheap
+// read paths (/stats, /metrics, /analytics, GETs) are never limited —
+// they are exactly the endpoints monitoring and CDNs hammer.
+func (s *Server) SetAdmission(rps float64, burst int) *Server {
+	s.admit = newAdmission(rps, burst)
+	return s
+}
+
+// SetGCAge sets the default age floor for result-store GC: POST /admin/gc
+// without an explicit max_age, and the periodic collector in gazeserve,
+// keep entries younger than age.
+func (s *Server) SetGCAge(age time.Duration) *Server {
+	s.gcAge = age
+	return s
+}
 
 // AttachJobs enables the asynchronous jobs API on this server. The
 // manager should be built with Compiler(e) for the same engine so
@@ -55,9 +87,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /traces/{addr}", s.handleTraceDelete)
 	mux.HandleFunc("GET /prefetchers", s.handlePrefetchers)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /simulate", s.handleSimulate)
-	mux.HandleFunc("POST /sweep", s.handleSweep)
-	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /analytics/matrix", s.handleAnalyticsMatrix)
+	mux.HandleFunc("GET /analytics/speedup", s.handleAnalyticsSpeedup)
+	mux.HandleFunc("POST /admin/gc", s.handleAdminGC)
+	mux.HandleFunc("POST /simulate", s.admitted(s.handleSimulate))
+	mux.HandleFunc("POST /sweep", s.admitted(s.handleSweep))
+	mux.HandleFunc("POST /jobs", s.admitted(s.handleJobSubmit))
 	mux.HandleFunc("GET /jobs", s.handleJobList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
@@ -155,21 +191,37 @@ type SensitivityPoint struct {
 // queued jobs recovered from the journal at startup.
 // IngestedTraces mirrors StoreEntries' null-vs-0 discipline for the trace
 // registry: null when none is attached, the entry count otherwise.
+// StatsSchemaVersion stamps the document's field set: /stats aggregates
+// counters from several subsystems, and monitoring clients need one
+// number — pinned by a golden test — that changes whenever a field is
+// added, renamed or re-typed, instead of divining the shape from probes.
+// StoreGC reports cumulative result-store garbage collection (null
+// without a persisted store, like store_entries).
 type StatsResponse struct {
-	Scale               engine.Scale    `json:"scale"`
-	Counters            engine.Counters `json:"counters"`
-	StoreDir            string          `json:"store_dir,omitempty"`
-	StoreEntries        *int            `json:"store_entries"`
-	StoreSchemaVersion  int             `json:"store_schema_version"`
-	TraceCacheEntries   int             `json:"trace_cache_entries"`
-	TraceCacheHits      uint64          `json:"trace_cache_hits"`
-	TraceCacheMisses    uint64          `json:"trace_cache_misses"`
-	TraceCacheBytes     int64           `json:"trace_cache_bytes"`
-	TraceCacheEvictions uint64          `json:"trace_cache_evictions"`
-	TraceRegistryDir    string          `json:"trace_registry_dir,omitempty"`
-	IngestedTraces      *int            `json:"ingested_traces"`
-	Jobs                *jobs.Counters  `json:"jobs"`
+	StatsSchemaVersion  int              `json:"stats_schema_version"`
+	Scale               engine.Scale     `json:"scale"`
+	Counters            engine.Counters  `json:"counters"`
+	StoreDir            string           `json:"store_dir,omitempty"`
+	StoreEntries        *int             `json:"store_entries"`
+	StoreSchemaVersion  int              `json:"store_schema_version"`
+	TraceCacheEntries   int              `json:"trace_cache_entries"`
+	TraceCacheHits      uint64           `json:"trace_cache_hits"`
+	TraceCacheMisses    uint64           `json:"trace_cache_misses"`
+	TraceCacheBytes     int64            `json:"trace_cache_bytes"`
+	TraceCacheEvictions uint64           `json:"trace_cache_evictions"`
+	TraceRegistryDir    string           `json:"trace_registry_dir,omitempty"`
+	IngestedTraces      *int             `json:"ingested_traces"`
+	Jobs                *jobs.Counters   `json:"jobs"`
+	StoreGC             *engine.GCTotals `json:"store_gc"`
 }
+
+// StatsSchemaVersion stamps the /stats document shape. Bump it whenever
+// StatsResponse gains, loses or re-types a field; the golden test pins
+// the exact field set against the current version so the two cannot
+// drift silently.
+//
+// v1: first stamped schema (PR 6) — everything before it was unversioned.
+const StatsSchemaVersion = 1
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -212,6 +264,7 @@ func (s *Server) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := s.eng.Stats()
 	resp := StatsResponse{
+		StatsSchemaVersion:  StatsSchemaVersion,
 		Scale:               s.eng.Scale(),
 		Counters:            stats.Counters,
 		StoreSchemaVersion:  engine.StoreSchemaVersion,
@@ -225,6 +278,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.StoreDir = st.Dir()
 		n := st.Len()
 		resp.StoreEntries = &n
+		gc := stats.GC
+		resp.StoreGC = &gc
 	}
 	if s.traces != nil {
 		resp.TraceRegistryDir = s.traces.Dir()
@@ -343,10 +398,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, plan.assemble(results))
 }
 
+// sweepGrid is a compiled trace × prefetcher × override-point grid — the
+// shared shape under POST /sweep (which simulates all of it) and the
+// /analytics endpoints (which aggregate whatever of it has already
+// completed). jobs is laid out point-major: for each override point, for
+// each trace, the no-prefetch baseline followed by one job per
+// prefetcher.
+type sweepGrid struct {
+	traces     []string
+	pfs        []string
+	points     []engine.Overrides
+	axis       *SweepAxis // nil when no axis was requested
+	axisValues []float64  // deduped, aligned with points when axis != nil
+	jobs       []engine.Job
+}
+
+// index returns the jobs offset of (point vi, trace ti, prefetcher pi);
+// pi == -1 addresses the (vi, ti) baseline.
+func (g *sweepGrid) index(vi, ti, pi int) int {
+	stride := len(g.pfs) + 1
+	return vi*len(g.traces)*stride + ti*stride + pi + 1
+}
+
 // compileSweep validates a /sweep request and plans its full grid —
 // baselines included — plus the row/geomean/sensitivity assembly. All
 // errors are client errors.
 func compileSweep(scale engine.Scale, req SweepRequest) (*requestPlan, error) {
+	g, err := compileSweepGrid(scale, req)
+	if err != nil {
+		return nil, err
+	}
+	assemble := func(results []sim.Result) any {
+		var resp SweepResponse
+		for vi := range g.points {
+			perPF := make(map[string][]float64)
+			for ti, tr := range g.traces {
+				baseline := results[g.index(vi, ti, -1)]
+				for pi, pf := range g.pfs {
+					i := g.index(vi, ti, pi)
+					row := responseFor(scale, SimulateRequest{Trace: tr, Prefetcher: pf}, g.jobs[i], results[i], baseline)
+					resp.Rows = append(resp.Rows, row)
+					perPF[pf] = append(perPF[pf], row.Speedup)
+				}
+			}
+			if g.axis == nil {
+				resp.GeomeanSpeedup = make(map[string]float64)
+				for pf, vals := range perPF {
+					resp.GeomeanSpeedup[pf] = stats.Geomean(vals)
+				}
+				continue
+			}
+			for _, pf := range g.pfs {
+				resp.Sensitivity = append(resp.Sensitivity, SensitivityPoint{
+					Param:          g.axis.Param,
+					Value:          g.axisValues[vi],
+					Prefetcher:     pf,
+					GeomeanSpeedup: stats.Geomean(perPF[pf]),
+				})
+			}
+		}
+		return resp
+	}
+	return &requestPlan{jobs: g.jobs, assemble: assemble}, nil
+}
+
+// compileSweepGrid validates a sweep-shaped request and builds its job
+// grid. All errors are client errors.
+func compileSweepGrid(scale engine.Scale, req SweepRequest) (*sweepGrid, error) {
 	traces := req.Traces
 	if req.Suite != "" {
 		for _, info := range workload.Suite(req.Suite) {
@@ -446,41 +564,14 @@ func compileSweep(scale engine.Scale, req SweepRequest) (*requestPlan, error) {
 			}
 		}
 	}
-	assemble := func(results []sim.Result) any {
-		var resp SweepResponse
-		stride := len(pfs) + 1
-		pointStride := len(traces) * stride
-		for vi := range points {
-			perPF := make(map[string][]float64)
-			for ti, tr := range traces {
-				off := vi*pointStride + ti*stride
-				baseline := results[off]
-				for pi, pf := range pfs {
-					i := off + pi + 1
-					row := responseFor(scale, SimulateRequest{Trace: tr, Prefetcher: pf}, grid[i], results[i], baseline)
-					resp.Rows = append(resp.Rows, row)
-					perPF[pf] = append(perPF[pf], row.Speedup)
-				}
-			}
-			if req.Axis == nil {
-				resp.GeomeanSpeedup = make(map[string]float64)
-				for pf, vals := range perPF {
-					resp.GeomeanSpeedup[pf] = stats.Geomean(vals)
-				}
-				continue
-			}
-			for _, pf := range pfs {
-				resp.Sensitivity = append(resp.Sensitivity, SensitivityPoint{
-					Param:          req.Axis.Param,
-					Value:          axisValues[vi],
-					Prefetcher:     pf,
-					GeomeanSpeedup: stats.Geomean(perPF[pf]),
-				})
-			}
-		}
-		return resp
-	}
-	return &requestPlan{jobs: grid, assemble: assemble}, nil
+	return &sweepGrid{
+		traces:     traces,
+		pfs:        pfs,
+		points:     points,
+		axis:       req.Axis,
+		axisValues: axisValues,
+		jobs:       grid,
+	}, nil
 }
 
 // maxCores and maxSweepJobs bound per-request simulation size: the paper

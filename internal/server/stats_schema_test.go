@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// statsSchemaV1 is the golden top-level field set of the /stats document
+// at stats_schema_version 1. Changing StatsResponse without bumping
+// StatsSchemaVersion — or bumping without updating this list — fails
+// here. Keep the list sorted.
+var statsSchemaV1 = []string{
+	"counters",
+	"ingested_traces",
+	"jobs",
+	"scale",
+	"stats_schema_version",
+	"store_dir",
+	"store_entries",
+	"store_gc",
+	"store_schema_version",
+	"trace_cache_bytes",
+	"trace_cache_entries",
+	"trace_cache_evictions",
+	"trace_cache_hits",
+	"trace_cache_misses",
+	"trace_registry_dir",
+}
+
+func TestStatsSchemaGolden(t *testing.T) {
+	if StatsSchemaVersion != 1 {
+		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV1 (or add a v%d golden) to match the new shape",
+			StatsSchemaVersion, StatsSchemaVersion)
+	}
+
+	ts := newTestServer(t)
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+
+	var version int
+	if err := json.Unmarshal(doc["stats_schema_version"], &version); err != nil || version != StatsSchemaVersion {
+		t.Fatalf("stats_schema_version = %s, want %d", doc["stats_schema_version"], StatsSchemaVersion)
+	}
+
+	// The served field set must be exactly the golden set. omitempty
+	// fields (store_dir, trace_registry_dir) may be absent at runtime, so
+	// compare against the struct's full tag set and separately confirm
+	// nothing served is outside it.
+	var tags []string
+	rt := reflect.TypeOf(StatsResponse{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		if tag != "" {
+			if idx := strings.IndexByte(tag, ','); idx >= 0 {
+				tag = tag[:idx]
+			}
+			tags = append(tags, tag)
+		}
+	}
+	sort.Strings(tags)
+	if !reflect.DeepEqual(tags, statsSchemaV1) {
+		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV1)
+	}
+	golden := make(map[string]bool, len(statsSchemaV1))
+	for _, k := range statsSchemaV1 {
+		golden[k] = true
+	}
+	for k := range doc {
+		if !golden[k] {
+			t.Errorf("served /stats field %q not in the v%d golden set", k, StatsSchemaVersion)
+		}
+	}
+}
