@@ -9,10 +9,14 @@
 //	gazeserve -no-cache               # in-memory memoization only
 //	gazeserve -jobs-workers 4 -jobs-dir /var/lib/gaze/jobs
 //	gazeserve -trace-dir /var/lib/gaze/traces -trace-cache-mb 4096
+//	gazeserve -coordinator -lease-ttl 15s      # serve jobs-manager work to cluster workers
+//	gazeserve -worker http://coord:8321 -worker-concurrency 4   # execute leased units (no listener)
 //
 // Endpoints:
 //
 //	GET  /healthz           liveness probe
+//	GET  /readyz            readiness probe (store reachable, jobs accepting)
+//	GET  /cluster           coordinator status (workers, leases, counters)
 //	GET  /traces            workload catalogue + ingested traces (?suite= filters)
 //	POST /traces            ingest a trace (gztr/champsim, optionally gzipped) → 201 + address
 //	GET  /traces/{addr}         ingested-trace manifest
@@ -44,6 +48,15 @@
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight HTTP
 // requests finish, running jobs drain (up to -drain, then they are
 // cancelled and journaled interrupted), and the job journal is flushed.
+//
+// Cluster mode: -coordinator mounts the /cluster API and dispatches
+// every background job's engine work to registered workers as
+// content-addressed leases. -worker <url> runs no HTTP listener at all —
+// it boots an engine from the coordinator's advertised scale, then
+// leases, executes and uploads until stopped. Workers lease work, so a
+// fleet scales by just starting more of them; killing one mid-batch is
+// safe (its leases expire and re-lease, and duplicate results are
+// byte-identical by content addressing).
 package main
 
 import (
@@ -57,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/server"
@@ -83,8 +97,17 @@ func main() {
 		gcAge       = flag.Duration("store-gc-age", 14*24*time.Hour, "result-store GC age floor: entries modified within this window are kept")
 		gcEvery     = flag.Duration("store-gc-every", 0, "run result-store GC on this period (0 = only on demand via -store-gc or POST /admin/gc)")
 		gcNow       = flag.Bool("store-gc", false, "run one result-store GC cycle at startup")
+		coordinator = flag.Bool("coordinator", false, "serve the /cluster API and dispatch background jobs to registered workers")
+		workerURL   = flag.String("worker", "", "run as a cluster worker against the coordinator at this URL (no HTTP listener)")
+		workerConc  = flag.Int("worker-concurrency", 0, "units a worker executes in parallel (0 = GOMAXPROCS)")
+		workerName  = flag.String("worker-name", "", "worker label in the coordinator's roster")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator lease/liveness deadline, renewed by worker heartbeats")
 	)
 	flag.Parse()
+
+	if *workerURL != "" {
+		os.Exit(runWorker(*workerURL, *workerConc, *workerName, *cacheDir, *noCache, *traceDir, *workers, *seed))
+	}
 
 	// Generous by default, but bounded: synthetic slabs are small, while
 	// ingested real traces can be arbitrarily large — an unbounded cache
@@ -112,6 +135,15 @@ func main() {
 	}
 	eng := engine.New(opts)
 
+	// The coordinator is built before the jobs manager so job execution
+	// can be routed through it: with -coordinator, every background job's
+	// engine work is handed to cluster workers as content-addressed
+	// leases instead of running on this process's engine.
+	var coord *cluster.Coordinator
+	if *coordinator {
+		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{Engine: eng, LeaseTTL: *leaseTTL})
+	}
+
 	// The job journal lives beside the result store by default — a
 	// sibling "<store>.jobs", NOT inside it: the store sweeps its own
 	// directory for stale-schema .json garbage at Open and would eat
@@ -125,13 +157,17 @@ func main() {
 	case dir == "":
 		dir = engine.DefaultDir() + ".jobs"
 	}
-	mgr, err := jobs.Open(jobs.Options{
+	jobOpts := jobs.Options{
 		Engine:     eng,
 		Compile:    server.Compiler(eng),
 		Dir:        dir,
 		Workers:    *jobsWorkers,
 		QueueDepth: *jobsQueue,
-	})
+	}
+	if coord != nil {
+		jobOpts.Execute = coord.Execute
+	}
+	mgr, err := jobs.Open(jobOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -147,6 +183,10 @@ func main() {
 	// elsewhere or disabled. Registering it as a workload source is what
 	// lets every entry point run `ingested:<address>` names.
 	srvHandle := server.New(eng).AttachJobs(mgr)
+	if coord != nil {
+		srvHandle.AttachCluster(coord)
+		log.Printf("gazeserve: cluster coordinator enabled (lease ttl %v)", coord.LeaseTTL())
+	}
 	tdir := *traceDir
 	switch {
 	case tdir == "none":
@@ -189,6 +229,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Lease expiry must not depend on a surviving worker happening to
+	// poll: the coordinator ticks at half the TTL so a silent worker's
+	// units requeue on the coordinator's own clock.
+	if coord != nil {
+		go func() {
+			t := time.NewTicker(coord.LeaseTTL() / 2)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					coord.Tick()
+				}
+			}
+		}()
+	}
 
 	// Periodic collection shares RunGC with POST /admin/gc, so it honors
 	// the same ref sources (live job plans, cached analytics documents).

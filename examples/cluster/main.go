@@ -1,0 +1,292 @@
+// Example cluster runs a coordinator and two workers fully in-process
+// and proves the subsystem's core claim: a sweep distributed across
+// worker nodes — one of which dies mid-flight — lands byte-for-byte the
+// same result store and the same analytics ETag as a single-node run.
+//
+//  1. a coordinator node starts exactly as `gazeserve -coordinator`
+//     wires it: engine + result store + jobs manager whose Execute hook
+//     dispatches through the cluster lease table;
+//  2. two workers register over HTTP, lease units, execute them with
+//     their own engines and upload result documents back;
+//  3. POST /jobs submits a sweep; while its NDJSON event stream reports
+//     progress, worker-1 is killed — its leases expire and requeue, and
+//     worker-2 finishes the job alone;
+//  4. GET /cluster shows the roster and the lease/release/result
+//     counters that recorded the recovery;
+//  5. the same sweep runs on an isolated single-node server, and the
+//     two result-store directories and analytics ETags are compared.
+//
+// Against separately running `gazeserve -coordinator` and `gazeserve
+// -worker <url>` processes the same requests work unchanged.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	// --- 1. Coordinator node: engine + store + jobs, cluster-dispatched.
+	coordDir, err := os.MkdirTemp("", "cluster-coord-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(coordDir)
+	store, err := engine.Open(filepath.Join(coordDir, "store"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Scale: engine.Quick, Store: store})
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Engine:        eng,
+		LeaseTTL:      3 * time.Second,
+		MaxLeaseBatch: 1, // one unit per lease call spreads a small sweep across nodes
+	})
+	mgr, err := jobs.Open(jobs.Options{
+		Engine:  eng,
+		Compile: server.Compiler(eng),
+		Dir:     filepath.Join(coordDir, "jobs"),
+		Execute: coord.Execute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tickCtx, stopTicks := context.WithCancel(context.Background())
+	defer stopTicks()
+	go func() {
+		t := time.NewTicker(coord.LeaseTTL() / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-tickCtx.Done():
+				return
+			case <-t.C:
+				coord.Tick()
+			}
+		}
+	}()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, server.New(eng).AttachJobs(mgr).AttachCluster(coord).Handler()) //nolint:errcheck
+	base := "http://" + ln.Addr().String()
+	fmt.Println("coordinator listening on", base)
+
+	// --- 2. Two workers, each with its own engine (no store of their
+	// own: the coordinator's store is the authoritative one).
+	cancel1, done1 := startWorker(base, "worker-1")
+	cancel2, done2 := startWorker(base, "worker-2")
+	defer func() { cancel2(); <-done2 }()
+
+	// --- 3. Submit a sweep and kill worker-1 mid-flight.
+	campaign := map[string]any{
+		"type": "sweep",
+		"request": map[string]any{
+			"traces":      []string{"lbm-1274", "bwaves-1963"},
+			"prefetchers": []string{"IP-stride", "Gaze"},
+		},
+	}
+	var job server.JobStatus
+	post(base+"/jobs", campaign, &job)
+	fmt.Printf("\nPOST /jobs → %s (%s)\n", job.ID[:12], job.State)
+
+	fmt.Println("GET /jobs/" + job.ID[:12] + "/events:")
+	resp, err := http.Get(base + "/jobs/" + job.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	killed := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev server.JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %2d/%2d done\n", ev.State, ev.Progress.Done, ev.Progress.Total)
+		if !killed && ev.Progress.Done >= 1 {
+			killed = true
+			cancel1()
+			<-done1
+			fmt.Println("  ** worker-1 killed — its leases requeue to worker-2 **")
+		}
+	}
+	resp.Body.Close()
+	get(base+"/jobs/"+job.ID, &job)
+	if job.State != string(jobs.Succeeded) {
+		log.Fatalf("job finished %s, want succeeded", job.State)
+	}
+
+	var result server.SweepResponse
+	get(base+"/jobs/"+job.ID+"/result", &result)
+	fmt.Println("\nGET /jobs/{id}/result — every row carries its content address:")
+	for _, row := range result.Rows {
+		fmt.Printf("  %-12s %-10s speedup %.3f  %s\n",
+			row.Traces[0], row.Prefetcher, row.Speedup, row.Address[:16])
+	}
+
+	// --- 4. The roster and counters recorded the recovery.
+	var info cluster.Info
+	get(base+"/cluster", &info)
+	fmt.Printf("\nGET /cluster: %d worker(s) registered", len(info.Workers))
+	for _, w := range info.Workers {
+		fmt.Printf("  [%s conc=%d]", w.Name, w.Concurrency)
+	}
+	c := info.Counters
+	fmt.Printf("\n  leases=%d releases=%d results=%d duplicates=%d failures=%d\n",
+		c.Leases, c.Releases, c.Results, c.DuplicateResults, c.Failures)
+
+	// --- 5. The single-node control: same sweep, one process, no
+	// cluster anywhere. Stores and analytics ETags must agree exactly.
+	localDir, err := os.MkdirTemp("", "cluster-local-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(localDir)
+	localStore, err := engine.Open(filepath.Join(localDir, "store"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	localEng := engine.New(engine.Options{Scale: engine.Quick, Store: localStore})
+	localLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(localLn, server.New(localEng).Handler()) //nolint:errcheck
+	localBase := "http://" + localLn.Addr().String()
+
+	var localResult server.SweepResponse
+	post(localBase+"/sweep", campaign["request"], &localResult)
+
+	clusterFiles := snapshot(filepath.Join(coordDir, "store"))
+	localFiles := snapshot(filepath.Join(localDir, "store"))
+	if len(clusterFiles) == 0 {
+		log.Fatal("cluster run committed no store entries")
+	}
+	same := len(clusterFiles) == len(localFiles)
+	for rel, data := range clusterFiles {
+		if localFiles[rel] != data {
+			same = false
+		}
+	}
+	fmt.Printf("\nstore comparison: %d cluster entries vs %d local — byte-identical: %v\n",
+		len(clusterFiles), len(localFiles), same)
+
+	query := "/analytics/speedup?traces=lbm-1274,bwaves-1963&prefetchers=IP-stride,Gaze"
+	ct, lt := etag(base+query), etag(localBase+query)
+	fmt.Printf("analytics ETag: cluster %s, local %s — equal: %v\n", ct, lt, ct == lt)
+	if !same || ct != lt {
+		log.Fatal("cluster run diverged from the single-node control")
+	}
+
+	if err := mgr.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// startWorker boots an in-process cluster worker against base and
+// returns its kill switch plus a channel closed once it has fully
+// stopped.
+func startWorker(base, name string) (context.CancelFunc, chan struct{}) {
+	w := cluster.NewWorker(cluster.WorkerOptions{
+		Client:       cluster.NewClient(base, cluster.ClientOptions{Backoff: 50 * time.Millisecond}),
+		Engine:       engine.New(engine.Options{Scale: engine.Quick}),
+		Concurrency:  1,
+		Name:         name,
+		PollInterval: 50 * time.Millisecond,
+		Logf:         func(string, ...any) {},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := w.Run(ctx); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}()
+	return cancel, done
+}
+
+// snapshot maps relative path → contents for every record under a
+// store directory.
+func snapshot(dir string) map[string]string {
+	out := make(map[string]string)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func etag(url string) string {
+	r, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, r.StatusCode)
+	}
+	return r.Header.Get("ETag")
+}
+
+func post(url string, req, resp any) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode >= 300 {
+		log.Fatalf("POST %s: status %d", url, r.StatusCode)
+	}
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string, resp any) {
+	r, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, r.StatusCode)
+	}
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ClientOptions configures a Client. The zero value is production-ready.
+type ClientOptions struct {
+	// HTTPClient overrides the transport (default: a dedicated
+	// http.Client; per-request deadlines come from contexts).
+	HTTPClient *http.Client
+	// Clock drives retry backoff sleeps (default RealClock).
+	Clock Clock
+	// Retries is the number of re-attempts after a transient failure
+	// (so Retries+1 attempts total). Default 4.
+	Retries int
+	// Backoff is the first retry delay, doubled per attempt and capped
+	// at 5s. Default 100ms.
+	Backoff time.Duration
+}
+
+// Client is the worker side of the cluster wire protocol: a thin JSON
+// client with exponential-backoff retries on transport errors and
+// retryable statuses (500/502/503-with-Retry/504 are NOT all retryable
+// here — see retryableStatus; 4xx and 503 are contract answers, not
+// glitches). All methods honor ctx for cancellation, including
+// mid-backoff.
+type Client struct {
+	base    string
+	hc      *http.Client
+	clock   Clock
+	retries int
+	backoff time.Duration
+}
+
+// NewClient builds a client for the coordinator at base (e.g.
+// "http://coord:8321").
+func NewClient(base string, opts ClientOptions) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{}
+	}
+	if opts.Clock == nil {
+		opts.Clock = RealClock
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 4
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      opts.HTTPClient,
+		clock:   opts.Clock,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+	}
+}
+
+// StatusError is a non-2xx answer from the coordinator, carrying the
+// parsed {"error": ...} body when present.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("cluster: coordinator answered %d: %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("cluster: coordinator answered %d", e.Code)
+}
+
+// IsStatus reports whether err is (or wraps) a StatusError with the
+// given code.
+func IsStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
+}
+
+// retryableStatus: pure server-side glitches worth retrying. 4xx are
+// contract violations, 503 is the server's explicit "this subsystem is
+// not here" answer — retrying either would just hide a configuration
+// error under timeouts.
+func retryableStatus(code int) bool {
+	return code == http.StatusInternalServerError ||
+		code == http.StatusBadGateway ||
+		code == http.StatusGatewayTimeout
+}
+
+// do runs one JSON request with retries. in == nil sends no body;
+// json.RawMessage passes through verbatim (result-document uploads).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cluster: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("cluster: building request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			data, readErr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode >= 200 && resp.StatusCode < 300:
+				if readErr != nil {
+					err = readErr
+					break
+				}
+				if out != nil {
+					if err := json.Unmarshal(data, out); err != nil {
+						return fmt.Errorf("cluster: decoding %s %s response: %w", method, path, err)
+					}
+				}
+				return nil
+			default:
+				se := &StatusError{Code: resp.StatusCode}
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(data, &e) == nil {
+					se.Message = e.Error
+				}
+				if !retryableStatus(resp.StatusCode) {
+					return se
+				}
+				err = se
+			}
+		}
+		lastErr = err
+		if attempt >= c.retries {
+			return fmt.Errorf("cluster: %s %s failed after %d attempts: %w", method, path, attempt+1, lastErr)
+		}
+		if serr := c.clock.Sleep(ctx, c.backoffFor(attempt)); serr != nil {
+			return fmt.Errorf("cluster: %s %s: %w (last error: %v)", method, path, serr, lastErr)
+		}
+	}
+}
+
+// backoffFor returns the exponential delay before retry attempt+1,
+// capped at 5s.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	d := c.backoff << uint(attempt)
+	if max := 5 * time.Second; d > max || d <= 0 {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// Info fetches the coordinator's GET /cluster document — worker mode
+// boots its engine from the scale in here.
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	var info Info
+	err := c.do(ctx, http.MethodGet, PathInfo, nil, &info)
+	return info, err
+}
+
+// Register performs the worker handshake.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.do(ctx, http.MethodPost, PathWorkers, req, &resp)
+	return resp, err
+}
+
+// Deregister removes the worker gracefully, requeueing its leases.
+func (c *Client) Deregister(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodDelete, PathWorkers+"/"+url.PathEscape(workerID), nil, nil)
+}
+
+// Heartbeat renews the worker's liveness and leases.
+func (c *Client) Heartbeat(ctx context.Context, workerID string, req HeartbeatRequest) error {
+	return c.do(ctx, http.MethodPost, PathWorkers+"/"+url.PathEscape(workerID)+heartbeatPath, req, nil)
+}
+
+// Lease asks for up to req.Max pending units.
+func (c *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.do(ctx, http.MethodPost, PathLease, req, &resp)
+	return resp, err
+}
+
+// UploadResult uploads a result document (engine.ExportResult bytes)
+// under its content address.
+func (c *Client) UploadResult(ctx context.Context, addr string, doc []byte) (UploadResponse, error) {
+	var resp UploadResponse
+	err := c.do(ctx, http.MethodPut, PathResults+addr, json.RawMessage(doc), &resp)
+	return resp, err
+}
+
+// ReportFailure reports a deterministic unit failure.
+func (c *Client) ReportFailure(ctx context.Context, addr string, req FailRequest) error {
+	return c.do(ctx, http.MethodPost, PathFailures+addr, req, nil)
+}
+
+// FetchTrace streams GET /traces/{digest}/data — the replication source
+// for ingested traces. No retry loop: the caller re-drives replication
+// as a whole (a half-read body cannot be resumed).
+func (c *Client) FetchTrace(ctx context.Context, digest string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/traces/"+digest+"/data", nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		se := &StatusError{Code: resp.StatusCode}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil {
+			se.Message = e.Error
+		}
+		return nil, se
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// sleepClock records Sleep calls and returns immediately, so retry
+// pacing is asserted without waiting it out.
+type sleepClock struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (c *sleepClock) Now() time.Time { return time.Unix(1_700_000_000, 0) }
+
+func (c *sleepClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+	return ctx.Err()
+}
+
+func (c *sleepClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+func TestClientRetriesTransientStatuses(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, `{"error":"glitch"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"worker_id":"w1","lease_ttl_ms":15000}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	clock := &sleepClock{}
+	c := NewClient(ts.URL, ClientOptions{Clock: clock, Retries: 4, Backoff: 100 * time.Millisecond})
+	resp, err := c.Register(context.Background(), RegisterRequest{
+		Concurrency: 1, Scale: tinyScale, StoreSchemaVersion: engine.StoreSchemaVersion,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.WorkerID != "w1" || resp.LeaseTTLMS != 15000 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two 500s then success)", attempts)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	got := clock.recorded()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("backoffs = %v, want %v (exponential from 100ms)", got, want)
+	}
+}
+
+func TestClientDoesNotRetryContractErrors(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"incompatible scale"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	clock := &sleepClock{}
+	c := NewClient(ts.URL, ClientOptions{Clock: clock})
+	_, err := c.Register(context.Background(), RegisterRequest{})
+	if !IsStatus(err, http.StatusConflict) {
+		t.Fatalf("err = %v, want a 409 StatusError", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Message != "incompatible scale" {
+		t.Errorf("err = %v, want the parsed error body", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (4xx is a contract answer, not a glitch)", attempts)
+	}
+	if len(clock.recorded()) != 0 {
+		t.Errorf("slept %v before a non-retryable answer", clock.recorded())
+	}
+}
+
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	clock := &sleepClock{}
+	c := NewClient(ts.URL, ClientOptions{Clock: clock, Retries: 2, Backoff: time.Millisecond})
+	err := c.Heartbeat(context.Background(), "w1", HeartbeatRequest{})
+	if !IsStatus(err, http.StatusBadGateway) {
+		t.Fatalf("err = %v, want the wrapped 502 after exhausting retries", err)
+	}
+	if n := len(clock.recorded()); n != 2 {
+		t.Errorf("slept %d times, want 2 (Retries)", n)
+	}
+}
+
+func TestBackoffCapsAtFiveSeconds(t *testing.T) {
+	c := NewClient("http://x", ClientOptions{Backoff: 100 * time.Millisecond})
+	if d := c.backoffFor(0); d != 100*time.Millisecond {
+		t.Errorf("backoffFor(0) = %v", d)
+	}
+	for _, attempt := range []int{6, 20, 63, 64, 100} {
+		if d := c.backoffFor(attempt); d != 5*time.Second {
+			t.Errorf("backoffFor(%d) = %v, want the 5s cap", attempt, d)
+		}
+	}
+}

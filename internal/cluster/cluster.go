@@ -1,0 +1,203 @@
+// Package cluster turns gazeserve into a multi-node system: a
+// Coordinator that hands engine jobs out as leases over HTTP, and a
+// Worker loop that executes them with an ordinary engine and uploads the
+// result documents back. The design leans entirely on the repo's
+// content addressing: a work unit IS a content address (the SHA-256 of
+// the engine job's canonical encoding), so the same unit computed twice
+// — by a crashed-and-replaced worker, by two racing workers — commits
+// the same bytes to the same store entry and nothing is ever corrupted.
+// Crash tolerance therefore needs no distributed consensus: leases carry
+// deadlines renewed by heartbeat, and the coordinator simply re-leases
+// work from workers that go silent.
+//
+// The HTTP surface (mounted by internal/server; the path constants below
+// are the contract between the two packages):
+//
+//	GET    /cluster                       coordinator status: scale, schema, workers, counters
+//	POST   /cluster/workers               register → worker id + lease TTL (409 on scale/schema mismatch)
+//	DELETE /cluster/workers/{id}          graceful deregister (leased units requeue immediately)
+//	POST   /cluster/workers/{id}/heartbeat  renew worker + lease deadlines, report replication counters
+//	POST   /cluster/lease                 lease up to max pending units
+//	PUT    /cluster/results/{addr}        upload a result document (verified against addr before commit)
+//	POST   /cluster/failures/{addr}       report a deterministic execution failure
+//
+// Ingested traces replicate on demand: `ingested:<addr>` names are
+// location-independent (the digest rides in the name), so a worker that
+// leases a unit referencing one fetches GET /traces/{addr}/data from the
+// coordinator, ingests it into its local registry, and verifies the
+// recomputed address — exactly the pull-through, verify-on-read
+// discipline the result path uses in the other direction.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Route path constants shared with internal/server's mux registration.
+// They live here — not in the server package — so the cluster package
+// (Client) never imports the server package that mounts it.
+const (
+	PathInfo      = "/cluster"
+	PathWorkers   = "/cluster/workers"
+	PathLease     = "/cluster/lease"
+	PathResults   = "/cluster/results/"  // + {addr}
+	PathFailures  = "/cluster/failures/" // + {addr}
+	heartbeatPath = "/heartbeat"         // PathWorkers + "/{id}" + heartbeatPath
+)
+
+// Sentinel errors, mapped to HTTP statuses by internal/server.
+var (
+	// ErrUnknownWorker means the worker id is not (or no longer)
+	// registered — the worker missed enough heartbeats to be expired, or
+	// the coordinator restarted. Workers recover by re-registering.
+	ErrUnknownWorker = errors.New("cluster: unknown worker")
+	// ErrIncompatible rejects a registration whose scale or store schema
+	// differs from the coordinator's: such a worker would compute
+	// differently-addressed (or differently-defined) results.
+	ErrIncompatible = errors.New("cluster: incompatible worker")
+	// ErrBadResult rejects an uploaded document that fails verification.
+	ErrBadResult = errors.New("cluster: invalid result document")
+)
+
+// RegisterRequest is the worker's handshake: its identity label, how
+// many units it executes concurrently (the coordinator caps lease
+// batches at this), and the scale + store schema it was built with —
+// checked against the coordinator's so an incompatible worker is turned
+// away at the door instead of poisoning results.
+type RegisterRequest struct {
+	Name               string       `json:"name,omitempty"`
+	Concurrency        int          `json:"concurrency"`
+	Scale              engine.Scale `json:"scale"`
+	StoreSchemaVersion int          `json:"store_schema_version"`
+}
+
+// RegisterResponse assigns the worker its id and the lease TTL both
+// sides time against.
+type RegisterResponse struct {
+	WorkerID   string `json:"worker_id"`
+	LeaseTTLMS int64  `json:"lease_ttl_ms"`
+}
+
+// HeartbeatRequest renews the worker's liveness and every lease it
+// holds, and reports counters the coordinator aggregates for
+// monitoring. Replicated is a delta since the last acknowledged
+// heartbeat (cumulative totals would double-count across
+// re-registrations); delivery is at-least-once, so the aggregate is a
+// monitoring number, not an exact count.
+type HeartbeatRequest struct {
+	Replicated uint64 `json:"replicated,omitempty"`
+}
+
+// LeaseRequest asks for up to Max pending units (0 = the coordinator's
+// batch cap). Leasing is also a liveness signal: it renews the worker's
+// own deadline like a heartbeat does.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Max      int    `json:"max,omitempty"`
+}
+
+// WorkUnit is one leased engine job. Address is the unit's identity —
+// the content address the job's canonical encoding hashes to on the
+// coordinator, which the worker re-derives and verifies before running
+// (catching any scale drift the handshake missed).
+type WorkUnit struct {
+	Address string     `json:"address"`
+	Job     engine.Job `json:"job"`
+}
+
+// LeaseResponse carries the leased units; empty means nothing is
+// pending and the worker should poll again after a short sleep.
+type LeaseResponse struct {
+	Units []WorkUnit `json:"units"`
+}
+
+// FailRequest reports a deterministic execution failure for a leased
+// unit (trace unavailable, address mismatch): retrying elsewhere would
+// fail the same way, so the coordinator fails the sweeps waiting on the
+// unit instead of re-leasing it forever.
+type FailRequest struct {
+	WorkerID string `json:"worker_id"`
+	Error    string `json:"error"`
+}
+
+// UploadResponse acknowledges a result upload. Status is "completed"
+// when the upload settled a live unit, "duplicate" when the unit was
+// already settled (a benign race: both copies are byte-identical).
+type UploadResponse struct {
+	Status string `json:"status"`
+}
+
+// Counters is the coordinator's monitoring snapshot, served under
+// /stats ("cluster") and /metrics (gaze_cluster_*).
+type Counters struct {
+	// Workers / UnitsPending / UnitsLeased are instantaneous gauges.
+	Workers      int `json:"workers"`
+	UnitsPending int `json:"units_pending"`
+	UnitsLeased  int `json:"units_leased"`
+	// Leases counts units handed to workers; Releases counts leases
+	// revoked and requeued (deadline expiry or graceful deregister) —
+	// the "re-lease" number that shows crash recovery happening.
+	Leases   uint64 `json:"leases"`
+	Releases uint64 `json:"releases"`
+	// Results counts uploads that settled a live unit;
+	// DuplicateResults counts verified uploads for already-settled
+	// units (racing workers, late arrivals after re-lease).
+	Results          uint64 `json:"results"`
+	DuplicateResults uint64 `json:"duplicate_results"`
+	// Failures counts units failed by deterministic worker reports.
+	Failures uint64 `json:"failures"`
+	// Replications aggregates worker-reported trace replications.
+	Replications uint64 `json:"replications"`
+}
+
+// WorkerStatus describes one registered worker in the /cluster document.
+type WorkerStatus struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Concurrency int    `json:"concurrency"`
+	// Leased is the number of units currently leased to this worker.
+	Leased int `json:"leased"`
+}
+
+// Info is the GET /cluster document: everything a worker needs to build
+// a compatible engine (cmd/gazeserve's worker mode boots from it) plus
+// the operator-facing roster and counters.
+type Info struct {
+	Scale              engine.Scale   `json:"scale"`
+	StoreSchemaVersion int            `json:"store_schema_version"`
+	LeaseTTLMS         int64          `json:"lease_ttl_ms"`
+	Workers            []WorkerStatus `json:"workers"`
+	Counters           Counters       `json:"counters"`
+}
+
+// Clock abstracts time for deterministic tests: the coordinator takes a
+// Now function, the client and worker take a full Clock (backoff and
+// poll sleeps included).
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx's error in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RealClock is the wall-clock Clock production code uses.
+var RealClock Clock = realClock{}

@@ -1,0 +1,496 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// tinyScale keeps cluster tests fast while still running real simulations.
+var tinyScale = engine.Scale{TracesPerSuite: 1, TraceLen: 10_000, Warmup: 5_000, Sim: 20_000}
+
+// fakeNow is an advanceable clock for deterministic lease-expiry tests.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeNow() *fakeNow { return &fakeNow{t: time.Unix(1_700_000_000, 0)} }
+
+func (f *fakeNow) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func testJob(trace, pf string) engine.Job {
+	return engine.Job{Traces: []string{trace}, L1: []string{pf}}
+}
+
+func registerTestWorker(t *testing.T, c *Coordinator, name string) string {
+	t.Helper()
+	resp, err := c.Register(RegisterRequest{
+		Name:               name,
+		Concurrency:        2,
+		Scale:              tinyScale,
+		StoreSchemaVersion: engine.StoreSchemaVersion,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.WorkerID
+}
+
+// completeOnSecondEngine plays the worker role in-process: computes the
+// unit on an independent engine and uploads the exported document.
+func completeOnSecondEngine(t *testing.T, c *Coordinator, worker *engine.Engine, u WorkUnit) {
+	t.Helper()
+	key := u.Job.CanonicalJSON(worker.Scale())
+	if got := engine.AddressOfKey(key); got != u.Address {
+		t.Fatalf("leased address %s, worker derives %s", u.Address, got)
+	}
+	res := worker.Run(u.Job)
+	doc, err := engine.ExportResult(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled, err := c.CompleteResult(u.Address, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled {
+		t.Fatalf("upload for %s did not settle the unit", u.Address[:12])
+	}
+}
+
+// waitPending polls until n units are pending (Execute runs in a
+// goroutine; enqueueing is quick but asynchronous to the test body).
+func waitPending(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Counters().UnitsPending != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("units pending = %d, want %d", c.Counters().UnitsPending, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRegisterHandshake(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{Engine: engine.New(engine.Options{Scale: tinyScale})})
+
+	if _, err := c.Register(RegisterRequest{Scale: tinyScale, StoreSchemaVersion: 999}); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("schema mismatch: err = %v, want ErrIncompatible", err)
+	}
+	wrong := tinyScale
+	wrong.Sim *= 2
+	if _, err := c.Register(RegisterRequest{Scale: wrong, StoreSchemaVersion: engine.StoreSchemaVersion}); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("scale mismatch: err = %v, want ErrIncompatible", err)
+	}
+	// TracesPerSuite only selects jobs — it must NOT gate registration.
+	selects := tinyScale
+	selects.TracesPerSuite = 99
+	if _, err := c.Register(RegisterRequest{Scale: selects, StoreSchemaVersion: engine.StoreSchemaVersion}); err != nil {
+		t.Errorf("TracesPerSuite mismatch rejected: %v", err)
+	}
+
+	id := registerTestWorker(t, c, "node a/1")
+	if id == "" {
+		t.Fatal("empty worker id")
+	}
+	if err := c.Heartbeat(id, HeartbeatRequest{}); err != nil {
+		t.Errorf("heartbeat: %v", err)
+	}
+	if err := c.Heartbeat("nope", HeartbeatRequest{}); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown heartbeat: err = %v, want ErrUnknownWorker", err)
+	}
+	if _, err := c.Lease("nope", 1); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown lease: err = %v, want ErrUnknownWorker", err)
+	}
+	if err := c.Deregister(id); err != nil {
+		t.Errorf("deregister: %v", err)
+	}
+	if err := c.Deregister(id); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("double deregister: err = %v, want ErrUnknownWorker", err)
+	}
+}
+
+// TestExecuteRemote drives the full dispatch loop in-process — Execute
+// enqueues, a second engine computes, uploads settle the batch — and
+// asserts the acceptance criterion: the coordinator's store entries are
+// byte-identical to a pure single-node run of the same jobs.
+func TestExecuteRemote(t *testing.T) {
+	coordDir := t.TempDir()
+	store, err := engine.Open(coordDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Scale: tinyScale, Store: store})
+	c := NewCoordinator(CoordinatorOptions{Engine: eng})
+
+	// Duplicate jobs in one batch must fan into one unit filling both
+	// result slots.
+	js := []engine.Job{testJob("lbm-1274", "Gaze"), testJob("lbm-1274", "Gaze"), testJob("lbm-1274", "none")}
+	var progress []engine.Progress
+	var progressMu sync.Mutex
+	type out struct {
+		results []sim.Result
+		err     error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := c.Execute(context.Background(), js, func(p engine.Progress) {
+			progressMu.Lock()
+			progress = append(progress, p)
+			progressMu.Unlock()
+		})
+		done <- out{res, err}
+	}()
+	waitPending(t, c, 2) // 3 jobs, 2 distinct addresses
+
+	id := registerTestWorker(t, c, "w")
+	units, err := c.Lease(id, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("leased %d units, want 2", len(units))
+	}
+	remote := engine.New(engine.Options{Scale: tinyScale})
+	for _, u := range units {
+		completeOnSecondEngine(t, c, remote, u)
+	}
+
+	got := <-done
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if len(got.results) != 3 {
+		t.Fatalf("got %d results, want 3", len(got.results))
+	}
+	if got.results[0].MeanIPC() != got.results[1].MeanIPC() {
+		t.Error("duplicate jobs returned different results")
+	}
+	for i, r := range got.results {
+		if r.MeanIPC() <= 0 {
+			t.Errorf("result %d has no IPC", i)
+		}
+	}
+	// One progress report per settled unit — the duplicate pair of jobs
+	// shares an address and completes in one delivery.
+	progressMu.Lock()
+	if n := len(progress); n != 2 {
+		t.Errorf("got %d progress reports, want 2", n)
+	}
+	last := progress[len(progress)-1]
+	progressMu.Unlock()
+	if last.Done != 3 || last.Total != 3 {
+		t.Errorf("final progress = %d/%d, want 3/3", last.Done, last.Total)
+	}
+
+	cts := c.Counters()
+	if cts.Results != 2 || cts.UnitsPending != 0 || cts.UnitsLeased != 0 {
+		t.Errorf("counters = %+v, want 2 results and an empty table", cts)
+	}
+
+	// Byte-identity: a local-only engine writing its own store must
+	// produce the same files (same names, same bytes) the cluster path
+	// committed via Adopt.
+	localDir := t.TempDir()
+	localStore, err := engine.Open(localDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.New(engine.Options{Scale: tinyScale, Store: localStore}).RunAll(js)
+	if clusterFiles, localFiles := storeFiles(t, coordDir), storeFiles(t, localDir); !sameFiles(clusterFiles, localFiles) {
+		t.Errorf("cluster store differs from single-node store:\n cluster %v\n local   %v",
+			keys(clusterFiles), keys(localFiles))
+	}
+}
+
+// storeFiles maps relative path → contents for every .json record under
+// a store directory.
+func storeFiles(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameFiles(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestLeaseExpiryRequeues is the crash-recovery path: a worker leases a
+// unit and goes silent, the deadline passes, and the unit re-leases to a
+// replacement — the sweep still completes, with the re-lease visible in
+// the Releases counter.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	clock := newFakeNow()
+	eng := engine.New(engine.Options{Scale: tinyScale})
+	c := NewCoordinator(CoordinatorOptions{Engine: eng, LeaseTTL: 10 * time.Second, Now: clock.Now})
+
+	done := make(chan []sim.Result, 1)
+	go func() {
+		res, err := c.Execute(context.Background(), []engine.Job{testJob("lbm-1274", "Gaze")}, nil)
+		if err != nil {
+			t.Errorf("execute: %v", err)
+		}
+		done <- res
+	}()
+	waitPending(t, c, 1)
+
+	crash := registerTestWorker(t, c, "crash")
+	units, err := c.Lease(crash, 1)
+	if err != nil || len(units) != 1 {
+		t.Fatalf("lease = %v, %v", units, err)
+	}
+	if cts := c.Counters(); cts.UnitsLeased != 1 {
+		t.Fatalf("units leased = %d, want 1", cts.UnitsLeased)
+	}
+
+	// Heartbeats keep both worker and lease alive across deadlines.
+	clock.Advance(8 * time.Second)
+	if err := c.Heartbeat(crash, HeartbeatRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(8 * time.Second)
+	c.Tick()
+	if cts := c.Counters(); cts.UnitsLeased != 1 || cts.Workers != 1 {
+		t.Fatalf("after renewed heartbeat: %+v, want lease and worker alive", cts)
+	}
+
+	// Silence: the worker misses its deadline, the unit requeues, the
+	// worker drops from the roster.
+	clock.Advance(11 * time.Second)
+	c.Tick()
+	cts := c.Counters()
+	if cts.Releases != 1 || cts.UnitsPending != 1 || cts.UnitsLeased != 0 || cts.Workers != 0 {
+		t.Fatalf("after expiry: %+v, want 1 release, 1 pending, 0 workers", cts)
+	}
+	if err := c.Heartbeat(crash, HeartbeatRequest{}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("expired worker heartbeat: err = %v, want ErrUnknownWorker", err)
+	}
+
+	replacement := registerTestWorker(t, c, "replacement")
+	units2, err := c.Lease(replacement, 1)
+	if err != nil || len(units2) != 1 || units2[0].Address != units[0].Address {
+		t.Fatalf("re-lease = %v, %v; want the expired unit again", units2, err)
+	}
+	completeOnSecondEngine(t, c, engine.New(engine.Options{Scale: tinyScale}), units2[0])
+	res := <-done
+	if len(res) != 1 || res[0].MeanIPC() <= 0 {
+		t.Fatalf("sweep did not complete after re-lease: %v", res)
+	}
+}
+
+// TestDuplicateUploadHammer races many identical uploads for one unit:
+// exactly one settles it, the rest are acknowledged as duplicates, and
+// nothing panics or double-delivers.
+func TestDuplicateUploadHammer(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tinyScale})
+	c := NewCoordinator(CoordinatorOptions{Engine: eng})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.Execute(context.Background(), []engine.Job{testJob("lbm-1274", "Gaze")}, nil); err != nil {
+			t.Errorf("execute: %v", err)
+		}
+	}()
+	waitPending(t, c, 1)
+	id := registerTestWorker(t, c, "w")
+	units, err := c.Lease(id, 1)
+	if err != nil || len(units) != 1 {
+		t.Fatalf("lease = %v, %v", units, err)
+	}
+
+	u := units[0]
+	remote := engine.New(engine.Options{Scale: tinyScale})
+	key := u.Job.CanonicalJSON(tinyScale)
+	doc, err := engine.ExportResult(key, remote.Run(u.Job))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const uploads = 16
+	settledCount := make(chan bool, uploads)
+	var wg sync.WaitGroup
+	for i := 0; i < uploads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			settled, err := c.CompleteResult(u.Address, doc)
+			if err != nil {
+				t.Errorf("upload: %v", err)
+			}
+			settledCount <- settled
+		}()
+	}
+	wg.Wait()
+	close(settledCount)
+	settled := 0
+	for s := range settledCount {
+		if s {
+			settled++
+		}
+	}
+	if settled != 1 {
+		t.Errorf("%d uploads settled the unit, want exactly 1", settled)
+	}
+	cts := c.Counters()
+	if cts.Results != 1 || cts.DuplicateResults != uploads-1 {
+		t.Errorf("results = %d, duplicates = %d; want 1 and %d", cts.Results, cts.DuplicateResults, uploads-1)
+	}
+	<-done
+
+	// Bad documents never settle anything: garbage, and a valid document
+	// uploaded under the wrong address.
+	if _, err := c.CompleteResult(u.Address, []byte("junk")); !errors.Is(err, ErrBadResult) {
+		t.Errorf("garbage upload: err = %v, want ErrBadResult", err)
+	}
+	wrong := testJob("lbm-1274", "none").ContentAddress(tinyScale)
+	if _, err := c.CompleteResult(wrong, doc); !errors.Is(err, ErrBadResult) {
+		t.Errorf("misaddressed upload: err = %v, want ErrBadResult", err)
+	}
+}
+
+// TestExecuteCached: work the engine already knows is answered without
+// ever touching the lease table.
+func TestExecuteCached(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tinyScale})
+	c := NewCoordinator(CoordinatorOptions{Engine: eng})
+	j := testJob("lbm-1274", "Gaze")
+	want := eng.Run(j)
+
+	res, err := c.Execute(context.Background(), []engine.Job{j}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].MeanIPC() != want.MeanIPC() {
+		t.Fatalf("cached execute = %v, want the memoized result", res)
+	}
+	if cts := c.Counters(); cts.UnitsPending != 0 || cts.Leases != 0 {
+		t.Errorf("cached execute touched the lease table: %+v", cts)
+	}
+}
+
+// TestExecuteCancelDetaches: cancelling a waiting Execute drops its
+// pending units so no worker computes for a sweep nobody awaits.
+func TestExecuteCancelDetaches(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tinyScale})
+	c := NewCoordinator(CoordinatorOptions{Engine: eng})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Execute(ctx, []engine.Job{testJob("lbm-1274", "Gaze")}, nil)
+		done <- err
+	}()
+	waitPending(t, c, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cts := c.Counters(); cts.UnitsPending != 0 {
+		t.Errorf("pending units after cancel = %d, want 0", cts.UnitsPending)
+	}
+}
+
+// TestFailUnitFailsWaiters: a deterministic worker failure fails the
+// waiting sweep instead of re-leasing forever.
+func TestFailUnitFailsWaiters(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tinyScale})
+	c := NewCoordinator(CoordinatorOptions{Engine: eng})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Execute(context.Background(), []engine.Job{testJob("lbm-1274", "Gaze")}, nil)
+		done <- err
+	}()
+	waitPending(t, c, 1)
+	id := registerTestWorker(t, c, "w")
+	units, err := c.Lease(id, 1)
+	if err != nil || len(units) != 1 {
+		t.Fatalf("lease = %v, %v", units, err)
+	}
+	if !c.FailUnit(units[0].Address, id, "trace registry exploded") {
+		t.Fatal("FailUnit ignored a live unit")
+	}
+	err = <-done
+	if err == nil {
+		t.Fatal("execute succeeded despite a failed unit")
+	}
+	if got := err.Error(); !strings.Contains(got, "trace registry exploded") || !strings.Contains(got, id) {
+		t.Errorf("failure error %q does not name the cause and worker", got)
+	}
+	if c.FailUnit(units[0].Address, id, "again") {
+		t.Error("FailUnit settled an already-settled unit")
+	}
+	if cts := c.Counters(); cts.Failures != 1 {
+		t.Errorf("failures = %d, want 1", cts.Failures)
+	}
+}
+
+// TestInfoDocument: the GET /cluster document carries what worker mode
+// boots from plus a live roster.
+func TestInfoDocument(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tinyScale})
+	c := NewCoordinator(CoordinatorOptions{Engine: eng, LeaseTTL: 7 * time.Second})
+	id := registerTestWorker(t, c, "roster")
+	info := c.Info()
+	if info.Scale != tinyScale || info.StoreSchemaVersion != engine.StoreSchemaVersion {
+		t.Errorf("info identity = %+v", info)
+	}
+	if info.LeaseTTLMS != 7000 {
+		t.Errorf("lease ttl = %dms, want 7000", info.LeaseTTLMS)
+	}
+	if len(info.Workers) != 1 || info.Workers[0].ID != id || info.Workers[0].Concurrency != 2 {
+		t.Errorf("roster = %+v", info.Workers)
+	}
+}

@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/traceset"
+	"repro/internal/workload"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Client talks to the coordinator. Required.
+	Client *Client
+	// Engine executes leased jobs. Its scale MUST match the
+	// coordinator's (build it from Client.Info's scale); the handshake
+	// and the per-unit address check both enforce it. Required.
+	Engine *engine.Engine
+	// Registry caches replicated ingested traces (nil: units
+	// referencing ingested traces fail deterministically). Register it
+	// as a workload source so the engine can materialize from it.
+	Registry *traceset.Registry
+	// Concurrency bounds units executed in parallel and sizes lease
+	// batches (0 = GOMAXPROCS).
+	Concurrency int
+	// Name labels this worker in the coordinator's roster and id.
+	Name string
+	// PollInterval is the idle sleep between empty lease responses.
+	// Default 250ms.
+	PollInterval time.Duration
+	// Clock drives sleeps and heartbeat pacing (default RealClock).
+	Clock Clock
+	// Logf observes worker lifecycle events (default log.Printf; set a
+	// no-op to silence).
+	Logf func(format string, args ...any)
+}
+
+// WorkerCounters is a snapshot of one worker's lifetime totals.
+type WorkerCounters struct {
+	Completed  uint64 // units executed and uploaded
+	Failed     uint64 // units reported as deterministic failures
+	Replicated uint64 // ingested traces fetched and verified
+}
+
+// Worker is the execute side of the cluster: register, heartbeat,
+// lease, run, upload — until its context is cancelled. It is
+// crash-tolerant from the other side's perspective (a killed worker's
+// leases expire and requeue) and restart-tolerant from its own (any
+// error that could mean "the coordinator forgot me" re-runs the
+// handshake).
+type Worker struct {
+	client *Client
+	eng    *engine.Engine
+	reg    *traceset.Registry
+	conc   int
+	name   string
+	poll   time.Duration
+	clock  Clock
+	logf   func(string, ...any)
+
+	mu       sync.Mutex
+	counters WorkerCounters
+	// pendingReplicated accumulates replications not yet acknowledged
+	// by a heartbeat (deltas, so re-registration never double-reports).
+	pendingReplicated uint64
+	// repInflight single-flights trace replication per digest, so a
+	// batch of units over one new trace downloads it once.
+	repInflight map[string]chan struct{}
+}
+
+// errReregister signals the serve loop that the coordinator no longer
+// knows this worker id.
+var errReregister = errors.New("cluster: worker must re-register")
+
+// NewWorker builds a worker.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Client == nil || opts.Engine == nil {
+		panic("cluster: WorkerOptions.Client and Engine are required")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 250 * time.Millisecond
+	}
+	if opts.Clock == nil {
+		opts.Clock = RealClock
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	return &Worker{
+		client:      opts.Client,
+		eng:         opts.Engine,
+		reg:         opts.Registry,
+		conc:        opts.Concurrency,
+		name:        opts.Name,
+		poll:        opts.PollInterval,
+		clock:       opts.Clock,
+		logf:        opts.Logf,
+		repInflight: make(map[string]chan struct{}),
+	}
+}
+
+// Counters returns the worker's lifetime totals.
+func (w *Worker) Counters() WorkerCounters {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.counters
+}
+
+// Run drives the worker until ctx is cancelled (returns nil) or the
+// coordinator permanently rejects it (returns the rejection — an
+// incompatible scale will never fix itself by retrying).
+func (w *Worker) Run(ctx context.Context) error {
+	for ctx.Err() == nil {
+		id, ttl, err := w.register(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		w.logf("cluster worker: registered as %s (lease ttl %v)", id, ttl)
+		err = w.serve(ctx, id, ttl)
+		if errors.Is(err, errReregister) {
+			w.logf("cluster worker: coordinator dropped %s, re-registering", id)
+			continue
+		}
+		if ctx.Err() != nil {
+			// Graceful exit: hand leases back immediately instead of
+			// making the coordinator wait out their deadlines.
+			dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			w.client.Deregister(dctx, id) //nolint:errcheck // best-effort
+			cancel()
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// register performs the handshake. The client's own retry loop covers
+// transient failures; a contract rejection (409 incompatible) comes
+// back as the permanent error it is.
+func (w *Worker) register(ctx context.Context) (id string, ttl time.Duration, err error) {
+	resp, err := w.client.Register(ctx, RegisterRequest{
+		Name:               w.name,
+		Concurrency:        w.conc,
+		Scale:              w.eng.Scale(),
+		StoreSchemaVersion: engine.StoreSchemaVersion,
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	ttl = time.Duration(resp.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	return resp.WorkerID, ttl, nil
+}
+
+// serve runs the lease/execute loop under one registration, with a
+// heartbeat goroutine renewing it at TTL/3.
+func (w *Worker) serve(ctx context.Context, id string, ttl time.Duration) error {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	hbLost := make(chan struct{}, 1)
+	go w.heartbeatLoop(hbCtx, id, ttl, hbLost)
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-hbLost:
+			return errReregister
+		default:
+		}
+		lease, err := w.client.Lease(ctx, LeaseRequest{WorkerID: id, Max: w.conc})
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if IsStatus(err, 404) {
+				return errReregister
+			}
+			// Transient even after the client's retries (coordinator
+			// restarting, network partition): keep polling rather than
+			// dying — the whole point of the worker is to survive this.
+			w.logf("cluster worker: lease failed: %v", err)
+			if err := w.clock.Sleep(ctx, w.poll); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(lease.Units) == 0 {
+			if err := w.clock.Sleep(ctx, w.poll); err != nil {
+				return err
+			}
+			continue
+		}
+		// Run the batch with bounded parallelism and wait for it before
+		// leasing again: leased-but-unstarted units would just sit on
+		// this worker's clock.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, w.conc)
+		for _, u := range lease.Units {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(u WorkUnit) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				w.runUnit(ctx, id, u)
+			}(u)
+		}
+		wg.Wait()
+	}
+}
+
+// heartbeatLoop renews the registration every ttl/3, reporting
+// replication deltas. A 404 means the coordinator dropped us — signal
+// the serve loop to re-register.
+func (w *Worker) heartbeatLoop(ctx context.Context, id string, ttl time.Duration, lost chan<- struct{}) {
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		if err := w.clock.Sleep(ctx, interval); err != nil {
+			return
+		}
+		delta := w.takeReplicatedDelta()
+		err := w.client.Heartbeat(ctx, id, HeartbeatRequest{Replicated: delta})
+		if err != nil {
+			// Unacknowledged: report the delta again next time.
+			w.returnReplicatedDelta(delta)
+			if IsStatus(err, 404) {
+				select {
+				case lost <- struct{}{}:
+				default:
+				}
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("cluster worker: heartbeat failed: %v", err)
+		}
+	}
+}
+
+func (w *Worker) takeReplicatedDelta() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	d := w.pendingReplicated
+	w.pendingReplicated = 0
+	return d
+}
+
+func (w *Worker) returnReplicatedDelta(d uint64) {
+	w.mu.Lock()
+	w.pendingReplicated += d
+	w.mu.Unlock()
+}
+
+// runUnit executes one leased unit end to end. Transient trouble
+// (cancelled context, coordinator unreachable on upload, replication
+// download glitch) just abandons the unit — its lease expires and it
+// re-leases elsewhere, and a duplicate later upload is harmless by
+// content addressing. Deterministic trouble (address mismatch, missing
+// trace, simulation error) is reported so waiting sweeps fail fast
+// instead of bouncing the unit between workers forever.
+func (w *Worker) runUnit(ctx context.Context, id string, u WorkUnit) {
+	scale := w.eng.Scale()
+	key := u.Job.CanonicalJSON(scale)
+	if engineAddress(key) != u.Address {
+		// The handshake checks the scale, but a drifted binary (schema
+		// skew inside one version) could still disagree; computing under
+		// the wrong identity would be wasted work at best.
+		w.failUnit(ctx, id, u.Address, fmt.Sprintf(
+			"job canonical encoding hashes to %s on this worker, not the leased address", engineAddress(key)[:12]))
+		return
+	}
+	if err := w.replicateTraces(ctx, u.Job); err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			w.failUnit(ctx, id, u.Address, pe.Error())
+			return
+		}
+		w.logf("cluster worker: replicating traces for %s: %v (lease will expire)", u.Address[:12], err)
+		return
+	}
+	res, err := w.eng.RunContext(ctx, u.Job)
+	if err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		w.failUnit(ctx, id, u.Address, err.Error())
+		return
+	}
+	doc, err := engine.ExportResult(key, res)
+	if err != nil {
+		w.failUnit(ctx, id, u.Address, fmt.Sprintf("encoding result: %v", err))
+		return
+	}
+	if _, err := w.client.UploadResult(ctx, u.Address, doc); err != nil {
+		if ctx.Err() == nil {
+			w.logf("cluster worker: uploading %s: %v (lease will expire)", u.Address[:12], err)
+		}
+		return
+	}
+	w.mu.Lock()
+	w.counters.Completed++
+	w.mu.Unlock()
+}
+
+// failUnit reports a deterministic failure, best-effort.
+func (w *Worker) failUnit(ctx context.Context, id, addr, msg string) {
+	w.mu.Lock()
+	w.counters.Failed++
+	w.mu.Unlock()
+	if err := w.client.ReportFailure(ctx, addr, FailRequest{WorkerID: id, Error: msg}); err != nil && ctx.Err() == nil {
+		w.logf("cluster worker: reporting failure for %s: %v", addr[:12], err)
+	}
+}
+
+// permanentError marks replication failures that retrying elsewhere
+// cannot fix.
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// replicateTraces ensures every ingested trace a job references is
+// present in the local registry, fetching missing ones from the
+// coordinator and verifying the recomputed content address against the
+// digest in the name. Catalogue traces regenerate locally and need no
+// replication.
+func (w *Worker) replicateTraces(ctx context.Context, job engine.Job) error {
+	for _, tr := range job.Traces {
+		digest, ok := workload.IngestedDigest(tr)
+		if !ok {
+			continue
+		}
+		if w.reg == nil {
+			return &permanentError{msg: fmt.Sprintf(
+				"job references ingested trace %s but this worker has no trace registry", digest[:12])}
+		}
+		if err := w.replicateOne(ctx, digest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicateOne fetches one trace by digest, single-flighted per digest
+// so concurrent units over a new trace download it once.
+func (w *Worker) replicateOne(ctx context.Context, digest string) error {
+	for {
+		if _, ok := w.reg.Get(digest); ok {
+			return nil
+		}
+		w.mu.Lock()
+		ch, busy := w.repInflight[digest]
+		if !busy {
+			ch = make(chan struct{})
+			w.repInflight[digest] = ch
+			w.mu.Unlock()
+			break
+		}
+		w.mu.Unlock()
+		select {
+		case <-ch:
+			// Re-check: the flight leader may have failed; loop and
+			// either find the trace or claim the flight ourselves.
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	defer func() {
+		w.mu.Lock()
+		ch := w.repInflight[digest]
+		delete(w.repInflight, digest)
+		w.mu.Unlock()
+		close(ch)
+	}()
+
+	rc, err := w.client.FetchTrace(ctx, digest)
+	if err != nil {
+		if IsStatus(err, 404) {
+			return &permanentError{msg: fmt.Sprintf("coordinator has no ingested trace %s", digest[:12])}
+		}
+		return err
+	}
+	m, _, err := w.reg.Ingest(rc)
+	rc.Close()
+	if err != nil {
+		return fmt.Errorf("ingesting replicated trace %s: %w", digest[:12], err)
+	}
+	if m.Address != digest {
+		// The bytes the coordinator served hash to something else —
+		// fetch-and-verify caught corruption in transit or at rest.
+		w.reg.Delete(m.Address) //nolint:errcheck // best-effort cleanup of the misfiled entry
+		return &permanentError{msg: fmt.Sprintf(
+			"replicated trace hashes to %s, not the requested %s", m.Address[:12], digest[:12])}
+	}
+	w.mu.Lock()
+	w.counters.Replicated++
+	w.pendingReplicated++
+	w.mu.Unlock()
+	w.logf("cluster worker: replicated trace %s", digest[:12])
+	return nil
+}
+
+// engineAddress hashes a canonical job key the way the engine does —
+// one exported helper avoids re-deriving ContentAddress from the Job
+// (which would recompute the canonical encoding a second time).
+func engineAddress(key string) string { return engine.AddressOfKey(key) }

@@ -1,0 +1,80 @@
+// Result documents: the wire form of one store record, used by the
+// cluster subsystem to move computed results between processes. A worker
+// exports the record it would have persisted locally; the coordinator
+// verifies the document against the content address it was uploaded
+// under and adopts it into its own memo and store. Export and Put share
+// one encoder, so a result computed remotely lands on the coordinator's
+// disk byte-identical to one computed locally — the store-equality
+// guarantee cluster tests pin.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AddressOfKey returns the content address of a canonical job key — the
+// same SHA-256 hex digest Job.ContentAddress computes, for callers that
+// already hold the canonical encoding.
+func AddressOfKey(key string) string { return hashKey(key) }
+
+// encodeRecord renders the on-disk (and on-wire) form of one store
+// record. Store.Put and ExportResult must produce identical bytes for
+// identical inputs; sharing this function is what guarantees it.
+func encodeRecord(key string, res sim.Result) ([]byte, error) {
+	return json.MarshalIndent(record{Version: StoreSchemaVersion, Key: key, Result: res}, "", "\t")
+}
+
+// ExportResult encodes a computed result as a self-describing document:
+// the exact bytes Store.Put would persist for the same key. The caller
+// supplies the canonical job key (Job.CanonicalJSON at the computing
+// engine's scale); the document's address is hashKey(key).
+func ExportResult(key string, res sim.Result) ([]byte, error) {
+	data, err := encodeRecord(key, res)
+	if err != nil {
+		return nil, fmt.Errorf("engine: encoding result document: %w", err)
+	}
+	return data, nil
+}
+
+// ImportResult decodes and verifies a result document uploaded under a
+// content address. It rejects documents whose schema version differs
+// from this process's (results are not portable across schema bumps),
+// and documents whose embedded key does not hash to addr — the
+// verification that makes accepting uploads from untrusted workers safe:
+// a document that passes can only describe the work the address names.
+func ImportResult(addr string, data []byte) (key string, res sim.Result, err error) {
+	if !isAddress(addr) {
+		return "", sim.Result{}, fmt.Errorf("engine: %q is not a content address", addr)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return "", sim.Result{}, fmt.Errorf("engine: decoding result document: %v", err)
+	}
+	if rec.Version != StoreSchemaVersion {
+		return "", sim.Result{}, fmt.Errorf("engine: result document has store schema v%d, this process runs v%d",
+			rec.Version, StoreSchemaVersion)
+	}
+	if hashKey(rec.Key) != addr {
+		return "", sim.Result{}, fmt.Errorf("engine: result document key hashes to %s, not the claimed address %s",
+			hashKey(rec.Key)[:12], addr[:12])
+	}
+	return rec.Key, rec.Result, nil
+}
+
+// Adopt installs an externally computed result under its canonical key:
+// into the memo (so Lookup and coalescing see it immediately) and the
+// persisted store when one is configured. Callers must have verified the
+// key/result pairing (ImportResult); Adopt trusts it. Cache counters are
+// untouched — an adopted result was neither a hit nor a local
+// simulation. The store write is best-effort like the engine's own.
+func (e *Engine) Adopt(key string, res sim.Result) {
+	e.mu.Lock()
+	e.memo[key] = res
+	e.mu.Unlock()
+	if e.store != nil {
+		e.store.Put(key, res) //nolint:errcheck // best-effort, like run's Put
+	}
+}

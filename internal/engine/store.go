@@ -121,7 +121,7 @@ func (s *Store) Put(key string, res sim.Result) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("engine: writing result store: %w", err)
 	}
-	data, err := json.MarshalIndent(record{Version: StoreSchemaVersion, Key: key, Result: res}, "", "\t")
+	data, err := encodeRecord(key, res)
 	if err != nil {
 		return fmt.Errorf("engine: encoding result: %w", err)
 	}

@@ -99,6 +99,16 @@ type Plan struct {
 // are client errors (the HTTP layer maps them to 400s).
 type Compiler func(spec Spec) (*Plan, error)
 
+// Executor runs a compiled plan's engine jobs and returns their results
+// in input order. It is the manager's dispatch seam: the default executor
+// runs everything on the local engine (RunAllContext), while a cluster
+// coordinator substitutes one that leases the work to remote workers.
+// The contract mirrors RunAllContext: cooperative cancellation through
+// ctx (partial results plus ctx.Err()), one progress callback per
+// completed engine job, and the first deterministic job failure returned
+// as the error.
+type Executor func(ctx context.Context, jobs []engine.Job, progress func(engine.Progress)) ([]sim.Result, error)
+
 // Progress is a job's live advancement, fed by the engine's per-completion
 // callbacks.
 type Progress struct {
@@ -179,6 +189,10 @@ type Options struct {
 	// QueueDepth bounds queued jobs across both lanes; Submit returns
 	// ErrQueueFull beyond it. Default 64.
 	QueueDepth int
+	// Execute runs a plan's engine jobs. Nil selects the local engine
+	// (Engine.RunAllContext); a cluster coordinator injects its
+	// lease-to-workers executor here.
+	Execute Executor
 }
 
 // Manager owns the job table, the dispatch lanes and the journal. It is
@@ -186,6 +200,7 @@ type Options struct {
 type Manager struct {
 	eng        *engine.Engine
 	compile    Compiler
+	execute    Executor
 	workers    int
 	queueDepth int
 	journal    *journal
@@ -216,9 +231,16 @@ func Open(opts Options) (*Manager, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
 	}
+	if opts.Execute == nil {
+		eng := opts.Engine
+		opts.Execute = func(ctx context.Context, js []engine.Job, progress func(engine.Progress)) ([]sim.Result, error) {
+			return eng.RunAllContext(ctx, js, progress)
+		}
+	}
 	m := &Manager{
 		eng:            opts.Engine,
 		compile:        opts.Compile,
+		execute:        opts.Execute,
 		workers:        opts.Workers,
 		queueDepth:     opts.QueueDepth,
 		dir:            opts.Dir,
@@ -248,6 +270,16 @@ func Open(opts Options) (*Manager, error) {
 
 // Dir returns the manager's durable directory ("" when not durable).
 func (m *Manager) Dir() string { return m.dir }
+
+// Accepting reports whether Submit would currently enqueue work — false
+// from the first Shutdown call on. It is the jobs half of the server's
+// readiness probe: a draining process should fall out of load-balancer
+// rotation before its queue refuses submissions with 503s.
+func (m *Manager) Accepting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closing
+}
 
 // idFor derives the job's content-addressed identity from the compiled
 // work itself: the spec kind, the compiler's normalized request spelling,
@@ -411,7 +443,7 @@ func (m *Manager) runJob(ctx context.Context, rec *record) {
 				runErr = fmt.Errorf("jobs: engine panic: %v", p)
 			}
 		}()
-		results, runErr = m.eng.RunAllContext(ctx, rec.plan.Jobs, func(p engine.Progress) {
+		results, runErr = m.execute(ctx, rec.plan.Jobs, func(p engine.Progress) {
 			m.observeProgress(rec, p)
 		})
 	}()

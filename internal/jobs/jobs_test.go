@@ -530,3 +530,35 @@ func TestLostResultResubmits(t *testing.T) {
 		t.Fatalf("result after re-run: %v", err)
 	}
 }
+
+// TestExecutorSeam: Options.Execute replaces how a job's engine jobs run
+// (internal/cluster injects its coordinator dispatch here) while the
+// manager keeps owning compilation, progress and finalization.
+func TestExecutorSeam(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny})
+	var mu sync.Mutex
+	calls, jobsSeen := 0, 0
+	m := newManager(t, Options{
+		Engine: eng,
+		Execute: func(ctx context.Context, js []engine.Job, progress func(engine.Progress)) ([]sim.Result, error) {
+			mu.Lock()
+			calls++
+			jobsSeen += len(js)
+			mu.Unlock()
+			return eng.RunAllContext(ctx, js, progress)
+		},
+	})
+	rec, _, err := m.Submit(fanSpec("IP-stride", 2, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, rec.ID, Succeeded)
+	if final.Progress.Done != 2 {
+		t.Errorf("progress = %+v, want 2 done", final.Progress)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 || jobsSeen != 2 {
+		t.Errorf("executor saw %d calls / %d jobs, want 1 / 2", calls, jobsSeen)
+	}
+}

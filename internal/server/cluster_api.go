@@ -1,0 +1,181 @@
+// Cluster API: the coordinator side of internal/cluster's wire
+// protocol, plus the readiness probe multi-node deployments gate
+// traffic on. The handlers are thin: registration, heartbeats, leases
+// and uploads all translate one HTTP exchange into one Coordinator
+// method, with the package's sentinel errors mapped to statuses
+// (unknown worker → 404 so workers re-register, incompatible handshake
+// → 409, bad upload → 400).
+//
+//	GET    /readyz                          readiness (store reachable, jobs accepting)
+//	GET    /cluster                         coordinator status document
+//	POST   /cluster/workers                 register
+//	DELETE /cluster/workers/{id}            deregister
+//	POST   /cluster/workers/{id}/heartbeat  renew liveness + leases
+//	POST   /cluster/lease                   lease pending units
+//	PUT    /cluster/results/{addr}          upload a verified result document
+//	POST   /cluster/failures/{addr}         report a deterministic failure
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+// AttachCluster enables the cluster coordinator API on this server and
+// routes the jobs manager's work to it (pass the same coordinator whose
+// Execute was injected into jobs.Open). Without a coordinator the
+// /cluster routes answer 503, mirroring the jobs routes.
+func (s *Server) AttachCluster(c *cluster.Coordinator) *Server {
+	s.cluster = c
+	return s
+}
+
+// clusterEnabled answers 503 (and returns false) when no coordinator is
+// attached.
+func (s *Server) clusterEnabled(w http.ResponseWriter) bool {
+	if s.cluster == nil {
+		httpError(w, http.StatusServiceUnavailable, "cluster coordinator not enabled on this server (start with -coordinator)")
+		return false
+	}
+	return true
+}
+
+// handleReadyz is the readiness probe: liveness (/healthz) says the
+// process is up, readiness says it can take work — the persisted store
+// is reachable and the jobs manager is still accepting submissions. A
+// draining or store-broken node answers 503 and falls out of rotation
+// while /healthz keeps it from being restarted.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if st := s.eng.Store(); st != nil {
+		if _, err := os.Stat(st.Dir()); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "result store unavailable: %v", err)
+			return
+		}
+	}
+	if s.jobs != nil && !s.jobs.Accepting() {
+		httpError(w, http.StatusServiceUnavailable, "jobs manager is shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Info())
+}
+
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	var req cluster.RegisterRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	resp, err := s.cluster.Register(req)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleClusterDeregister(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	if err := s.cluster.Deregister(r.PathValue("id")); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deregistered"})
+}
+
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	var req cluster.HeartbeatRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := s.cluster.Heartbeat(r.PathValue("id"), req); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	var req cluster.LeaseRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	units, err := s.cluster.Lease(req.WorkerID, req.Max)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if units == nil {
+		units = []cluster.WorkUnit{}
+	}
+	writeJSON(w, http.StatusOK, cluster.LeaseResponse{Units: units})
+}
+
+// maxResultDocBytes bounds result-document uploads. Records are a few
+// KB; 4MB leaves room for many-core results while keeping a hostile
+// upload from ballooning memory.
+const maxResultDocBytes = 4 << 20
+
+func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultDocBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading result document: %v", err)
+		return
+	}
+	settled, err := s.cluster.CompleteResult(r.PathValue("addr"), doc)
+	if err != nil {
+		if errors.Is(err, cluster.ErrBadResult) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := "completed"
+	if !settled {
+		status = "duplicate"
+	}
+	writeJSON(w, http.StatusOK, cluster.UploadResponse{Status: status})
+}
+
+func (s *Server) handleClusterFail(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	var req cluster.FailRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	status := "failed"
+	if !s.cluster.FailUnit(r.PathValue("addr"), req.WorkerID, req.Error) {
+		status = "ignored" // settled or unknown unit: nothing left to fail
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}

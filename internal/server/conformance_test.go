@@ -17,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/traceset"
@@ -54,7 +55,8 @@ func conformanceServer(t *testing.T) *httptest.Server {
 	workload.ResetSources()
 	workload.RegisterSource(reg)
 	t.Cleanup(workload.ResetSources)
-	ts := httptest.NewServer(New(eng).AttachJobs(mgr).AttachTraces(reg).Handler())
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{Engine: eng})
+	ts := httptest.NewServer(New(eng).AttachJobs(mgr).AttachTraces(reg).AttachCluster(coord).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -64,6 +66,7 @@ func TestHTTPConformance(t *testing.T) {
 	cases := []conformanceCase{
 		// Health and catalogue reads.
 		{name: "healthz ok", method: "GET", path: "/healthz", wantStatus: 200},
+		{name: "readyz ok", method: "GET", path: "/readyz", wantStatus: 200},
 		{name: "traces ok", method: "GET", path: "/traces", wantStatus: 200},
 		{name: "traces unknown suite", method: "GET", path: "/traces?suite=nope", wantStatus: 400, wantJSONError: true},
 		{name: "prefetchers ok", method: "GET", path: "/prefetchers", wantStatus: 200},
@@ -116,6 +119,9 @@ func TestHTTPConformance(t *testing.T) {
 		{name: "job submit unknown type", method: "POST", path: "/jobs",
 			body: `{"type":"nope","request":{}}`, wantStatus: 400, wantJSONError: true},
 		{name: "job list ok", method: "GET", path: "/jobs", wantStatus: 200},
+		{name: "job list unknown state", method: "GET", path: "/jobs?state=bogus", wantStatus: 400, wantJSONError: true},
+		{name: "job list bad limit", method: "GET", path: "/jobs?limit=x", wantStatus: 400, wantJSONError: true},
+		{name: "job list unknown cursor", method: "GET", path: "/jobs?after=nope", wantStatus: 400, wantJSONError: true},
 		{name: "job get missing", method: "GET", path: "/jobs/nope", wantStatus: 404, wantJSONError: true},
 		{name: "job result missing", method: "GET", path: "/jobs/nope/result", wantStatus: 404, wantJSONError: true},
 		{name: "job events missing", method: "GET", path: "/jobs/nope/events", wantStatus: 404, wantJSONError: true},
@@ -128,6 +134,23 @@ func TestHTTPConformance(t *testing.T) {
 			body: `{"bogus":true}`, wantStatus: 400, wantJSONError: true},
 		{name: "admin gc no store", method: "POST", path: "/admin/gc",
 			body: `{}`, wantStatus: 409, wantJSONError: true},
+
+		// Cluster API.
+		{name: "cluster info ok", method: "GET", path: "/cluster", wantStatus: 200},
+		{name: "cluster register malformed", method: "POST", path: "/cluster/workers",
+			body: `{"name":`, wantStatus: 400, wantJSONError: true},
+		{name: "cluster register incompatible", method: "POST", path: "/cluster/workers",
+			body: `{"concurrency":1,"store_schema_version":999}`, wantStatus: 409, wantJSONError: true},
+		{name: "cluster deregister unknown", method: "DELETE", path: "/cluster/workers/nope",
+			wantStatus: 404, wantJSONError: true},
+		{name: "cluster heartbeat unknown", method: "POST", path: "/cluster/workers/nope/heartbeat",
+			body: `{}`, wantStatus: 404, wantJSONError: true},
+		{name: "cluster lease unknown worker", method: "POST", path: "/cluster/lease",
+			body: `{"worker_id":"nope"}`, wantStatus: 404, wantJSONError: true},
+		{name: "cluster result garbage", method: "PUT", path: "/cluster/results/" + missingAddr,
+			body: "not a result document", wantStatus: 400, wantJSONError: true},
+		{name: "cluster fail unknown unit", method: "POST", path: "/cluster/failures/" + missingAddr,
+			body: `{"worker_id":"nope","error":"boom"}`, wantStatus: 200},
 
 		// Router-level conformance: unknown path and wrong method come
 		// from net/http's mux as plain text.
@@ -188,11 +211,12 @@ func TestHTTPConformance(t *testing.T) {
 			covered[tc.method+" /"+firstSegment(tc.path)] = true
 		}
 		for _, route := range []string{
-			"GET /healthz", "GET /traces", "POST /traces", "DELETE /traces",
+			"GET /healthz", "GET /readyz", "GET /traces", "POST /traces", "DELETE /traces",
 			"GET /prefetchers", "GET /stats", "GET /metrics",
 			"GET /analytics", "POST /admin",
 			"POST /simulate", "POST /sweep",
 			"POST /jobs", "GET /jobs", "DELETE /jobs",
+			"GET /cluster", "POST /cluster", "PUT /cluster", "DELETE /cluster",
 		} {
 			if !covered[route] {
 				t.Errorf("registered route %q has no conformance case", route)

@@ -5,7 +5,7 @@
 // simulation and return rows with identical content addresses.
 //
 //	POST   /jobs              submit  → 202 + content-addressed id
-//	GET    /jobs              list all jobs
+//	GET    /jobs              list jobs (?state= filter, ?limit=/?after= pagination)
 //	GET    /jobs/{id}         status, progress, ETA
 //	GET    /jobs/{id}/result  the SweepResponse / SimulateResponse document
 //	GET    /jobs/{id}/events  NDJSON stream of status snapshots
@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/engine"
@@ -115,8 +116,12 @@ type JobStatus struct {
 }
 
 // JobListResponse wraps GET /jobs (jobs is [] when empty, never null).
+// NextAfter is set when ?limit= truncated the listing: pass it back as
+// ?after= to resume — the cursor is a job ID, so the page boundary stays
+// stable as new jobs are appended behind it.
 type JobListResponse struct {
-	Jobs []JobStatus `json:"jobs"`
+	Jobs      []JobStatus `json:"jobs"`
+	NextAfter string      `json:"next_after,omitempty"`
 }
 
 func statusFor(rec jobs.Record) JobStatus {
@@ -185,12 +190,60 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
+// handleJobList lists jobs in submission order, with operator-scale
+// controls: ?state= filters to one lifecycle state, ?limit= caps the
+// page size, and ?after=<job id> resumes past a previous page's last
+// row. The cursor indexes the full submission-ordered list (not the
+// filtered view), so a row's page position never shifts when jobs in
+// other states appear — and since every returned ID exists in that
+// list, next_after is always a valid cursor.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	if !s.jobsEnabled(w) {
 		return
 	}
+	q := r.URL.Query()
+	stateFilter := jobs.State(q.Get("state"))
+	if stateFilter != "" {
+		switch stateFilter {
+		case jobs.Queued, jobs.Running, jobs.Succeeded, jobs.Failed, jobs.Canceled, jobs.Interrupted:
+		default:
+			httpError(w, http.StatusBadRequest, "unknown state %q", stateFilter)
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", v)
+			return
+		}
+		limit = n
+	}
+	recs := s.jobs.List()
+	if after := q.Get("after"); after != "" {
+		start := -1
+		for i, rec := range recs {
+			if rec.ID == after {
+				start = i + 1
+				break
+			}
+		}
+		if start < 0 {
+			httpError(w, http.StatusBadRequest, "unknown cursor %q", after)
+			return
+		}
+		recs = recs[start:]
+	}
 	resp := JobListResponse{Jobs: []JobStatus{}}
-	for _, rec := range s.jobs.List() {
+	for _, rec := range recs {
+		if stateFilter != "" && rec.State != stateFilter {
+			continue
+		}
+		if limit > 0 && len(resp.Jobs) == limit {
+			resp.NextAfter = resp.Jobs[limit-1].ID
+			break
+		}
 		resp.Jobs = append(resp.Jobs, statusFor(rec))
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -348,6 +348,81 @@ func TestJobsListAndValidation(t *testing.T) {
 	}
 }
 
+// TestJobsListFilterAndPagination: ?state= narrows the listing, ?limit=
+// pages it with a stable ?after= cursor, and the two compose.
+func TestJobsListFilterAndPagination(t *testing.T) {
+	ts := newJobsTestServer(t)
+	traces := []string{"lbm-1274", "bwaves-1963", "bwaves-677", "bwaves_s-2609"}
+	ids := make([]string, len(traces))
+	for i, tr := range traces {
+		st, r := submitJob(t, ts, JobSubmitRequest{
+			Type:    "simulate",
+			Request: mustRaw(t, SimulateRequest{Trace: tr, Prefetcher: "Gaze"}),
+		})
+		if r.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: status = %d", tr, r.StatusCode)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		waitJobState(t, ts, id, string(jobs.Succeeded))
+	}
+
+	list := func(query string) JobListResponse {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs%s = %d", query, r.StatusCode)
+		}
+		var resp JobListResponse
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if got := list("?state=succeeded"); len(got.Jobs) != len(ids) {
+		t.Errorf("state=succeeded listed %d jobs, want %d", len(got.Jobs), len(ids))
+	}
+	if got := list("?state=failed"); len(got.Jobs) != 0 {
+		t.Errorf("state=failed listed %d jobs, want 0", len(got.Jobs))
+	}
+
+	// Page through with limit 3: the cursor is the last returned ID, the
+	// final page has no next_after, and the walk reproduces submission
+	// order exactly.
+	page1 := list("?limit=3")
+	if len(page1.Jobs) != 3 || page1.NextAfter != page1.Jobs[2].ID {
+		t.Fatalf("page 1 = %d jobs, next_after %q", len(page1.Jobs), page1.NextAfter)
+	}
+	page2 := list("?limit=3&after=" + page1.NextAfter)
+	if len(page2.Jobs) != 1 || page2.NextAfter != "" {
+		t.Fatalf("page 2 = %d jobs, next_after %q (want the final page)", len(page2.Jobs), page2.NextAfter)
+	}
+	var walked []string
+	for _, j := range append(page1.Jobs, page2.Jobs...) {
+		walked = append(walked, j.ID)
+	}
+	if !reflect.DeepEqual(walked, ids) {
+		t.Errorf("paged walk = %v, want submission order %v", walked, ids)
+	}
+
+	// An exact-fit limit is not truncation: no cursor.
+	if got := list("?limit=4"); got.NextAfter != "" {
+		t.Errorf("exact-fit limit returned next_after %q", got.NextAfter)
+	}
+
+	// Filter and pagination compose.
+	combined := list("?state=succeeded&limit=2")
+	if len(combined.Jobs) != 2 || combined.NextAfter != combined.Jobs[1].ID {
+		t.Errorf("filtered page = %d jobs, next_after %q", len(combined.Jobs), combined.NextAfter)
+	}
+}
+
 // TestStatsJobsCounters: /stats reports the jobs subsystem next to the
 // engine and trace-cache fields — null without a manager, live counters
 // with one.

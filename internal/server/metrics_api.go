@@ -82,6 +82,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.counter("gaze_jobs_interrupted_total", "Background jobs interrupted by shutdown.", float64(c.Interrupted))
 	}
 
+	if s.cluster != nil {
+		c := s.cluster.Counters()
+		p.gauge("gaze_cluster_workers", "Workers currently registered with the coordinator.", float64(c.Workers))
+		p.gauge("gaze_cluster_units_pending", "Work units waiting to be leased.", float64(c.UnitsPending))
+		p.gauge("gaze_cluster_units_leased", "Work units currently leased to workers.", float64(c.UnitsLeased))
+		p.counter("gaze_cluster_leases_total", "Work units handed to workers.", float64(c.Leases))
+		p.counter("gaze_cluster_releases_total",
+			"Leases revoked and requeued (deadline expiry or deregister).", float64(c.Releases))
+		p.counter("gaze_cluster_results_total", "Uploaded results that settled a live unit.", float64(c.Results))
+		p.counter("gaze_cluster_duplicate_results_total",
+			"Verified uploads for already-settled units.", float64(c.DuplicateResults))
+		p.counter("gaze_cluster_failures_total", "Units settled by deterministic failure reports.", float64(c.Failures))
+		p.counter("gaze_cluster_replications_total",
+			"Ingested traces replicated to workers (worker-reported).", float64(c.Replications))
+	}
+
 	if s.traces != nil {
 		p.gauge("gaze_ingested_traces",
 			"External traces resident in the registry.", float64(s.traces.Len()))

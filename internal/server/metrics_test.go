@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
 )
@@ -179,13 +180,50 @@ func TestMetricsEndpoint(t *testing.T) {
 func TestMetricsWithoutStoreOrJobs(t *testing.T) {
 	ts := newTestServer(t)
 	samples := scrape(t, ts.URL)
-	for _, name := range []string{"gaze_store_entries", "gaze_jobs_queued", "gaze_ingested_traces"} {
+	for _, name := range []string{
+		"gaze_store_entries", "gaze_jobs_queued", "gaze_ingested_traces", "gaze_cluster_workers",
+	} {
 		if _, ok := samples[name]; ok {
 			t.Errorf("metric %s present without its subsystem", name)
 		}
 	}
 	if _, ok := samples["gaze_engine_simulated_total"]; !ok {
 		t.Error("core engine metrics missing")
+	}
+}
+
+// TestMetricsCluster: attaching a coordinator exposes the gaze_cluster_*
+// family, and registration moves the worker gauge.
+func TestMetricsCluster(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny})
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{Engine: eng})
+	ts := httptest.NewServer(New(eng).AttachCluster(coord).Handler())
+	t.Cleanup(ts.Close)
+
+	samples := scrape(t, ts.URL)
+	for _, name := range []string{
+		"gaze_cluster_workers", "gaze_cluster_units_pending", "gaze_cluster_units_leased",
+		"gaze_cluster_leases_total", "gaze_cluster_releases_total",
+		"gaze_cluster_results_total", "gaze_cluster_duplicate_results_total",
+		"gaze_cluster_failures_total", "gaze_cluster_replications_total",
+	} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("metric %s missing with a coordinator attached", name)
+		}
+	}
+	if samples["gaze_cluster_workers"] != 0 {
+		t.Errorf("gaze_cluster_workers = %v, want 0", samples["gaze_cluster_workers"])
+	}
+
+	if _, err := coord.Register(cluster.RegisterRequest{
+		Concurrency:        1,
+		Scale:              eng.Scale(),
+		StoreSchemaVersion: engine.StoreSchemaVersion,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := scrape(t, ts.URL)["gaze_cluster_workers"]; v != 1 {
+		t.Errorf("gaze_cluster_workers after register = %v, want 1", v)
 	}
 }
 

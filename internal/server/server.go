@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/prefetchers"
@@ -27,6 +28,10 @@ type Server struct {
 	eng    *engine.Engine
 	jobs   *jobs.Manager
 	traces *traceset.Registry
+
+	// cluster is the coordinator behind the /cluster worker API (nil =
+	// routes answer 503).
+	cluster *cluster.Coordinator
 
 	// inflight tracks ingested traces referenced by running synchronous
 	// requests, for DELETE /traces in-use protection.
@@ -80,6 +85,14 @@ func (s *Server) AttachJobs(m *jobs.Manager) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET "+cluster.PathInfo, s.handleClusterInfo)
+	mux.HandleFunc("POST "+cluster.PathWorkers, s.handleClusterRegister)
+	mux.HandleFunc("DELETE "+cluster.PathWorkers+"/{id}", s.handleClusterDeregister)
+	mux.HandleFunc("POST "+cluster.PathWorkers+"/{id}/heartbeat", s.handleClusterHeartbeat)
+	mux.HandleFunc("POST "+cluster.PathLease, s.handleClusterLease)
+	mux.HandleFunc("PUT "+cluster.PathResults+"{addr}", s.handleClusterResult)
+	mux.HandleFunc("POST "+cluster.PathFailures+"{addr}", s.handleClusterFail)
 	mux.HandleFunc("GET /traces", s.handleTraces)
 	mux.HandleFunc("POST /traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /traces/{addr}", s.handleTraceManifest)
@@ -213,6 +226,9 @@ type StatsResponse struct {
 	IngestedTraces      *int             `json:"ingested_traces"`
 	Jobs                *jobs.Counters   `json:"jobs"`
 	StoreGC             *engine.GCTotals `json:"store_gc"`
+	// Cluster summarizes the coordinator (null when this process is not
+	// one, following the store_entries/jobs null-vs-0 discipline).
+	Cluster *cluster.Counters `json:"cluster"`
 }
 
 // StatsSchemaVersion stamps the /stats document shape. Bump it whenever
@@ -221,7 +237,8 @@ type StatsResponse struct {
 // drift silently.
 //
 // v1: first stamped schema (PR 6) — everything before it was unversioned.
-const StatsSchemaVersion = 1
+// v2: added "cluster" (coordinator lease/worker counters, PR 7).
+const StatsSchemaVersion = 2
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -289,6 +306,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.jobs != nil {
 		c := s.jobs.Counters()
 		resp.Jobs = &c
+	}
+	if s.cluster != nil {
+		c := s.cluster.Counters()
+		resp.Cluster = &c
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -9,11 +9,12 @@ import (
 	"testing"
 )
 
-// statsSchemaV1 is the golden top-level field set of the /stats document
-// at stats_schema_version 1. Changing StatsResponse without bumping
-// StatsSchemaVersion — or bumping without updating this list — fails
-// here. Keep the list sorted.
-var statsSchemaV1 = []string{
+// statsSchemaV2 is the golden top-level field set of the /stats document
+// at stats_schema_version 2 (v2 added "cluster"). Changing StatsResponse
+// without bumping StatsSchemaVersion — or bumping without updating this
+// list — fails here. Keep the list sorted.
+var statsSchemaV2 = []string{
+	"cluster",
 	"counters",
 	"ingested_traces",
 	"jobs",
@@ -32,8 +33,8 @@ var statsSchemaV1 = []string{
 }
 
 func TestStatsSchemaGolden(t *testing.T) {
-	if StatsSchemaVersion != 1 {
-		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV1 (or add a v%d golden) to match the new shape",
+	if StatsSchemaVersion != 2 {
+		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV2 (or add a v%d golden) to match the new shape",
 			StatsSchemaVersion, StatsSchemaVersion)
 	}
 
@@ -69,11 +70,11 @@ func TestStatsSchemaGolden(t *testing.T) {
 		}
 	}
 	sort.Strings(tags)
-	if !reflect.DeepEqual(tags, statsSchemaV1) {
-		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV1)
+	if !reflect.DeepEqual(tags, statsSchemaV2) {
+		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV2)
 	}
-	golden := make(map[string]bool, len(statsSchemaV1))
-	for _, k := range statsSchemaV1 {
+	golden := make(map[string]bool, len(statsSchemaV2))
+	for _, k := range statsSchemaV2 {
 		golden[k] = true
 	}
 	for k := range doc {
