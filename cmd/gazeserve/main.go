@@ -91,6 +91,8 @@ func main() {
 		jobsDir     = flag.String("jobs-dir", "", `job journal directory ("" = beside the result store, "none" = not durable)`)
 		traceDir    = flag.String("trace-dir", "", `ingested-trace registry directory ("" = beside the result store, "none" = disabled)`)
 		traceCache  = flag.Int64("trace-cache-mb", 2048, "materialized-trace cache budget in MB (0 = unbounded)")
+		autoSliceAt = flag.Int("auto-slice-records", 2_000_000, "auto-slice single-core jobs over ingested traces at or above this many effective records (0 = never)")
+		autoShards  = flag.Int("auto-slice-shards", server.DefaultAutoSliceShards, "slice count auto-sliced jobs use (fixed, so content addresses reproduce across servers)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests and running jobs")
 		admitRPS    = flag.Float64("admit-rps", 0, "per-client admitted requests/second on POST /simulate, /sweep and /jobs (0 = no admission control)")
 		admitBurst  = flag.Int("admit-burst", 8, "per-client burst allowance for -admit-rps")
@@ -144,6 +146,53 @@ func main() {
 		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{Engine: eng, LeaseTTL: *leaseTTL})
 	}
 
+	// The trace registry follows the jobs-dir convention below: a durable
+	// sibling of the result store ("<store>.traces") unless pointed
+	// elsewhere or disabled. Registering it as a workload source is what
+	// lets every entry point run `ingested:<address>` names. It opens
+	// BEFORE the jobs manager because the auto-slice policy needs its
+	// record counts at compile time, and background jobs compile too.
+	var reg *traceset.Registry
+	tdir := *traceDir
+	switch {
+	case tdir == "none":
+		tdir = ""
+	case tdir == "" && opts.Store != nil:
+		tdir = opts.Store.Dir() + ".traces"
+	case tdir == "":
+		tdir = engine.DefaultDir() + ".traces"
+	}
+	if tdir != "" {
+		reg, err = traceset.Open(tdir, traceset.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		workload.RegisterSource(reg)
+		log.Printf("gazeserve: trace registry at %s (%d ingested traces)", tdir, reg.Len())
+	}
+
+	// Auto-slicing rewrites big single-core ingested-trace jobs to
+	// slice_shards at compile time — the same policy on the synchronous
+	// handlers, background jobs and analytics addressing, so all three
+	// agree on content addresses.
+	var policy *server.SlicePolicy
+	if *autoSliceAt > 0 && reg != nil {
+		policy = &server.SlicePolicy{
+			MinRecords: *autoSliceAt,
+			Shards:     *autoShards,
+			Records: func(addr string) (int, bool) {
+				m, ok := reg.Get(addr)
+				if !ok {
+					return 0, false
+				}
+				return m.Records, true
+			},
+		}
+		log.Printf("gazeserve: auto-slicing ingested-trace jobs >= %d records into %d shards",
+			*autoSliceAt, *autoShards)
+	}
+
 	// The job journal lives beside the result store by default — a
 	// sibling "<store>.jobs", NOT inside it: the store sweeps its own
 	// directory for stale-schema .json garbage at Open and would eat
@@ -159,7 +208,7 @@ func main() {
 	}
 	jobOpts := jobs.Options{
 		Engine:     eng,
-		Compile:    server.Compiler(eng),
+		Compile:    server.CompilerWithPolicy(eng, policy),
 		Dir:        dir,
 		Workers:    *jobsWorkers,
 		QueueDepth: *jobsQueue,
@@ -178,33 +227,13 @@ func main() {
 			dir, c.Recovered, c.Interrupted)
 	}
 
-	// The trace registry follows the jobs-dir convention: a durable
-	// sibling of the result store ("<store>.traces") unless pointed
-	// elsewhere or disabled. Registering it as a workload source is what
-	// lets every entry point run `ingested:<address>` names.
-	srvHandle := server.New(eng).AttachJobs(mgr)
+	srvHandle := server.New(eng).AttachJobs(mgr).SetSlicePolicy(policy)
 	if coord != nil {
 		srvHandle.AttachCluster(coord)
 		log.Printf("gazeserve: cluster coordinator enabled (lease ttl %v)", coord.LeaseTTL())
 	}
-	tdir := *traceDir
-	switch {
-	case tdir == "none":
-		tdir = ""
-	case tdir == "" && opts.Store != nil:
-		tdir = opts.Store.Dir() + ".traces"
-	case tdir == "":
-		tdir = engine.DefaultDir() + ".traces"
-	}
-	if tdir != "" {
-		reg, err := traceset.Open(tdir, traceset.Options{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		workload.RegisterSource(reg)
+	if reg != nil {
 		srvHandle.AttachTraces(reg)
-		log.Printf("gazeserve: trace registry at %s (%d ingested traces)", tdir, reg.Len())
 	}
 
 	srvHandle.SetGCAge(*gcAge)

@@ -49,6 +49,7 @@ func main() {
 		llcMB      = flag.Float64("llc-mb", 0, "override LLC size, MB per core (Fig 16b)")
 		l2KB       = flag.Int("l2-kb", 0, "override per-core L2C size in KB (Fig 16c)")
 		pq         = flag.Int("pq", 0, "override prefetch-queue capacity")
+		shards     = flag.Int("slice-shards", 0, "split a single-core run into this many parallel time slices (changes results: part of the cache key)")
 		cacheDir   = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persisted result store")
 		traceDir   = flag.String("trace-dir", "", "ingested-trace registry directory (enables -trace ingested:<address>)")
@@ -145,6 +146,7 @@ func main() {
 		LLCMBPerCore: *llcMB,
 		L2KB:         *l2KB,
 		PQCapacity:   *pq,
+		SliceShards:  *shards,
 	}
 
 	// Batch every (baseline, prefetcher) pair of the whole invocation

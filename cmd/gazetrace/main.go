@@ -9,6 +9,7 @@
 //	gazetrace ingest -dir ~/traces < capture.champsim.gz
 //	gazetrace ls -dir ~/traces
 //	gazetrace inspect -dir ~/traces <address>
+//	gazetrace migrate -dir ~/traces
 //	gazetrace export -dir ~/traces -format champsim.gz -o out.champsim.gz <address>
 //	gazetrace convert -format gztr -o out.gztr capture.champsim.gz
 //
@@ -45,6 +46,8 @@ func main() {
 		err = cmdLs(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "migrate":
+		err = cmdMigrate(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
 	case "convert":
@@ -70,6 +73,7 @@ commands:
   ingest  -dir DIR [file...]          ingest traces (stdin when no files)
   ls      -dir DIR                    list registry entries
   inspect -dir DIR ADDRESS            print one entry's manifest
+  migrate -dir DIR                    backfill columnar slabs for old entries
   export  -dir DIR [-format F] [-o FILE] ADDRESS
                                       write an entry's records (default stdout, gztr)
   convert [-format F] [-o FILE] [file]
@@ -171,6 +175,57 @@ func cmdInspect(args []string) error {
 		st.DensityHistogram[0], st.DensityHistogram[1], st.DensityHistogram[2],
 		st.DensityHistogram[3], st.DensityHistogram[4])
 	fmt.Printf("trigger ambiguity   %.2f footprints/offset\n", st.TriggerAmbiguity)
+	// The columnar slab is derived data — report its health so an operator
+	// can see at a glance whether this entry runs off mmap or falls back
+	// to heap decode (and whether `gazetrace migrate` would help).
+	ci, err := reg.Columnar(addr)
+	switch {
+	case err != nil:
+		fmt.Printf("columnar slab       error: %v\n", err)
+	case !ci.Present:
+		fmt.Printf("columnar slab       absent (heap decode; run `gazetrace migrate` to backfill)\n")
+	case !ci.Valid:
+		fmt.Printf("columnar slab       INVALID (%d bytes; heap decode; re-run `gazetrace migrate`)\n", ci.Bytes)
+	default:
+		fmt.Printf("columnar slab       present  %d bytes (pc %d, addr %d, nonmem %d, kind %d)\n",
+			ci.Bytes, ci.PCBytes, ci.AddrBytes, ci.NonMemBytes, ci.KindBytes)
+	}
+	return nil
+}
+
+// cmdMigrate backfills columnar slabs for entries ingested before the
+// sidecar existed (or whose slab was damaged): every entry missing a
+// valid .cols file gets one rebuilt from its record stream.
+func cmdMigrate(args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	dir := fs.String("dir", "", "registry directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 0 {
+		return fmt.Errorf("migrate takes no arguments (it scans the whole registry)")
+	}
+	reg, err := openRegistry(*dir)
+	if err != nil {
+		return err
+	}
+	var built, skipped, failed int
+	for _, m := range reg.List() {
+		created, err := reg.BuildColumnar(m.Address)
+		switch {
+		case err != nil:
+			failed++
+			fmt.Printf("%s  FAILED: %v\n", m.Address, err)
+		case created:
+			built++
+			fmt.Printf("%s  built (%d records)\n", m.Address, m.Records)
+		default:
+			skipped++
+			fmt.Printf("%s  ok\n", m.Address)
+		}
+	}
+	fmt.Printf("%d built, %d already valid, %d failed\n", built, skipped, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d entries failed to migrate", failed)
+	}
 	return nil
 }
 

@@ -115,6 +115,14 @@ func (j Job) CanonicalJSON(scale Scale) string {
 	warmup, sim := j.Overrides.EffectiveBudgets(scale)
 	o := j.Overrides
 	o.WarmupInstructions, o.SimInstructions = 0, 0 // folded into warmup/sim
+	if o.SliceShards == 1 {
+		// One slice is the whole run: slice_shards 1 executes the plain
+		// unsliced path, so it must share the unsliced job's address.
+		// Every K >= 2 stays in the encoding — sliced results differ
+		// numerically from unsliced ones (bounded per-slice warmup), so
+		// each (job, K) is its own content-addressed experiment.
+		o.SliceShards = 0
+	}
 	l1 := canonicalNames(j.L1, len(j.Traces))
 	l2 := canonicalNames(j.L2, len(j.Traces))
 	if l1 == nil && l2 == nil {
@@ -237,6 +245,13 @@ func (j Job) Validate() error {
 			}
 		}
 	}
+	if j.Overrides.SliceShards > 1 && n != 1 {
+		// Slicing parallelizes within one trace; multi-core jobs already
+		// parallelize across cores, and slicing each core's trace would
+		// multiply the simulated systems without a defined merge.
+		return fmt.Errorf("engine: slice_shards = %d requires a single-core job, got %d cores",
+			j.Overrides.SliceShards, n)
+	}
 	return j.Overrides.Validate()
 }
 
@@ -346,15 +361,20 @@ type Options struct {
 	// completed the job, so concurrent RunAll calls interleave their
 	// counts. StderrProgress is a ready-made renderer for CLIs.
 	Progress func(Progress)
+	// SliceWorkers bounds the goroutines one sliced job (Overrides.
+	// SliceShards > 1) fans out to (0 = GOMAXPROCS). It only throttles
+	// execution — a sliced job's result is identical at every setting.
+	SliceWorkers int
 }
 
 // Engine executes and memoizes simulations. It is safe for concurrent use.
 type Engine struct {
-	scale    Scale
-	store    *Store
-	seed     uint64
-	workers  int
-	progress func(Progress)
+	scale        Scale
+	store        *Store
+	seed         uint64
+	workers      int
+	sliceWorkers int
+	progress     func(Progress)
 
 	limit chan struct{}
 
@@ -377,14 +397,15 @@ func New(opts Options) *Engine {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		scale:    opts.Scale,
-		store:    opts.Store,
-		seed:     opts.Seed,
-		workers:  opts.Workers,
-		progress: opts.Progress,
-		limit:    make(chan struct{}, opts.Workers),
-		memo:     make(map[string]sim.Result),
-		inflight: make(map[string]chan struct{}),
+		scale:        opts.Scale,
+		store:        opts.Store,
+		seed:         opts.Seed,
+		workers:      opts.Workers,
+		sliceWorkers: opts.SliceWorkers,
+		progress:     opts.Progress,
+		limit:        make(chan struct{}, opts.Workers),
+		memo:         make(map[string]sim.Result),
+		inflight:     make(map[string]chan struct{}),
 	}
 }
 
@@ -413,6 +434,7 @@ type Stats struct {
 	TraceCacheHits      uint64   `json:"trace_cache_hits"`
 	TraceCacheMisses    uint64   `json:"trace_cache_misses"`
 	TraceCacheBytes     int64    `json:"trace_cache_bytes"`
+	TraceCacheMapped    int64    `json:"trace_cache_mapped_bytes"`
 	TraceCacheEvictions uint64   `json:"trace_cache_evictions"`
 	GC                  GCTotals `json:"gc"`
 }
@@ -426,6 +448,7 @@ func (e *Engine) Stats() Stats {
 		TraceCacheHits:      tc.Hits,
 		TraceCacheMisses:    tc.Misses,
 		TraceCacheBytes:     tc.Bytes,
+		TraceCacheMapped:    tc.MappedBytes,
 		TraceCacheEvictions: tc.Evictions,
 		GC:                  e.GCTotals(),
 	}
@@ -587,6 +610,9 @@ func (e *Engine) config(cores int) sim.Config {
 }
 
 func (e *Engine) execute(j Job) (sim.Result, error) {
+	if k := j.Overrides.SliceShards; k > 1 && len(j.Traces) == 1 {
+		return e.executeSliced(j, k)
+	}
 	cores := len(j.Traces)
 	cfg := j.Overrides.Apply(e.config(cores))
 	l1s := Broadcast(j.L1, cores)
@@ -601,12 +627,12 @@ func (e *Engine) execute(j Job) (sim.Result, error) {
 		// registry-backed traces (deleted or damaged after validation), so
 		// it flows through the error return rather than panicking —
 		// catalogue generation remains infallible for validated jobs.
-		recs, err := workload.Materialize(name, e.scale.TraceLen)
+		recs, err := workload.MaterializeRecords(name, e.scale.TraceLen)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("engine: materializing trace for %s: %w", j, err)
 		}
 		spec := sim.CoreSpec{
-			Trace:        trace.NewLooping(trace.NewSliceReader(recs)),
+			Trace:        trace.NewLooping(trace.NewRecordsReader(recs)),
 			L1Prefetcher: prefetchers.MustNew(l1s[i]),
 		}
 		if l2s[i] != "" && l2s[i] != "none" {

@@ -1,0 +1,182 @@
+// Time-sliced intra-trace execution (DESIGN.md §9). One engine job's
+// trace is split into K contiguous slices of its measurement window, each
+// simulated on its own goroutine with a warmup prefix — the records
+// preceding the slice replayed un-measured to warm caches and prefetcher
+// state — and the per-slice results merged deterministically into one
+// document. Parallelism therefore no longer stops at the job boundary:
+// one SPEC-scale ingested trace saturates every core.
+//
+// Everything here is defined over the *virtual* looped record stream the
+// simulator consumes (a trace shorter than its budgets replays from the
+// start): virtual index v maps to slab record v % n, and instruction
+// positions are taken from the slab's prefix sums, so slice boundaries
+// land on exact record boundaries and the union of the K measurement
+// windows is record-for-record the serial run's window.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/prefetchers"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// sliceWindow is one slice's replay plan: start the trace reader at slab
+// record start, warm for exactly warmup instructions, then measure exactly
+// sim instructions. Budgets are exact instruction sums of whole records,
+// so the simulator's >=-threshold warmup/termination checks align the
+// window on the planned record boundaries.
+type sliceWindow struct {
+	start  int
+	warmup uint64
+	sim    uint64
+}
+
+// planSlices partitions the measured window of a (warmup, simBudget) run
+// over the looped slab into k contiguous slices by record count, and
+// walks each slice's warmup prefix back up to warmup instructions,
+// flooring at record 0 — the slice that starts at the trace's first
+// record has no prefix at all. k is clamped to the measured record count.
+// The plan is a pure function of (slab contents, warmup, simBudget, k).
+func planSlices(slab trace.Records, warmup, simBudget uint64, k int) []sliceWindow {
+	n := slab.Len()
+	if n == 0 || simBudget == 0 {
+		return nil
+	}
+	// Prefix instruction sums over the slab; cum is strictly increasing
+	// (every record is at least one instruction), which the boundary
+	// searches below rely on.
+	cum := make([]uint64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + uint64(slab.At(i).Instructions())
+	}
+	total := cum[n]
+	un := uint64(n)
+
+	// cumV extends cum to the virtual looped stream: instructions executed
+	// by the first v virtual records.
+	cumV := func(v uint64) uint64 { return v/un*total + cum[v%un] }
+	// findGE returns the smallest v with cumV(v) >= target.
+	findGE := func(target uint64) uint64 {
+		if target == 0 {
+			return 0
+		}
+		wraps := (target - 1) / total
+		rem := target - wraps*total // in [1, total]
+		j := sort.Search(n+1, func(j int) bool { return cum[j] >= rem })
+		return wraps*un + uint64(j)
+	}
+	// findLE returns the largest v with cumV(v) <= target.
+	findLE := func(target uint64) uint64 { return findGE(target+1) - 1 }
+
+	// The serial run's measured window: measurement begins at the first
+	// record once warmup instructions have retired and ends with the
+	// record that crosses the sim budget.
+	measStart := findGE(warmup)
+	measEnd := findGE(cumV(measStart) + simBudget)
+	m := measEnd - measStart
+	if uint64(k) > m {
+		k = int(m)
+	}
+
+	wins := make([]sliceWindow, k)
+	for i := range wins {
+		a := measStart + m*uint64(i)/uint64(k)
+		b := measStart + m*uint64(i+1)/uint64(k)
+		ca := cumV(a)
+		w := sliceWindow{sim: cumV(b) - ca}
+		if ca <= warmup {
+			// Within the first warmup's worth of the stream: the prefix
+			// floors at record 0 (for slice 0 of a zero-warmup job that
+			// means no prefix — measurement starts cold at record 0,
+			// exactly like the serial run).
+			w.warmup = ca
+		} else {
+			p := findLE(ca - warmup)
+			w.start = int(p % un)
+			w.warmup = ca - cumV(p)
+		}
+		wins[i] = w
+	}
+	return wins
+}
+
+// executeSliced runs a single-core job as k parallel time slices and
+// merges their windows. Slice construction mirrors execute: same config,
+// same prefetcher wiring, same translator salt — each slice is core 0 of
+// its own single-core system, so no state is shared and the merged
+// document depends only on the plan, never on scheduling.
+func (e *Engine) executeSliced(j Job, k int) (sim.Result, error) {
+	name := j.Traces[0]
+	slab, err := workload.MaterializeRecords(name, e.scale.TraceLen)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("engine: materializing trace for %s: %w", j, err)
+	}
+	cfg := j.Overrides.Apply(e.config(1))
+	wins := planSlices(slab, cfg.WarmupInstructions, cfg.SimInstructions, k)
+	if len(wins) == 0 {
+		return sim.Result{}, fmt.Errorf("engine: empty trace %q for sliced %s", name, j)
+	}
+
+	workers := e.sliceWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(wins) {
+		workers = len(wins)
+	}
+	parts := make([]sim.Result, len(wins))
+	sem := make(chan struct{}, workers)
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for i := range wins {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parts[i] = e.runSlice(j, cfg, slab, wins[i])
+		}(i)
+	}
+	wg.Wait()
+	if panicked != nil {
+		// Re-raise on the calling goroutine, where engine.run's waiter
+		// cleanup and the HTTP layer's recover can see it.
+		panic(panicked)
+	}
+	return sim.MergeSlices(parts), nil
+}
+
+// runSlice simulates one slice window as a standalone single-core system.
+func (e *Engine) runSlice(j Job, cfg sim.Config, slab trace.Records, w sliceWindow) sim.Result {
+	scfg := cfg
+	scfg.WarmupInstructions = w.warmup
+	scfg.SimInstructions = w.sim
+	l1 := Broadcast(j.L1, 1)
+	l2 := Broadcast(j.L2, 1)
+	spec := sim.CoreSpec{
+		Trace:        trace.NewLooping(trace.NewRecordsReaderAt(slab, w.start)),
+		L1Prefetcher: prefetchers.MustNew(l1[0]),
+	}
+	if l2[0] != "" && l2[0] != "none" {
+		spec.L2Prefetcher = prefetchers.MustNew(l2[0])
+	}
+	sys, err := sim.New(scfg, []sim.CoreSpec{spec})
+	if err != nil {
+		panic(fmt.Sprintf("engine: building sliced system for %s: %v", j, err))
+	}
+	return sys.Run()
+}

@@ -1,0 +1,147 @@
+package engine_test
+
+// Sliced-execution determinism, end to end over an ingested trace: for a
+// fixed (trace, slice_shards) key the merged result document — and the
+// bytes the store persists — must be identical whether the slices ran one
+// at a time or fanned out across workers, and identical across runs.
+// This is the property that lets sliced jobs share the content-addressed
+// store with every other execution strategy. Run under -race this also
+// exercises the slice worker pool for data races on a single-CPU host
+// ("fake multi-core": Options.SliceWorkers is the only lever that
+// changes scheduling, and it must never change bytes).
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/traceset"
+	"repro/internal/workload"
+)
+
+// synthRecords generates a deterministic pseudo-random record stream —
+// varied strides and non-memory gaps so slices see genuinely different
+// access patterns.
+func synthRecords(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range recs {
+		state = state*6364136223846793005 + 1442695040888963407
+		kind := trace.Load
+		if state>>63 == 1 {
+			kind = trace.Store
+		}
+		recs[i] = trace.Record{
+			PC:     0x400000 + uint64(i%512)*4,
+			Addr:   (state >> 20) &^ 63,
+			NonMem: uint16(state % 11),
+			Kind:   kind,
+		}
+	}
+	return recs
+}
+
+// storeBytes reads every result file under dir keyed by relative path.
+func storeBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	files := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		files[rel] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking store %s: %v", dir, err)
+	}
+	return files
+}
+
+func TestSlicedExecutionDeterminism(t *testing.T) {
+	reg, err := traceset.Open(t.TempDir(), traceset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := reg.IngestRecords(synthRecords(4000), trace.FormatGZTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.ResetSources()
+	workload.ResetTraceCache()
+	t.Cleanup(workload.ResetSources)
+	t.Cleanup(workload.ResetTraceCache)
+	workload.RegisterSource(reg)
+
+	scale := engine.Scale{TracesPerSuite: 1, TraceLen: 4000, Warmup: 3_000, Sim: 12_000}
+	run := func(k, workers int, dir string) (engine.Job, map[string][]byte, []interface{}) {
+		store, err := engine.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine.New(engine.Options{Scale: scale, Store: store, SliceWorkers: workers})
+		job := engine.Job{
+			Traces:    []string{m.Name()},
+			L1:        []string{"Gaze"},
+			Overrides: engine.Overrides{SliceShards: k},
+		}
+		if err := job.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		res, err := e.RunContext(context.Background(), job)
+		if err != nil {
+			t.Fatalf("k=%d workers=%d: %v", k, workers, err)
+		}
+		return job, storeBytes(t, dir), []interface{}{res}
+	}
+
+	for _, k := range []int{2, 4, 7} {
+		base := t.TempDir()
+		_, serialStore, serialRes := run(k, 1, filepath.Join(base, "serial"))
+		_, parRes1Store, parRes := run(k, 8, filepath.Join(base, "parallel"))
+		_, repeatStore, repeatRes := run(k, 8, filepath.Join(base, "repeat"))
+
+		if !reflect.DeepEqual(serialRes, parRes) {
+			t.Errorf("k=%d: serial and parallel slice execution disagree\nserial   %+v\nparallel %+v",
+				k, serialRes, parRes)
+		}
+		if !reflect.DeepEqual(parRes, repeatRes) {
+			t.Errorf("k=%d: repeated parallel runs disagree", k)
+		}
+		for _, cmp := range []struct {
+			name  string
+			other map[string][]byte
+		}{{"parallel", parRes1Store}, {"repeat", repeatStore}} {
+			if len(cmp.other) != len(serialStore) {
+				t.Errorf("k=%d: %s store has %d files, serial has %d", k, cmp.name, len(cmp.other), len(serialStore))
+				continue
+			}
+			for rel, want := range serialStore {
+				if got, ok := cmp.other[rel]; !ok || !bytes.Equal(got, want) {
+					t.Errorf("k=%d: store file %s differs between serial and %s execution", k, rel, cmp.name)
+				}
+			}
+		}
+	}
+
+	// Different K must land at different addresses: a 2-way and a 4-way
+	// slicing of the same trace are different simulated experiments.
+	j2 := engine.Job{Traces: []string{m.Name()}, L1: []string{"Gaze"}, Overrides: engine.Overrides{SliceShards: 2}}
+	j4 := engine.Job{Traces: []string{m.Name()}, L1: []string{"Gaze"}, Overrides: engine.Overrides{SliceShards: 4}}
+	if j2.ContentAddress(scale) == j4.ContentAddress(scale) {
+		t.Error("slice_shards 2 and 4 share a content address")
+	}
+}

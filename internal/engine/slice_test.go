@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// planRecords builds a deterministic slab with varied per-record
+// instruction counts, so slice boundaries land mid-pattern rather than on
+// convenient uniform strides.
+func planRecords(n int) trace.RecSlice {
+	recs := make(trace.RecSlice, n)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC:     uint64(0x400000 + 4*i),
+			Addr:   uint64(0x10000 + 64*i),
+			NonMem: uint16(i % 7),
+			Kind:   trace.Load,
+		}
+	}
+	return recs
+}
+
+// cumInstr is the reference prefix-sum the plan invariants are checked
+// against: instructions executed by the first v records of the looped
+// stream over slab.
+func cumInstr(slab trace.Records, v uint64) uint64 {
+	n := uint64(slab.Len())
+	var total uint64
+	for i := 0; i < slab.Len(); i++ {
+		total += uint64(slab.At(i).Instructions())
+	}
+	var rem uint64
+	for i := uint64(0); i < v%n; i++ {
+		rem += uint64(slab.At(int(i)).Instructions())
+	}
+	return v/n*total + rem
+}
+
+// TestPlanSlicesInvariants checks, across slab sizes, budgets, and shard
+// counts (including budgets that loop the trace several times), that a
+// plan covers exactly the serial run's measurement window: per-slice sim
+// budgets are positive and sum to the serial measured-instruction count,
+// and each slice's warmup replay ends exactly where its measurement
+// window begins.
+func TestPlanSlicesInvariants(t *testing.T) {
+	cases := []struct {
+		n      int
+		warmup uint64
+		sim    uint64
+		k      int
+	}{
+		{n: 100, warmup: 50, sim: 200, k: 4},
+		{n: 100, warmup: 0, sim: 200, k: 4},
+		{n: 37, warmup: 500, sim: 1000, k: 7}, // budgets loop the slab many times
+		{n: 1000, warmup: 100, sim: 3000, k: 2},
+		{n: 1000, warmup: 100, sim: 3000, k: 64},
+		{n: 5, warmup: 3, sim: 7, k: 64}, // k clamps to the measured record count
+	}
+	for _, c := range cases {
+		slab := planRecords(c.n)
+		wins := planSlices(slab, c.warmup, c.sim, c.k)
+		if len(wins) == 0 {
+			t.Fatalf("n=%d w=%d s=%d k=%d: empty plan", c.n, c.warmup, c.sim, c.k)
+		}
+		if len(wins) > c.k {
+			t.Errorf("n=%d k=%d: plan has %d slices, more than requested", c.n, c.k, len(wins))
+		}
+
+		// Reference serial window, computed independently of the planner.
+		measStartV := uint64(0)
+		for cumInstr(slab, measStartV) < c.warmup {
+			measStartV++
+		}
+		measEndV := measStartV
+		startInstr := cumInstr(slab, measStartV)
+		for cumInstr(slab, measEndV) < startInstr+c.sim {
+			measEndV++
+		}
+		serialMeasured := cumInstr(slab, measEndV) - startInstr
+		if c.k > int(measEndV-measStartV) && len(wins) != int(measEndV-measStartV) {
+			t.Errorf("n=%d k=%d: want clamp to %d measured records, got %d slices",
+				c.n, c.k, measEndV-measStartV, len(wins))
+		}
+
+		var sum uint64
+		cursor := measStartV // virtual index where the next slice must begin measuring
+		for i, w := range wins {
+			if w.sim == 0 {
+				t.Errorf("n=%d k=%d slice %d: zero sim budget", c.n, c.k, i)
+			}
+			sum += w.sim
+			// The slice's reader starts at slab record w.start; after
+			// exactly w.warmup instructions it must sit on virtual record
+			// `cursor` of the serial stream. Walk the replay forward.
+			var replayed uint64
+			steps := uint64(0)
+			for replayed < w.warmup {
+				replayed += uint64(slab.At((w.start + int(steps)) % c.n).Instructions())
+				steps++
+			}
+			if replayed != w.warmup {
+				t.Errorf("n=%d k=%d slice %d: warmup budget %d does not land on a record boundary (overshoot to %d)",
+					c.n, c.k, i, w.warmup, replayed)
+			}
+			if got := (w.start + int(steps)) % c.n; got != int(cursor%uint64(c.n)) {
+				t.Errorf("n=%d k=%d slice %d: measurement begins at slab record %d, want %d",
+					c.n, c.k, i, got, cursor%uint64(c.n))
+			}
+			// Advance the cursor past this slice's measured records.
+			var measured uint64
+			for measured < w.sim {
+				measured += uint64(slab.At(int(cursor % uint64(c.n))).Instructions())
+				cursor++
+			}
+			if measured != w.sim {
+				t.Errorf("n=%d k=%d slice %d: sim budget %d not a whole-record sum (overshoot to %d)",
+					c.n, c.k, i, w.sim, measured)
+			}
+		}
+		if sum != serialMeasured {
+			t.Errorf("n=%d w=%d s=%d k=%d: slice budgets sum to %d, serial run measures %d",
+				c.n, c.warmup, c.sim, c.k, sum, serialMeasured)
+		}
+		if cursor != measEndV {
+			t.Errorf("n=%d k=%d: slices cover through virtual record %d, serial window ends at %d",
+				c.n, c.k, cursor, measEndV)
+		}
+	}
+}
+
+// TestPlanSlicesZeroWarmupBoundary pins the warmup-prefix floor: with a
+// zero warmup budget the first slice starts at record 0 with no prefix at
+// all, exactly like the serial run's cold start.
+func TestPlanSlicesZeroWarmupBoundary(t *testing.T) {
+	slab := planRecords(200)
+	wins := planSlices(slab, 0, 500, 4)
+	if len(wins) != 4 {
+		t.Fatalf("got %d slices, want 4", len(wins))
+	}
+	if wins[0].start != 0 || wins[0].warmup != 0 {
+		t.Errorf("first slice = {start %d, warmup %d}, want cold start at record 0",
+			wins[0].start, wins[0].warmup)
+	}
+	for i, w := range wins[1:] {
+		if w.warmup != 0 {
+			t.Errorf("slice %d has warmup %d under a zero warmup budget", i+1, w.warmup)
+		}
+	}
+}
+
+// TestPlanSlicesWarmupPrefix: interior slices of a warmed job replay at
+// least the configured warmup before measuring, and a slice whose window
+// begins inside the first warmup's worth of the stream floors its prefix
+// at record 0.
+func TestPlanSlicesWarmupPrefix(t *testing.T) {
+	slab := planRecords(300)
+	const warmup = 400
+	wins := planSlices(slab, warmup, 800, 4)
+	if len(wins) != 4 {
+		t.Fatalf("got %d slices, want 4", len(wins))
+	}
+	for i, w := range wins[1:] {
+		if w.warmup < warmup {
+			t.Errorf("interior slice %d warms for %d instructions, want >= %d", i+1, w.warmup, warmup)
+		}
+	}
+	// Slice 0 measures from the serial window's start. Its prefix is also
+	// bounded: the planner walks back only to the record boundary at or
+	// before warmup instructions, not all the way to record 0.
+	if wins[0].warmup < warmup {
+		t.Errorf("slice 0 warms for %d, want >= %d", wins[0].warmup, warmup)
+	}
+	// ... and it overshoots the budget by less than one record (the
+	// largest record in planRecords is 7 instructions).
+	if wins[0].warmup >= warmup+7 {
+		t.Errorf("slice 0 warmup %d overshoots the %d budget by a record or more", wins[0].warmup, warmup)
+	}
+}
+
+// TestPlanSlicesEmpty: degenerate inputs plan to nothing rather than
+// dividing by zero.
+func TestPlanSlicesEmpty(t *testing.T) {
+	if wins := planSlices(trace.RecSlice{}, 10, 10, 4); wins != nil {
+		t.Errorf("empty slab planned %d slices", len(wins))
+	}
+	if wins := planSlices(planRecords(10), 10, 0, 4); wins != nil {
+		t.Errorf("zero sim budget planned %d slices", len(wins))
+	}
+}
+
+// TestSlicedJobValidation: the single-core constraint and shard bounds.
+func TestSlicedJobValidation(t *testing.T) {
+	good := Job{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}, Overrides: Overrides{SliceShards: 4}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("single-core sliced job rejected: %v", err)
+	}
+	multi := Job{Traces: []string{"lbm-1274", "mcf_s-1554"}, L1: []string{"Gaze"}, Overrides: Overrides{SliceShards: 4}}
+	if err := multi.Validate(); err == nil {
+		t.Error("multi-core sliced job accepted")
+	}
+	over := Job{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}, Overrides: Overrides{SliceShards: maxSliceShards + 1}}
+	if err := over.Validate(); err == nil {
+		t.Error("slice_shards over the bound accepted")
+	}
+}
+
+// TestSliceShardsAddressing: slice_shards 1 is the unsliced run and must
+// share its content address; any K > 1 changes the simulated numbers and
+// must therefore change the address.
+func TestSliceShardsAddressing(t *testing.T) {
+	scale := Scale{TraceLen: 1000, Warmup: 100, Sim: 200}
+	base := Job{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}}
+	one := base
+	one.Overrides.SliceShards = 1
+	if got, want := one.CanonicalJSON(scale), base.CanonicalJSON(scale); got != want {
+		t.Errorf("slice_shards 1 changed the canonical encoding:\n got %s\nwant %s", got, want)
+	}
+	four := base
+	four.Overrides.SliceShards = 4
+	if four.ContentAddress(scale) == base.ContentAddress(scale) {
+		t.Error("slice_shards 4 shares the unsliced address")
+	}
+}

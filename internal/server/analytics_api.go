@@ -201,7 +201,10 @@ func (s *Server) compileAnalytics(r *http.Request, allowAxis bool) (*analyticsVi
 	if err != nil {
 		return nil, err
 	}
-	grid, err := compileSweepGrid(s.eng.Scale(), req)
+	// The server's slice policy applies here too: analytics aggregates
+	// whatever /sweep persisted, so its grid must address exactly the jobs
+	// an auto-slicing sweep compiled.
+	grid, err := compileSweepGrid(s.eng.Scale(), req, s.slice)
 	if err != nil {
 		return nil, err
 	}

@@ -54,6 +54,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Materialized trace slabs resident in memory.", float64(st.TraceCacheEntries))
 	p.gauge("gaze_trace_cache_bytes",
 		"Resident bytes of materialized trace slabs.", float64(st.TraceCacheBytes))
+	p.gauge("gaze_trace_cache_mapped_bytes",
+		"Bytes of mmap-backed columnar trace slabs (kernel page cache, not heap).",
+		float64(st.TraceCacheMapped))
 	p.counter("gaze_trace_cache_hits_total",
 		"Materialize calls served an existing or in-flight slab.", float64(st.TraceCacheHits))
 	p.counter("gaze_trace_cache_misses_total",

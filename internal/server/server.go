@@ -48,6 +48,10 @@ type Server struct {
 	// gcAge is the default age floor for POST /admin/gc and periodic GC
 	// (zero = only explicitly-aged requests collect).
 	gcAge time.Duration
+
+	// slice, when set, auto-slices big ingested-trace jobs at compile
+	// time (SetSlicePolicy).
+	slice *SlicePolicy
 }
 
 // New builds a server on the given engine.
@@ -221,6 +225,7 @@ type StatsResponse struct {
 	TraceCacheHits      uint64           `json:"trace_cache_hits"`
 	TraceCacheMisses    uint64           `json:"trace_cache_misses"`
 	TraceCacheBytes     int64            `json:"trace_cache_bytes"`
+	TraceCacheMapped    int64            `json:"trace_cache_mapped_bytes"`
 	TraceCacheEvictions uint64           `json:"trace_cache_evictions"`
 	TraceRegistryDir    string           `json:"trace_registry_dir,omitempty"`
 	IngestedTraces      *int             `json:"ingested_traces"`
@@ -238,7 +243,8 @@ type StatsResponse struct {
 //
 // v1: first stamped schema (PR 6) — everything before it was unversioned.
 // v2: added "cluster" (coordinator lease/worker counters, PR 7).
-const StatsSchemaVersion = 2
+// v3: added "trace_cache_mapped_bytes" (mmap-backed slab accounting, PR 8).
+const StatsSchemaVersion = 3
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -289,6 +295,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TraceCacheHits:      stats.TraceCacheHits,
 		TraceCacheMisses:    stats.TraceCacheMisses,
 		TraceCacheBytes:     stats.TraceCacheBytes,
+		TraceCacheMapped:    stats.TraceCacheMapped,
 		TraceCacheEvictions: stats.TraceCacheEvictions,
 	}
 	if st := s.eng.Store(); st != nil {
@@ -334,7 +341,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	plan, err := compileSimulate(s.eng.Scale(), req)
+	plan, err := compileSimulate(s.eng.Scale(), req, s.slice)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -370,12 +377,15 @@ type requestPlan struct {
 }
 
 // compileSimulate validates a /simulate request and plans its two engine
-// jobs (baseline + target). All errors are client errors.
-func compileSimulate(scale engine.Scale, req SimulateRequest) (*requestPlan, error) {
+// jobs (baseline + target). All errors are client errors. policy (may be
+// nil) auto-slices big ingested-trace jobs before addressing; the
+// baseline inherits the rewritten overrides, so it slices identically.
+func compileSimulate(scale engine.Scale, req SimulateRequest, policy *SlicePolicy) (*requestPlan, error) {
 	job, err := jobFor(req)
 	if err != nil {
 		return nil, err
 	}
+	policy.apply(scale, &job)
 	// Per-knob override bounds don't compose into a work bound on their
 	// own: 16 cores at maxed-out budgets would simulate for hours. Cap the
 	// request's total work (baseline + target across all cores).
@@ -398,7 +408,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	plan, err := compileSweep(s.eng.Scale(), req)
+	plan, err := compileSweep(s.eng.Scale(), req, s.slice)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -444,8 +454,8 @@ func (g *sweepGrid) index(vi, ti, pi int) int {
 // compileSweep validates a /sweep request and plans its full grid —
 // baselines included — plus the row/geomean/sensitivity assembly. All
 // errors are client errors.
-func compileSweep(scale engine.Scale, req SweepRequest) (*requestPlan, error) {
-	g, err := compileSweepGrid(scale, req)
+func compileSweep(scale engine.Scale, req SweepRequest, policy *SlicePolicy) (*requestPlan, error) {
+	g, err := compileSweepGrid(scale, req, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -484,8 +494,10 @@ func compileSweep(scale engine.Scale, req SweepRequest) (*requestPlan, error) {
 }
 
 // compileSweepGrid validates a sweep-shaped request and builds its job
-// grid. All errors are client errors.
-func compileSweepGrid(scale engine.Scale, req SweepRequest) (*sweepGrid, error) {
+// grid. All errors are client errors. policy (may be nil) auto-slices
+// each single-core grid job over a big ingested trace — including the
+// baselines, so speedups divide sliced by sliced.
+func compileSweepGrid(scale engine.Scale, req SweepRequest, policy *SlicePolicy) (*sweepGrid, error) {
 	traces := req.Traces
 	if req.Suite != "" {
 		for _, info := range workload.Suite(req.Suite) {
@@ -584,6 +596,9 @@ func compileSweepGrid(scale engine.Scale, req SweepRequest) (*sweepGrid, error) 
 				grid = append(grid, engine.Job{Traces: []string{tr}, L1: []string{pf}, Overrides: o})
 			}
 		}
+	}
+	for i := range grid {
+		policy.apply(scale, &grid[i])
 	}
 	return &sweepGrid{
 		traces:     traces,

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// SlicePolicy turns intra-trace parallelism on by default for big ingested
+// traces: a single-core job over an ingested trace whose effective slab
+// (the smaller of the stored record count and the engine scale's trace
+// length) has at least MinRecords records is rewritten to slice into
+// Shards time slices — unless the client set slice_shards itself (any
+// value, including the explicit 1 that pins the unsliced path).
+//
+// The rewrite happens at request compile time, BEFORE content addressing,
+// so the policy is part of the job's identity: two servers with the same
+// policy produce the same addresses, results persisted under a sliced
+// address are never confused with unsliced ones, and a cluster worker
+// leasing the job sees slice_shards spelled out in the job document
+// rather than re-deriving it from local configuration. For the same
+// reason Shards is a fixed number, never GOMAXPROCS: a machine-dependent
+// default would make addresses irreproducible across hosts.
+type SlicePolicy struct {
+	// MinRecords is the effective-slab-size threshold at or above which
+	// jobs are sliced.
+	MinRecords int
+	// Shards is the slice count applied (<= 0 selects DefaultAutoSliceShards).
+	Shards int
+	// Records reports the stored record count of an ingested trace by
+	// address (typically Registry-backed). Unknown addresses are never
+	// sliced — validation will reject them downstream with a better error.
+	Records func(addr string) (int, bool)
+}
+
+// DefaultAutoSliceShards is the slice count an auto-slice policy applies
+// when unconfigured. Four slices saturate a typical small server while
+// keeping the warmup-replay overhead (one extra warmup per slice) a few
+// percent of paper-scale budgets.
+const DefaultAutoSliceShards = 4
+
+// apply rewrites job in place per the policy. A nil policy applies nothing.
+func (p *SlicePolicy) apply(scale engine.Scale, job *engine.Job) {
+	if p == nil || p.Records == nil {
+		return
+	}
+	if len(job.Traces) != 1 || job.Overrides.SliceShards != 0 {
+		return
+	}
+	addr, ok := workload.IngestedDigest(job.Traces[0])
+	if !ok {
+		return
+	}
+	n, ok := p.Records(addr)
+	if !ok {
+		return
+	}
+	if scale.TraceLen < n {
+		n = scale.TraceLen
+	}
+	if p.MinRecords <= 0 || n < p.MinRecords {
+		return
+	}
+	shards := p.Shards
+	if shards <= 0 {
+		shards = DefaultAutoSliceShards
+	}
+	job.Overrides.SliceShards = shards
+}
+
+// SetSlicePolicy enables auto-slicing on the synchronous compile paths
+// (POST /simulate, /sweep) and on analytics grid addressing — the
+// analytics endpoints must compute the same content addresses the sweep
+// paths persisted under. The background-jobs Compiler picks the policy up
+// via CompilerWithPolicy.
+func (s *Server) SetSlicePolicy(p *SlicePolicy) *Server {
+	s.slice = p
+	return s
+}

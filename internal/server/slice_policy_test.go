@@ -1,0 +1,166 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/traceset"
+	"repro/internal/workload"
+)
+
+// policyRecords builds a small deterministic stream for ingestion.
+func policyRecords(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	state := uint64(0x243f6a8885a308d3)
+	for i := range recs {
+		state = state*6364136223846793005 + 1442695040888963407
+		recs[i] = trace.Record{
+			PC:     0x400000 + uint64(i%128)*4,
+			Addr:   (state >> 18) &^ 63,
+			NonMem: uint16(state % 5),
+			Kind:   trace.Load,
+		}
+	}
+	return recs
+}
+
+// TestSlicePolicyApply pins the rewrite rules: only single-core ingested
+// jobs above the threshold slice, an explicit slice_shards (sliced or the
+// pinned 1) wins over the policy, and the threshold compares the
+// effective slab — the smaller of stored records and the scale's trace
+// length.
+func TestSlicePolicyApply(t *testing.T) {
+	scale := engine.Scale{TraceLen: 4000, Warmup: 100, Sim: 200}
+	records := map[string]int{"aa11": 5000, "bb22": 100}
+	policy := &SlicePolicy{
+		MinRecords: 1000,
+		Shards:     6,
+		Records: func(addr string) (int, bool) {
+			n, ok := records[addr]
+			return n, ok
+		},
+	}
+	big := workload.IngestedName("aa11")
+	small := workload.IngestedName("bb22")
+
+	cases := []struct {
+		name string
+		job  engine.Job
+		want int
+	}{
+		{"big ingested trace slices", engine.Job{Traces: []string{big}}, 6},
+		{"below threshold stays unsliced", engine.Job{Traces: []string{small}}, 0},
+		{"catalogue trace never slices", engine.Job{Traces: []string{"lbm-1274"}}, 0},
+		{"unknown address never slices", engine.Job{Traces: []string{workload.IngestedName("ff99")}}, 0},
+		{"multi-core never slices", engine.Job{Traces: []string{big, big}}, 0},
+		{"explicit shards win", engine.Job{Traces: []string{big}, Overrides: engine.Overrides{SliceShards: 2}}, 2},
+		{"explicit 1 pins unsliced", engine.Job{Traces: []string{big}, Overrides: engine.Overrides{SliceShards: 1}}, 1},
+	}
+	for _, c := range cases {
+		policy.apply(scale, &c.job)
+		if c.job.Overrides.SliceShards != c.want {
+			t.Errorf("%s: slice_shards = %d, want %d", c.name, c.job.Overrides.SliceShards, c.want)
+		}
+	}
+
+	// The effective slab is capped by the scale: a 5000-record trace at
+	// TraceLen 500 materializes 500 records and must not slice.
+	short := engine.Scale{TraceLen: 500, Warmup: 100, Sim: 200}
+	j := engine.Job{Traces: []string{big}}
+	policy.apply(short, &j)
+	if j.Overrides.SliceShards != 0 {
+		t.Errorf("scale-capped slab sliced to %d shards", j.Overrides.SliceShards)
+	}
+
+	// Nil policy and nil lookup are inert.
+	j = engine.Job{Traces: []string{big}}
+	(*SlicePolicy)(nil).apply(scale, &j)
+	(&SlicePolicy{MinRecords: 1}).apply(scale, &j)
+	if j.Overrides.SliceShards != 0 {
+		t.Error("nil policy rewrote the job")
+	}
+
+	// Zero Shards selects the fixed default — never GOMAXPROCS, so
+	// addresses reproduce across machines.
+	j = engine.Job{Traces: []string{big}}
+	(&SlicePolicy{MinRecords: 1000, Records: policy.Records}).apply(scale, &j)
+	if j.Overrides.SliceShards != DefaultAutoSliceShards {
+		t.Errorf("default shards = %d, want %d", j.Overrides.SliceShards, DefaultAutoSliceShards)
+	}
+}
+
+// TestAutoSliceEndToEnd: a server with a slice policy rewrites a
+// /simulate over a big ingested trace before addressing — the response
+// carries slice_shards in its overrides and the sliced job's content
+// address — while an explicit slice_shards: 1 keeps the pinned v2
+// unsliced address.
+func TestAutoSliceEndToEnd(t *testing.T) {
+	reg, err := traceset.Open(t.TempDir(), traceset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := reg.IngestRecords(policyRecords(3000), trace.FormatGZTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.ResetSources()
+	workload.ResetTraceCache()
+	t.Cleanup(workload.ResetSources)
+	t.Cleanup(workload.ResetTraceCache)
+	workload.RegisterSource(reg)
+
+	scale := engine.Scale{TracesPerSuite: 1, TraceLen: 3000, Warmup: 2000, Sim: 6000}
+	eng := engine.New(engine.Options{Scale: scale})
+	policy := &SlicePolicy{
+		MinRecords: 1000,
+		Shards:     2,
+		Records: func(addr string) (int, bool) {
+			man, ok := reg.Get(addr)
+			if !ok {
+				return 0, false
+			}
+			return man.Records, true
+		},
+	}
+	ts := httptest.NewServer(New(eng).AttachTraces(reg).SetSlicePolicy(policy).Handler())
+	t.Cleanup(ts.Close)
+
+	var auto SimulateResponse
+	r := postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: m.Name(), Prefetcher: "Gaze"}, &auto)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("auto-sliced simulate: status %d", r.StatusCode)
+	}
+	if auto.Overrides == nil || auto.Overrides.SliceShards != 2 {
+		t.Fatalf("response overrides = %+v, want slice_shards 2", auto.Overrides)
+	}
+	sliced := engine.Job{
+		Traces:    []string{m.Name()},
+		L1:        []string{"Gaze"},
+		Overrides: engine.Overrides{SliceShards: 2},
+	}
+	if auto.Address != sliced.ContentAddress(scale) {
+		t.Errorf("auto-sliced address %s, want the slice_shards:2 address %s",
+			auto.Address, sliced.ContentAddress(scale))
+	}
+
+	// slice_shards: 1 opts out and lands at the pinned unsliced address.
+	var pinned SimulateResponse
+	r = postJSON(t, ts.URL+"/simulate", SimulateRequest{
+		Trace: m.Name(), Prefetcher: "Gaze",
+		Overrides: &engine.Overrides{SliceShards: 1},
+	}, &pinned)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("pinned simulate: status %d", r.StatusCode)
+	}
+	unsliced := engine.Job{Traces: []string{m.Name()}, L1: []string{"Gaze"}}
+	if pinned.Address != unsliced.ContentAddress(scale) {
+		t.Errorf("pinned address %s, want the unsliced address %s",
+			pinned.Address, unsliced.ContentAddress(scale))
+	}
+	if pinned.Address == auto.Address {
+		t.Error("sliced and unsliced runs share an address")
+	}
+}

@@ -9,11 +9,12 @@ import (
 	"testing"
 )
 
-// statsSchemaV2 is the golden top-level field set of the /stats document
-// at stats_schema_version 2 (v2 added "cluster"). Changing StatsResponse
-// without bumping StatsSchemaVersion — or bumping without updating this
-// list — fails here. Keep the list sorted.
-var statsSchemaV2 = []string{
+// statsSchemaV3 is the golden top-level field set of the /stats document
+// at stats_schema_version 3 (v2 added "cluster"; v3 added
+// "trace_cache_mapped_bytes"). Changing StatsResponse without bumping
+// StatsSchemaVersion — or bumping without updating this list — fails
+// here. Keep the list sorted.
+var statsSchemaV3 = []string{
 	"cluster",
 	"counters",
 	"ingested_traces",
@@ -28,13 +29,14 @@ var statsSchemaV2 = []string{
 	"trace_cache_entries",
 	"trace_cache_evictions",
 	"trace_cache_hits",
+	"trace_cache_mapped_bytes",
 	"trace_cache_misses",
 	"trace_registry_dir",
 }
 
 func TestStatsSchemaGolden(t *testing.T) {
-	if StatsSchemaVersion != 2 {
-		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV2 (or add a v%d golden) to match the new shape",
+	if StatsSchemaVersion != 3 {
+		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV3 (or add a v%d golden) to match the new shape",
 			StatsSchemaVersion, StatsSchemaVersion)
 	}
 
@@ -70,11 +72,11 @@ func TestStatsSchemaGolden(t *testing.T) {
 		}
 	}
 	sort.Strings(tags)
-	if !reflect.DeepEqual(tags, statsSchemaV2) {
-		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV2)
+	if !reflect.DeepEqual(tags, statsSchemaV3) {
+		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV3)
 	}
-	golden := make(map[string]bool, len(statsSchemaV2))
-	for _, k := range statsSchemaV2 {
+	golden := make(map[string]bool, len(statsSchemaV3))
+	for _, k := range statsSchemaV3 {
 		golden[k] = true
 	}
 	for k := range doc {

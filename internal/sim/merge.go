@@ -1,0 +1,67 @@
+package sim
+
+import "repro/internal/cache"
+
+// MergeSlices combines the results of K single-core time slices of one
+// trace into the result document of one logical single-core run. It is
+// pure, order-dependent arithmetic over the parts in slice order — no
+// maps, no scheduling state — so a given parts slice always merges to the
+// same bytes regardless of how (or how parallel) the slices executed.
+//
+// Counters sum. IPC is the instruction-weighted harmonic combination
+// (total instructions over total cycles, with each slice's cycles
+// recovered as instructions/IPC) — the IPC one core would report having
+// executed all measurement windows back to back. The DRAM row-hit rate is
+// request-weighted for the same reason. Empty input merges to the zero
+// Result.
+func MergeSlices(parts []Result) Result {
+	if len(parts) == 0 {
+		return Result{}
+	}
+	merged := Result{Cores: make([]CoreResult, 1)}
+	core := &merged.Cores[0]
+	var (
+		cycles  float64
+		rowHits float64
+	)
+	for i := range parts {
+		p := &parts[i]
+		if len(p.Cores) == 0 {
+			continue
+		}
+		c := &p.Cores[0]
+		core.Instructions += c.Instructions
+		if c.IPC > 0 {
+			cycles += float64(c.Instructions) / c.IPC
+		}
+		addStats(&core.L1D, c.L1D)
+		addStats(&core.L2C, c.L2C)
+		core.PrefetchesIssuedL1 += c.PrefetchesIssuedL1
+		core.PrefetchesIssuedL2 += c.PrefetchesIssuedL2
+		core.PrefetchesRedundant += c.PrefetchesRedundant
+		core.PQDropsFull += c.PQDropsFull
+		core.PQDropsDup += c.PQDropsDup
+
+		addStats(&merged.LLC, p.LLC)
+		merged.DRAMRequests += p.DRAMRequests
+		rowHits += p.DRAMRowHitRate * float64(p.DRAMRequests)
+	}
+	if cycles > 0 {
+		core.IPC = float64(core.Instructions) / cycles
+	}
+	if merged.DRAMRequests > 0 {
+		merged.DRAMRowHitRate = rowHits / float64(merged.DRAMRequests)
+	}
+	return merged
+}
+
+func addStats(dst *cache.Stats, s cache.Stats) {
+	dst.DemandAccesses += s.DemandAccesses
+	dst.DemandHits += s.DemandHits
+	dst.DemandMisses += s.DemandMisses
+	dst.PrefetchFills += s.PrefetchFills
+	dst.UsefulPrefetches += s.UsefulPrefetches
+	dst.UselessPrefetches += s.UselessPrefetches
+	dst.LatePrefetches += s.LatePrefetches
+	dst.CoveredMisses += s.CoveredMisses
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package trace
+
+// mapFile reports mmap as unavailable; MapColumnar callers fall back to
+// heap decoding of the GZTR stream.
+func mapFile(path string) (*mapping, error) { return nil, ErrMmapUnsupported }
+
+func (m *mapping) unmap() {}

@@ -1,0 +1,43 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned mapping unmaps itself when it
+// becomes unreachable; MapColumnar clears the finalizer and unmaps eagerly
+// on paths that do not retain the region.
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("trace: cannot map %s (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("trace: mapping %s: %w", path, err)
+	}
+	m := &mapping{data: data}
+	runtime.SetFinalizer(m, (*mapping).unmap)
+	return m, nil
+}
+
+func (m *mapping) unmap() {
+	if m.data != nil {
+		syscall.Munmap(m.data) //nolint:errcheck // release-only; nothing to do on failure
+		m.data = nil
+	}
+}

@@ -1,0 +1,22 @@
+package trace
+
+// Records is the random-access view of a materialized trace slab — the
+// seam that lets the simulator's step loop iterate a heap []Record and an
+// mmap-backed columnar slab (Columns) through one code path. Implementations
+// are immutable and safe for concurrent readers; At must not allocate, so
+// the zero-alloc step loop holds over every slab kind.
+type Records interface {
+	// Len returns the number of records in the slab.
+	Len() int
+	// At returns record i. i must be in [0, Len()).
+	At(i int) Record
+}
+
+// RecSlice adapts a heap-resident []Record slab to the Records seam.
+type RecSlice []Record
+
+// Len implements Records.
+func (r RecSlice) Len() int { return len(r) }
+
+// At implements Records.
+func (r RecSlice) At(i int) Record { return r[i] }

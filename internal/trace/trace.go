@@ -67,26 +67,46 @@ type RecordWriter interface {
 	Close() error
 }
 
-// SliceReader replays an in-memory record slice.
+// SliceReader replays a materialized record slab — a heap slice or any
+// other Records implementation (a mapped columnar slab). The slab is
+// accessed through the Records seam; for heap slabs that is one interface
+// call per record on top of the slice index, which the simulator's
+// per-record cost absorbs, and it is what lets mapped slabs flow through
+// the identical hot path without a second reader type.
 type SliceReader struct {
-	recs []Record
+	recs Records
+	n    int
 	pos  int
 }
 
-// NewSliceReader returns a Reader over recs.
-func NewSliceReader(recs []Record) *SliceReader { return &SliceReader{recs: recs} }
+// NewSliceReader returns a Reader over a heap record slice.
+func NewSliceReader(recs []Record) *SliceReader { return NewRecordsReader(RecSlice(recs)) }
+
+// NewRecordsReader returns a Reader over any record slab.
+func NewRecordsReader(recs Records) *SliceReader {
+	return &SliceReader{recs: recs, n: recs.Len()}
+}
+
+// NewRecordsReaderAt returns a Reader over recs whose first read is record
+// start; Reset (and therefore Looping's wrap) still rewinds to record 0,
+// so a reader started mid-slab replays the virtual looped stream
+// start, start+1, ..., n-1, 0, 1, ... — the supply a time slice of a
+// looped trace needs.
+func NewRecordsReaderAt(recs Records, start int) *SliceReader {
+	return &SliceReader{recs: recs, n: recs.Len(), pos: start}
+}
 
 // Next implements Reader.
 func (s *SliceReader) Next() (Record, error) {
-	if s.pos >= len(s.recs) {
+	if s.pos >= s.n {
 		return Record{}, io.EOF
 	}
-	r := s.recs[s.pos]
+	r := s.recs.At(s.pos)
 	s.pos++
 	return r, nil
 }
 
-// Reset rewinds the reader to the beginning.
+// Reset rewinds the reader to the beginning of the slab.
 func (s *SliceReader) Reset() { s.pos = 0 }
 
 // Looping wraps a resettable source so it never returns io.EOF: when the

@@ -166,6 +166,12 @@ func (r *Registry) manifestPath(addr string) string {
 	return filepath.Join(r.dir, addr+".json")
 }
 
+// colsPath locates the entry's columnar sidecar — the mmap-ready
+// fixed-width encoding written beside the GZTR stream.
+func (r *Registry) colsPath(addr string) string {
+	return filepath.Join(r.dir, addr+".cols")
+}
+
 // DigestRecords returns the content address of a record stream: the
 // SHA-256 over a versioned, fixed-width little-endian serialization of
 // every record. Hashing the records rather than the encoded file is what
@@ -272,15 +278,21 @@ func (r *Registry) commit(addr string, recs []trace.Record, format trace.Format)
 	if err != nil {
 		return Manifest{}, fmt.Errorf("traceset: encoding manifest: %w", err)
 	}
-	// Records first, manifest last: the manifest's existence is the commit
-	// point (Open skips manifests whose record stream is missing), so a
-	// crash between the writes leaves at worst an orphaned data file that
-	// the next ingest of the same trace overwrites in place.
+	// Records and columnar sidecar first, manifest last: the manifest's
+	// existence is the commit point (Open skips manifests whose record
+	// stream is missing), so a crash between the writes leaves at worst
+	// orphaned data files that the next ingest of the same trace
+	// overwrites in place.
 	if err := engine.WriteFileAtomic(r.dataPath(addr), buf.Bytes()); err != nil {
 		return Manifest{}, fmt.Errorf("traceset: writing records: %w", err)
 	}
+	if err := engine.WriteFileAtomic(r.colsPath(addr), trace.EncodeColumnar(recs)); err != nil {
+		os.Remove(r.dataPath(addr))
+		return Manifest{}, fmt.Errorf("traceset: writing columnar slab: %w", err)
+	}
 	if err := engine.WriteFileAtomic(r.manifestPath(addr), manifest); err != nil {
 		os.Remove(r.dataPath(addr))
+		os.Remove(r.colsPath(addr))
 		return Manifest{}, fmt.Errorf("traceset: writing manifest: %w", err)
 	}
 	return m, nil
@@ -370,6 +382,10 @@ func (r *Registry) Delete(addr string) error {
 	if err := os.Remove(r.dataPath(addr)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("traceset: deleting %s: %w", addr, err)
 	}
+	// The columnar sidecar is derived data: a failed removal must not
+	// resurrect a deleted entry (mapped slabs already handed out stay
+	// valid regardless — the mapping outlives the directory entry).
+	os.Remove(r.colsPath(addr)) //nolint:errcheck
 	delete(r.index, addr)
 	workload.InvalidateTrace(workload.IngestedName(addr))
 	return nil
@@ -396,4 +412,90 @@ func (r *Registry) Load(name string, n int) ([]trace.Record, error) {
 		return nil, fmt.Errorf("%w: %q is not an ingested trace name", ErrNotFound, name)
 	}
 	return r.Records(addr, n)
+}
+
+// Registry is also a workload.SlabSource: MaterializeRecords serves
+// ingested traces as mmap-backed columnar slabs where possible.
+var _ workload.SlabSource = (*Registry)(nil)
+
+// LoadSlab implements workload.SlabSource: it maps the entry's columnar
+// sidecar read-only and returns an in-place view of up to n records.
+// Entries without a (valid) sidecar — ingested before the columnar format
+// existed and not yet migrated — and platforms without mmap fall back to
+// the heap GZTR decode; the caller cannot tell except by footprint.
+func (r *Registry) LoadSlab(name string, n int) (trace.Records, error) {
+	addr, ok := workload.IngestedDigest(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q is not an ingested trace name", ErrNotFound, name)
+	}
+	m, ok := r.Get(addr)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, addr)
+	}
+	if cols, err := trace.MapColumnar(r.colsPath(addr)); err == nil && cols.Len() == m.Records {
+		return cols.Prefix(n), nil
+	}
+	recs, err := r.Records(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	return trace.RecSlice(recs), nil
+}
+
+// ColumnarInfo describes an entry's columnar sidecar for inspection
+// tooling: whether the file exists, whether its size is consistent with
+// the manifest's record count, and the per-plane byte extents.
+type ColumnarInfo struct {
+	Present bool  `json:"present"`
+	Valid   bool  `json:"valid"`
+	Bytes   int64 `json:"bytes"`
+	// Plane sizes in bytes (fixed-width: 8/8/2/1 per record).
+	PCBytes     int64 `json:"pc_bytes"`
+	AddrBytes   int64 `json:"addr_bytes"`
+	NonMemBytes int64 `json:"nonmem_bytes"`
+	KindBytes   int64 `json:"kind_bytes"`
+}
+
+// Columnar reports the state of the entry's columnar sidecar.
+func (r *Registry) Columnar(addr string) (ColumnarInfo, error) {
+	m, ok := r.Get(addr)
+	if !ok {
+		return ColumnarInfo{}, fmt.Errorf("%w: %s", ErrNotFound, addr)
+	}
+	st, err := os.Stat(r.colsPath(addr))
+	if err != nil {
+		return ColumnarInfo{}, nil //nolint:nilerr // absent sidecar is a valid state, not an error
+	}
+	n := int64(m.Records)
+	return ColumnarInfo{
+		Present:     true,
+		Valid:       st.Size() == trace.ColumnarSize(m.Records),
+		Bytes:       st.Size(),
+		PCBytes:     8 * n,
+		AddrBytes:   8 * n,
+		NonMemBytes: 2 * n,
+		KindBytes:   n,
+	}, nil
+}
+
+// BuildColumnar backfills the entry's columnar sidecar from its GZTR
+// stream — the migration path for entries ingested before the columnar
+// format existed. It reports whether a sidecar was written; entries whose
+// sidecar is already present and size-consistent are left untouched.
+func (r *Registry) BuildColumnar(addr string) (bool, error) {
+	info, err := r.Columnar(addr)
+	if err != nil {
+		return false, err
+	}
+	if info.Present && info.Valid {
+		return false, nil
+	}
+	recs, err := r.Records(addr, 0)
+	if err != nil {
+		return false, err
+	}
+	if err := engine.WriteFileAtomic(r.colsPath(addr), trace.EncodeColumnar(recs)); err != nil {
+		return false, fmt.Errorf("traceset: writing columnar slab: %w", err)
+	}
+	return true, nil
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/trace"
@@ -8,21 +9,27 @@ import (
 
 // This file implements the process-wide materialized-trace cache. Every
 // entry point that simulates — the engine's sweep shards, gazeserve
-// handlers, benchmarks — asks for traces through Materialize, so N
-// prefetchers x M config points over one trace generate it exactly once
-// per process instead of once per job. Entries are immutable [] Record
-// slabs keyed by {name, length}; population is single-flight, so
-// concurrent shards requesting the same trace block on one generation
-// instead of racing duplicates.
+// handlers, benchmarks — asks for traces through Materialize (heap record
+// slabs) or MaterializeRecords (which additionally serves mmap-backed
+// columnar slabs for sources that provide them), so N prefetchers x M
+// config points over one trace generate it exactly once per process
+// instead of once per job. Entries are immutable slabs keyed by {name,
+// length, kind}; population is single-flight, so concurrent shards
+// requesting the same trace block on one generation instead of racing
+// duplicates.
 //
 // The cache is byte-budget bounded: synthetic slabs are small and
 // regenerate cheaply, but once arbitrarily large ingested traces join the
 // catalogue an unbounded cache is a memory liability in a long-lived
-// server. SetTraceCacheBudget caps the resident footprint; over budget,
-// ready entries are evicted least-recently-used first (in-flight entries
-// and the most recent slab are never evicted — callers already hold
-// references, eviction only drops the map's, so evicted slabs stay valid
-// for whoever has them and are simply re-materialized on next request).
+// server. SetTraceCacheBudget caps the resident heap footprint; over
+// budget, ready entries are evicted least-recently-used first (in-flight
+// entries and the most recent slab are never evicted — callers already
+// hold references, eviction only drops the map's, so evicted slabs stay
+// valid for whoever has them and are simply re-materialized on next
+// request). Mapped slabs are accounted separately (MappedBytes): their
+// memory belongs to the page cache, which the kernel already reclaims
+// under pressure, so they never count against — nor are they evicted to
+// honor — the heap budget.
 
 // CacheStats is a point-in-time snapshot of the materialized-trace cache.
 type CacheStats struct {
@@ -32,44 +39,57 @@ type CacheStats struct {
 	// slab; Misses counts calls that generated one.
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
-	// Bytes is the resident record-slab footprint (records x record size).
+	// Bytes is the resident heap record-slab footprint — what the byte
+	// budget bounds.
 	Bytes int64 `json:"bytes"`
+	// MappedBytes is the total size of mmap-backed slabs' file mappings;
+	// page-cache-resident, not heap, and not subject to the byte budget.
+	MappedBytes int64 `json:"mapped_bytes"`
 	// Evictions counts slabs dropped to honor the byte budget.
 	Evictions uint64 `json:"evictions"`
 }
 
+// traceKey identifies one cache slot. mapped separates the heap slab a
+// Materialize caller gets from the mapped slab a MaterializeRecords caller
+// gets for the same {name, n}: the two representations have different
+// memory economics and invalidate independently.
 type traceKey struct {
-	name string
-	n    int
+	name   string
+	n      int
+	mapped bool
 }
 
-// traceEntry is one cache slot. ready is closed once recs/err are final;
+// traceEntry is one cache slot. ready is closed once slab/err are final;
 // readers that find an in-flight entry block on it — the single-flight
 // discipline that keeps shards from generating duplicates. done and
 // lastUse drive LRU eviction and are guarded by traceCache.mu.
 type traceEntry struct {
 	ready   chan struct{}
-	recs    []trace.Record
+	slab    trace.Records
 	err     error
 	done    bool
-	bytes   int64
+	bytes   int64 // heap footprint, counted against the budget
+	mapped  int64 // mapping size, tracked but never budget-evicted
 	lastUse uint64
 }
 
 var traceCache = struct {
-	mu        sync.Mutex
-	entries   map[traceKey]*traceEntry
-	hits      uint64
-	misses    uint64
-	bytes     int64
-	evictions uint64
-	budget    int64  // max resident bytes; <= 0 means unbounded
-	clock     uint64 // logical LRU clock, bumped per touch
+	mu          sync.Mutex
+	entries     map[traceKey]*traceEntry
+	hits        uint64
+	misses      uint64
+	bytes       int64
+	mappedBytes int64
+	evictions   uint64
+	budget      int64  // max resident heap bytes; <= 0 means unbounded
+	clock       uint64 // logical LRU clock, bumped per touch
 }{entries: make(map[traceKey]*traceEntry)}
 
-// SetTraceCacheBudget bounds the cache's resident slab footprint to at
-// most budget bytes (<= 0 restores unbounded). Lowering the budget evicts
-// immediately. The budget is process-wide, like the cache itself.
+// SetTraceCacheBudget bounds the cache's resident heap slab footprint to
+// at most budget bytes (<= 0 restores unbounded). Lowering the budget
+// evicts immediately. The budget is process-wide, like the cache itself.
+// Mapped slabs are exempt: the kernel, not this budget, bounds the page
+// cache.
 func SetTraceCacheBudget(budget int64) {
 	traceCache.mu.Lock()
 	defer traceCache.mu.Unlock()
@@ -77,43 +97,42 @@ func SetTraceCacheBudget(budget int64) {
 	evictLocked(nil)
 }
 
-// evictLocked drops ready entries, least-recently-used first, until the
-// footprint fits the budget. keep (the entry just materialized, when set)
-// is exempt: evicting the slab its caller is about to receive would make
-// one oversized trace thrash the whole cache on every request.
+// evictLocked drops ready heap entries, least-recently-used first, until
+// the heap footprint fits the budget. One pass: the candidates are
+// collected and ordered once, then evicted in LRU order until the
+// footprint fits — not re-scanned per victim. keep (the entry just
+// materialized, when set) is exempt: evicting the slab its caller is
+// about to receive would make one oversized trace thrash the whole cache
+// on every request. Mapped entries are skipped — they hold no heap.
 func evictLocked(keep *traceEntry) {
-	if traceCache.budget <= 0 {
+	if traceCache.budget <= 0 || traceCache.bytes <= traceCache.budget {
 		return
 	}
-	for traceCache.bytes > traceCache.budget {
-		var (
-			victimKey traceKey
-			victim    *traceEntry
-		)
-		for k, e := range traceCache.entries {
-			if !e.done || e == keep {
-				continue
-			}
-			if victim == nil || e.lastUse < victim.lastUse {
-				victimKey, victim = k, e
-			}
+	type victim struct {
+		key traceKey
+		e   *traceEntry
+	}
+	victims := make([]victim, 0, len(traceCache.entries))
+	for k, e := range traceCache.entries {
+		if e.done && e != keep && e.bytes > 0 {
+			victims = append(victims, victim{k, e})
 		}
-		if victim == nil {
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].e.lastUse < victims[j].e.lastUse })
+	for _, v := range victims {
+		if traceCache.bytes <= traceCache.budget {
 			return
 		}
-		delete(traceCache.entries, victimKey)
-		traceCache.bytes -= victim.bytes
+		delete(traceCache.entries, v.key)
+		traceCache.bytes -= v.e.bytes
 		traceCache.evictions++
 	}
 }
 
-// Materialize returns the first n records of the named workload from the
-// process-wide cache, generating (or source-loading) them on first
-// request. The returned slice is shared and immutable: callers must not
-// modify it (wrap it in trace.NewSliceReader / trace.NewLooping to consume
-// it). It is safe for concurrent use from any number of goroutines.
-func Materialize(name string, n int) ([]trace.Record, error) {
-	key := traceKey{name: name, n: n}
+// materializeSlab is the single-flight core under Materialize and
+// MaterializeRecords: one cache slot per key, exactly one generation per
+// cold key, byte accounting by slab kind.
+func materializeSlab(key traceKey, gen func() (trace.Records, error)) (trace.Records, error) {
 	traceCache.mu.Lock()
 	if e, ok := traceCache.entries[key]; ok {
 		traceCache.hits++
@@ -121,14 +140,14 @@ func Materialize(name string, n int) ([]trace.Record, error) {
 		e.lastUse = traceCache.clock
 		traceCache.mu.Unlock()
 		<-e.ready
-		return e.recs, e.err
+		return e.slab, e.err
 	}
 	e := &traceEntry{ready: make(chan struct{})}
 	traceCache.entries[key] = e
 	traceCache.misses++
 	traceCache.mu.Unlock()
 
-	e.recs, e.err = produce(name, n)
+	e.slab, e.err = gen()
 
 	traceCache.mu.Lock()
 	if cur, ok := traceCache.entries[key]; ok && cur == e {
@@ -140,16 +159,69 @@ func Materialize(name string, n int) ([]trace.Record, error) {
 			delete(traceCache.entries, key)
 		} else {
 			e.done = true
-			e.bytes = int64(len(e.recs)) * trace.RecordBytes
+			e.bytes, e.mapped = slabFootprint(e.slab)
 			traceCache.clock++
 			e.lastUse = traceCache.clock
 			traceCache.bytes += e.bytes
+			traceCache.mappedBytes += e.mapped
 			evictLocked(e)
 		}
 	}
 	traceCache.mu.Unlock()
 	close(e.ready)
-	return e.recs, e.err
+	return e.slab, e.err
+}
+
+// slabFootprint splits a slab's memory cost into budget-relevant heap
+// bytes and page-cache-backed mapped bytes.
+func slabFootprint(s trace.Records) (heap, mapped int64) {
+	switch v := s.(type) {
+	case trace.RecSlice:
+		return int64(len(v)) * trace.RecordBytes, 0
+	case *trace.Columns:
+		return v.HeapBytes(), v.MappedBytes()
+	default:
+		return int64(s.Len()) * trace.RecordBytes, 0
+	}
+}
+
+// Materialize returns the first n records of the named workload from the
+// process-wide cache, generating (or source-loading) them on first
+// request. The returned slice is shared and immutable: callers must not
+// modify it (wrap it in trace.NewSliceReader / trace.NewLooping to consume
+// it). It is safe for concurrent use from any number of goroutines.
+func Materialize(name string, n int) ([]trace.Record, error) {
+	slab, err := materializeSlab(traceKey{name: name, n: n}, func() (trace.Records, error) {
+		recs, err := produce(name, n)
+		if err != nil {
+			return nil, err
+		}
+		return trace.RecSlice(recs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []trace.Record(slab.(trace.RecSlice)), nil
+}
+
+// MaterializeRecords is Materialize behind the trace.Records seam: for
+// names served by a SlabSource it caches whatever slab the source hands
+// back — preferably an mmap-backed columnar view, whose bytes live in the
+// page cache instead of the heap — and for everything else (catalogue
+// names, plain Sources) it returns the heap slab Materialize would. The
+// engine's step loop iterates either kind through the same accessor.
+func MaterializeRecords(name string, n int) (trace.Records, error) {
+	ss, _ := sourceFor(name).(SlabSource)
+	if ss == nil {
+		recs, err := Materialize(name, n)
+		if err != nil {
+			return nil, err
+		}
+		return trace.RecSlice(recs), nil
+	}
+	return materializeSlab(traceKey{name: name, n: n, mapped: true}, func() (trace.Records, error) {
+		return ss.LoadSlab(name, n)
+	})
 }
 
 // MustMaterialize is Materialize for known-good names; it panics on error.
@@ -162,11 +234,12 @@ func MustMaterialize(name string, n int) []trace.Record {
 }
 
 // InvalidateTrace drops every resident slab of the named trace, at any
-// length. It is the delete-side hook for registry traces: after an
-// ingested trace is removed from disk, its cached slabs must not keep
-// serving a name that no longer resolves. In-flight generations are left
-// to complete (their callers hold the slab either way). Invalidations are
-// not counted as evictions — the budget did not force them.
+// length and of either kind. It is the delete-side hook for registry
+// traces: after an ingested trace is removed from disk, its cached slabs
+// must not keep serving a name that no longer resolves. In-flight
+// generations are left to complete (their callers hold the slab either
+// way). Invalidations are not counted as evictions — the budget did not
+// force them.
 func InvalidateTrace(name string) {
 	traceCache.mu.Lock()
 	defer traceCache.mu.Unlock()
@@ -174,6 +247,7 @@ func InvalidateTrace(name string) {
 		if k.name == name && e.done {
 			delete(traceCache.entries, k)
 			traceCache.bytes -= e.bytes
+			traceCache.mappedBytes -= e.mapped
 		}
 	}
 }
@@ -183,11 +257,12 @@ func TraceCacheStats() CacheStats {
 	traceCache.mu.Lock()
 	defer traceCache.mu.Unlock()
 	return CacheStats{
-		Entries:   len(traceCache.entries),
-		Hits:      traceCache.hits,
-		Misses:    traceCache.misses,
-		Bytes:     traceCache.bytes,
-		Evictions: traceCache.evictions,
+		Entries:     len(traceCache.entries),
+		Hits:        traceCache.hits,
+		Misses:      traceCache.misses,
+		Bytes:       traceCache.bytes,
+		MappedBytes: traceCache.mappedBytes,
+		Evictions:   traceCache.evictions,
 	}
 }
 
@@ -201,6 +276,7 @@ func ResetTraceCache() {
 	defer traceCache.mu.Unlock()
 	traceCache.entries = make(map[traceKey]*traceEntry)
 	traceCache.hits, traceCache.misses, traceCache.bytes = 0, 0, 0
+	traceCache.mappedBytes = 0
 	traceCache.evictions = 0
 	traceCache.budget = 0
 	traceCache.clock = 0

@@ -58,6 +58,16 @@ type Source interface {
 	Load(name string, n int) ([]trace.Record, error)
 }
 
+// SlabSource optionally extends Source with direct slab access: LoadSlab
+// returns up to n records as a trace.Records, preferring a zero-copy
+// mapped representation (an mmap'd columnar sidecar) over a heap decode
+// when one is available. Sources that cannot do better than Load simply
+// don't implement it; MaterializeRecords falls back to the heap path.
+type SlabSource interface {
+	Source
+	LoadSlab(name string, n int) (trace.Records, error)
+}
+
 var sourceReg struct {
 	mu      sync.RWMutex
 	sources []Source
