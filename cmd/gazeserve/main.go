@@ -63,7 +63,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -73,6 +73,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/traceset"
 	"repro/internal/workload"
@@ -104,12 +105,39 @@ func main() {
 		workerConc  = flag.Int("worker-concurrency", 0, "units a worker executes in parallel (0 = GOMAXPROCS)")
 		workerName  = flag.String("worker-name", "", "worker label in the coordinator's roster")
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator lease/liveness deadline, renewed by worker heartbeats")
+		logFormat   = flag.String("log-format", "text", "structured-log encoding: text | json")
+		traceLog    = flag.String("trace-log", "", "append every finished span as one NDJSON line to this file")
+		traceRing   = flag.Int("trace-ring", 512, "spans kept in memory for GET /debug/traces (0 = default)")
+		noTrace     = flag.Bool("no-trace", false, "disable span tracing (histograms and /metrics stay on)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this separate listener (keep it private)")
 	)
 	flag.Parse()
 
-	if *workerURL != "" {
-		os.Exit(runWorker(*workerURL, *workerConc, *workerName, *cacheDir, *noCache, *traceDir, *workers, *seed))
+	logger := obs.NewLogger(os.Stderr, *logFormat)
+	slog.SetDefault(logger)
+	var tracer *obs.Tracer
+	if !*noTrace {
+		var cleanup func()
+		var err error
+		tracer, cleanup, err = buildTracer(*traceRing, *traceLog, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cleanup()
 	}
+	if *debugAddr != "" {
+		startDebugListener(*debugAddr, logger)
+	}
+
+	if *workerURL != "" {
+		os.Exit(runWorker(*workerURL, *workerConc, *workerName, *cacheDir, *noCache, *traceDir, *workers, *seed, logger, tracer))
+	}
+
+	// One histogram bundle feeds every layer: the engine's phase
+	// durations, the jobs queue-wait, the coordinator's lease holds and
+	// the server's per-route HTTP family all render on GET /metrics.
+	metrics := obs.NewMetrics()
 
 	// Generous by default, but bounded: synthetic slabs are small, while
 	// ingested real traces can be arbitrarily large — an unbounded cache
@@ -125,7 +153,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := engine.Options{Scale: sc, Workers: *workers, Seed: *seed}
+	opts := engine.Options{Scale: sc, Workers: *workers, Seed: *seed, Phases: metrics.EnginePhase}
 	if !*noCache {
 		store, err := engine.Open(*cacheDir)
 		if err != nil {
@@ -133,7 +161,7 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Store = store
-		log.Printf("gazeserve: result store at %s (%d entries)", store.Dir(), store.Len())
+		logger.Info("result store open", "dir", store.Dir(), "entries", store.Len())
 	}
 	eng := engine.New(opts)
 
@@ -143,7 +171,12 @@ func main() {
 	// leases instead of running on this process's engine.
 	var coord *cluster.Coordinator
 	if *coordinator {
-		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{Engine: eng, LeaseTTL: *leaseTTL})
+		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{
+			Engine:    eng,
+			LeaseTTL:  *leaseTTL,
+			Tracer:    tracer,
+			LeaseHold: metrics.LeaseHold,
+		})
 	}
 
 	// The trace registry follows the jobs-dir convention below: a durable
@@ -169,7 +202,7 @@ func main() {
 			os.Exit(1)
 		}
 		workload.RegisterSource(reg)
-		log.Printf("gazeserve: trace registry at %s (%d ingested traces)", tdir, reg.Len())
+		logger.Info("trace registry open", "dir", tdir, "traces", reg.Len())
 	}
 
 	// Auto-slicing rewrites big single-core ingested-trace jobs to
@@ -189,8 +222,7 @@ func main() {
 				return m.Records, true
 			},
 		}
-		log.Printf("gazeserve: auto-slicing ingested-trace jobs >= %d records into %d shards",
-			*autoSliceAt, *autoShards)
+		logger.Info("auto-slicing ingested-trace jobs", "min_records", *autoSliceAt, "shards", *autoShards)
 	}
 
 	// The job journal lives beside the result store by default — a
@@ -212,6 +244,8 @@ func main() {
 		Dir:        dir,
 		Workers:    *jobsWorkers,
 		QueueDepth: *jobsQueue,
+		Tracer:     tracer,
+		QueueWait:  metrics.JobQueueWait,
 	}
 	if coord != nil {
 		jobOpts.Execute = coord.Execute
@@ -223,14 +257,17 @@ func main() {
 	}
 	if dir != "" {
 		c := mgr.Counters()
-		log.Printf("gazeserve: job journal at %s (recovered %d queued, %d interrupted)",
-			dir, c.Recovered, c.Interrupted)
+		logger.Info("job journal open", "dir", dir, "recovered", c.Recovered, "interrupted", c.Interrupted)
 	}
 
-	srvHandle := server.New(eng).AttachJobs(mgr).SetSlicePolicy(policy)
+	srvHandle := server.New(eng).AttachJobs(mgr).SetSlicePolicy(policy).
+		SetMetrics(metrics).SetRequestLogger(logger)
+	if tracer != nil {
+		srvHandle.AttachTracer(tracer)
+	}
 	if coord != nil {
 		srvHandle.AttachCluster(coord)
-		log.Printf("gazeserve: cluster coordinator enabled (lease ttl %v)", coord.LeaseTTL())
+		logger.Info("cluster coordinator enabled", "lease_ttl", coord.LeaseTTL())
 	}
 	if reg != nil {
 		srvHandle.AttachTraces(reg)
@@ -239,20 +276,20 @@ func main() {
 	srvHandle.SetGCAge(*gcAge)
 	if *admitRPS > 0 {
 		srvHandle.SetAdmission(*admitRPS, *admitBurst)
-		log.Printf("gazeserve: admission control %.3g req/s per client (burst %d)", *admitRPS, *admitBurst)
+		logger.Info("admission control enabled", "rps", *admitRPS, "burst", *admitBurst)
 	}
 	if *gcNow && opts.Store != nil {
 		if st, err := srvHandle.RunGC(*gcAge); err != nil {
-			log.Printf("gazeserve: store gc: %v", err)
+			logger.Error("store gc failed", "error", err)
 		} else {
-			log.Printf("gazeserve: store gc reclaimed %d entries (%d bytes), kept %d referenced / %d young",
-				st.Deleted, st.ReclaimedBytes, st.KeptReferenced, st.KeptYoung)
+			logger.Info("store gc done", "reclaimed_entries", st.Deleted, "reclaimed_bytes", st.ReclaimedBytes,
+				"kept_referenced", st.KeptReferenced, "kept_young", st.KeptYoung)
 		}
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srvHandle.Handler()),
+		Handler:           srvHandle.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -289,46 +326,38 @@ func main() {
 					return
 				case <-t.C:
 					if st, err := srvHandle.RunGC(*gcAge); err != nil {
-						log.Printf("gazeserve: store gc: %v", err)
+						logger.Error("store gc failed", "error", err)
 					} else if st.Deleted > 0 {
-						log.Printf("gazeserve: store gc reclaimed %d entries (%d bytes)",
-							st.Deleted, st.ReclaimedBytes)
+						logger.Info("store gc done", "reclaimed_entries", st.Deleted, "reclaimed_bytes", st.ReclaimedBytes)
 					}
 				}
 			}
 		}()
-		log.Printf("gazeserve: periodic store gc every %v (age floor %v)", *gcEvery, *gcAge)
+		logger.Info("periodic store gc scheduled", "every", *gcEvery, "age_floor", *gcAge)
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("gazeserve: listening on %s (scale %s)", *addr, *scale)
+	logger.Info("listening", "addr", *addr, "scale", *scale)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("http server failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	log.Printf("gazeserve: shutting down (draining up to %v)", *drain)
+	logger.Info("shutting down", "drain", *drain)
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("gazeserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	// Drain running jobs on the remaining budget, then flush the journal;
 	// queued jobs stay journaled and resume on the next start.
 	if err := mgr.Shutdown(shutdownCtx); err != nil {
-		log.Printf("gazeserve: jobs shutdown: %v", err)
+		logger.Warn("jobs shutdown", "error", err)
 	}
-	log.Print("gazeserve: bye")
-}
-
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
+	logger.Info("bye")
 }

@@ -1,0 +1,68 @@
+// Observability wiring shared by server and worker modes: the process
+// logger, the span tracer with its optional NDJSON export file, and the
+// private debug listener.
+//
+// The debug listener (-debug-addr) is deliberately a separate socket
+// from the API: profiling endpoints and raw expvar leak operational
+// detail (memory layout, command line, internals) that the public,
+// unauthenticated API must never expose. Bind it to localhost or an
+// operator-only interface. Example:
+//
+//	gazeserve -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+package main
+
+import (
+	"expvar"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// buildTracer assembles the span tracer, appending NDJSON span lines to
+// logPath when set. The returned cleanup closes the log file and is safe
+// to call with no file open.
+func buildTracer(ringSize int, logPath string, logger *slog.Logger) (*obs.Tracer, func(), error) {
+	var w *os.File
+	if logPath != "" {
+		f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		w = f
+		logger.Info("span log open", "path", logPath)
+	}
+	opts := obs.TracerOptions{RingSize: ringSize}
+	if w != nil {
+		opts.Log = w
+	}
+	cleanup := func() {
+		if w != nil {
+			w.Close() //nolint:errcheck
+		}
+	}
+	return obs.NewTracer(opts), cleanup, nil
+}
+
+// startDebugListener serves net/http/pprof and expvar on their own
+// mux — never the public API mux — at addr.
+func startDebugListener(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Error("debug listener failed", "addr", addr, "error", err)
+		}
+	}()
+	logger.Info("debug listener on private mux", "addr", addr)
+}

@@ -9,7 +9,7 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/traceset"
 	"repro/internal/workload"
 )
@@ -26,7 +27,7 @@ import (
 // pointed at one explicitly: on a shared machine the default directories
 // would interleave with a coordinator's, and the coordinator's store is
 // the authoritative one anyway.
-func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceDir string, engWorkers int, seed uint64) int {
+func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceDir string, engWorkers int, seed uint64, logger *slog.Logger, tracer *obs.Tracer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -41,8 +42,8 @@ func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceD
 			info.StoreSchemaVersion, engine.StoreSchemaVersion)
 		return 1
 	}
-	log.Printf("gazeserve: worker mode against %s (scale %+v, lease ttl %v)",
-		url, info.Scale, time.Duration(info.LeaseTTLMS)*time.Millisecond)
+	logger.Info("worker mode", "coordinator", url, "scale", fmt.Sprintf("%+v", info.Scale),
+		"lease_ttl", time.Duration(info.LeaseTTLMS)*time.Millisecond)
 
 	opts := engine.Options{Scale: info.Scale, Workers: engWorkers, Seed: seed}
 	if cacheDir != "" && !noCache {
@@ -52,7 +53,7 @@ func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceD
 			return 1
 		}
 		opts.Store = store
-		log.Printf("gazeserve: worker result store at %s (%d entries)", store.Dir(), store.Len())
+		logger.Info("worker result store open", "dir", store.Dir(), "entries", store.Len())
 	}
 	eng := engine.New(opts)
 
@@ -66,7 +67,7 @@ func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceD
 		// Registering the registry as a workload source is what lets the
 		// engine materialize replicated `ingested:<addr>` traces.
 		workload.RegisterSource(reg)
-		log.Printf("gazeserve: worker trace registry at %s (%d traces)", traceDir, reg.Len())
+		logger.Info("worker trace registry open", "dir", traceDir, "traces", reg.Len())
 	}
 
 	w := cluster.NewWorker(cluster.WorkerOptions{
@@ -75,14 +76,15 @@ func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceD
 		Registry:    reg,
 		Concurrency: conc,
 		Name:        name,
+		Logger:      logger,
+		Tracer:      tracer,
 	})
 	if err := w.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "gazeserve: worker: %v\n", err)
 		return 1
 	}
 	c := w.Counters()
-	log.Printf("gazeserve: worker done (%d completed, %d failed, %d traces replicated)",
-		c.Completed, c.Failed, c.Replicated)
+	logger.Info("worker done", "completed", c.Completed, "failed", c.Failed, "replicated", c.Replicated)
 	return 0
 }
 
@@ -96,7 +98,7 @@ func infoWithRetry(ctx context.Context, client *cluster.Client) (cluster.Info, e
 		if err == nil || ctx.Err() != nil {
 			return info, err
 		}
-		log.Printf("gazeserve: coordinator not reachable yet: %v", err)
+		slog.Warn("coordinator not reachable yet", "error", err)
 		if serr := cluster.RealClock.Sleep(ctx, 2*time.Second); serr != nil {
 			return cluster.Info{}, err
 		}

@@ -1,0 +1,54 @@
+// Command promlint validates a Prometheus text-exposition document read
+// from stdin — the same parser the server's tests use — and optionally
+// asserts that specific metric families are declared. CI pipes a live
+// /metrics scrape through it:
+//
+//	curl -s localhost:8321/metrics | go run ./cmd/promlint \
+//	    -require gaze_http_request_duration_seconds,gaze_engine_phase_duration_seconds
+//
+// Exit status is non-zero on a malformed document or a missing family.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be declared with a # TYPE line")
+	flag.Parse()
+
+	text, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	doc, err := obs.LintProm(string(text))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+
+	missing := 0
+	for _, fam := range strings.Split(*require, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		if typ, ok := doc.Types[fam]; ok {
+			fmt.Printf("promlint: %s: %s\n", fam, typ)
+		} else {
+			fmt.Fprintf(os.Stderr, "promlint: required family %s not declared\n", fam)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: ok (%d families, %d samples)\n", len(doc.Types), len(doc.Samples))
+}

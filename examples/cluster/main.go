@@ -26,7 +26,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -209,7 +211,7 @@ func startWorker(base, name string) (context.CancelFunc, chan struct{}) {
 		Concurrency:  1,
 		Name:         name,
 		PollInterval: 50 * time.Millisecond,
-		Logf:         func(string, ...any) {},
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})

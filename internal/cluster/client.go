@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ClientOptions configures a Client. The zero value is production-ready.
@@ -121,6 +123,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		obs.Inject(ctx, req.Header)
 		resp, err := c.hc.Do(req)
 		if err == nil {
 			data, readErr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
@@ -224,6 +227,7 @@ func (c *Client) FetchTrace(ctx context.Context, digest string) (io.ReadCloser, 
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building request: %w", err)
 	}
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

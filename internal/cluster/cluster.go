@@ -107,6 +107,11 @@ type LeaseRequest struct {
 type WorkUnit struct {
 	Address string     `json:"address"`
 	Job     engine.Job `json:"job"`
+	// Traceparent carries the trace identity of the sweep that enqueued
+	// the unit (obs.TraceparentHeader format), so worker-side spans and
+	// log lines join the coordinator's trace. Empty when the submitting
+	// request was not traced.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // LeaseResponse carries the leased units; empty means nothing is

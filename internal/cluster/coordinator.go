@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -24,6 +25,13 @@ type CoordinatorOptions struct {
 	// Now overrides the clock for deterministic tests (default
 	// time.Now).
 	Now func() time.Time
+	// Tracer, when set, records a synthesized "cluster.lease" span for
+	// every settled or revoked lease, parented on the trace of the sweep
+	// that enqueued the unit. Observability-only.
+	Tracer *obs.Tracer
+	// LeaseHold, when set, observes each lease's hold time — grant to
+	// settle/requeue — in seconds. Observability-only.
+	LeaseHold *obs.Histogram
 }
 
 // unitState tracks a unit through the lease table.
@@ -43,6 +51,10 @@ type unit struct {
 	state    unitState
 	worker   string    // leaseholder id when leased
 	deadline time.Time // lease expiry when leased
+	leasedAt time.Time // lease grant time, for the hold-time histogram
+	// traceparent is the trace identity of the first sweep that enqueued
+	// the unit; workers propagate it so their spans join that trace.
+	traceparent string
 	// waiters maps each waiting Execute batch to the result indices
 	// this unit fills in it (a batch can map several indices to one
 	// address: baseline jobs fold PQ knobs out of their canonical
@@ -66,10 +78,12 @@ type workerInfo struct {
 // by a ticker in gazeserve), so a silent worker's units requeue even
 // when no other worker is polling.
 type Coordinator struct {
-	eng      *engine.Engine
-	ttl      time.Duration
-	maxBatch int
-	now      func() time.Time
+	eng       *engine.Engine
+	ttl       time.Duration
+	maxBatch  int
+	now       func() time.Time
+	tracer    *obs.Tracer
+	leaseHold *obs.Histogram
 
 	mu      sync.Mutex
 	seq     int
@@ -100,12 +114,14 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 		opts.Now = time.Now
 	}
 	return &Coordinator{
-		eng:      opts.Engine,
-		ttl:      opts.LeaseTTL,
-		maxBatch: opts.MaxLeaseBatch,
-		now:      opts.Now,
-		workers:  make(map[string]*workerInfo),
-		units:    make(map[string]*unit),
+		eng:       opts.Engine,
+		ttl:       opts.LeaseTTL,
+		maxBatch:  opts.MaxLeaseBatch,
+		now:       opts.Now,
+		tracer:    opts.Tracer,
+		leaseHold: opts.LeaseHold,
+		workers:   make(map[string]*workerInfo),
+		units:     make(map[string]*unit),
 	}
 }
 
@@ -180,9 +196,27 @@ func (c *Coordinator) Deregister(id string) error {
 	return nil
 }
 
+// settleLeaseLocked observes a unit leaving the leased state — settled,
+// failed or revoked — feeding the lease-hold histogram and recording a
+// synthesized lease-lifecycle span on the trace of the sweep that
+// enqueued the unit. Caller holds c.mu.
+func (c *Coordinator) settleLeaseLocked(u *unit, outcome string) {
+	if u.state != unitLeased || u.leasedAt.IsZero() {
+		return
+	}
+	d := c.now().Sub(u.leasedAt)
+	c.leaseHold.Observe(d.Seconds())
+	if c.tracer != nil {
+		parent, _ := obs.ParseTraceparent(u.traceparent)
+		c.tracer.Observe(parent, "cluster.lease", u.leasedAt, d,
+			obs.String("worker", u.worker), obs.String("outcome", outcome))
+	}
+}
+
 // requeueLocked returns a leased unit to the pending queue (or drops it
 // when no Execute batch waits on it any more).
 func (c *Coordinator) requeueLocked(addr string, u *unit) {
+	c.settleLeaseLocked(u, "requeued")
 	c.releases++
 	if len(u.waiters) == 0 {
 		delete(c.units, addr)
@@ -191,6 +225,7 @@ func (c *Coordinator) requeueLocked(addr string, u *unit) {
 	u.state = unitPending
 	u.worker = ""
 	u.deadline = time.Time{}
+	u.leasedAt = time.Time{}
 	c.queue = append(c.queue, addr)
 }
 
@@ -242,8 +277,9 @@ func (c *Coordinator) Lease(id string, max int) ([]WorkUnit, error) {
 		u.state = unitLeased
 		u.worker = id
 		u.deadline = now.Add(c.ttl)
+		u.leasedAt = now
 		c.leases++
-		out = append(out, WorkUnit{Address: addr, Job: u.job})
+		out = append(out, WorkUnit{Address: addr, Job: u.job, Traceparent: u.traceparent})
 	}
 	c.queue = c.queue[i:]
 	return out, nil
@@ -293,6 +329,7 @@ func (c *Coordinator) CompleteResult(addr string, doc []byte) (bool, error) {
 	var waiters map[*batch][]int
 	var label string
 	if u != nil {
+		c.settleLeaseLocked(u, "completed")
 		waiters = u.waiters
 		label = u.job.String()
 		delete(c.units, addr)
@@ -319,6 +356,7 @@ func (c *Coordinator) FailUnit(addr, workerID, msg string) bool {
 	u := c.units[addr]
 	var waiters map[*batch][]int
 	if u != nil {
+		c.settleLeaseLocked(u, "failed")
 		waiters = u.waiters
 		delete(c.units, addr)
 		c.failures++
@@ -423,14 +461,17 @@ func (c *Coordinator) Execute(ctx context.Context, js []engine.Job, progress fun
 		p.indices = append(p.indices, i)
 	}
 	if len(order) > 0 {
+		tp := obs.ContextTraceparent(ctx)
 		c.mu.Lock()
 		for _, addr := range order {
 			p := pending[addr]
 			u := c.units[addr]
 			if u == nil {
-				u = &unit{addr: addr, job: p.job, state: unitPending, waiters: make(map[*batch][]int)}
+				u = &unit{addr: addr, job: p.job, state: unitPending, traceparent: tp, waiters: make(map[*batch][]int)}
 				c.units[addr] = u
 				c.queue = append(c.queue, addr)
+			} else if u.traceparent == "" {
+				u.traceparent = tp
 			}
 			u.waiters[b] = append(u.waiters[b], p.indices...)
 			b.addrs = append(b.addrs, addr)

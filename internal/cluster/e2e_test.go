@@ -7,20 +7,25 @@
 package cluster_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/traceset"
@@ -38,8 +43,9 @@ type coordNode struct {
 
 // newCoordNode builds a full coordinator: engine + store, jobs manager
 // dispatching through the coordinator's Execute, HTTP handler with
-// cluster routes mounted.
-func newCoordNode(t *testing.T, reg *traceset.Registry) *coordNode {
+// cluster routes mounted. A non-nil tracer is threaded through every
+// layer the way gazeserve wires it.
+func newCoordNode(t *testing.T, reg *traceset.Registry, tracer *obs.Tracer) *coordNode {
 	t.Helper()
 	dir := t.TempDir()
 	store, err := engine.Open(dir)
@@ -53,18 +59,23 @@ func newCoordNode(t *testing.T, reg *traceset.Registry) *coordNode {
 		// One unit per lease call spreads a small sweep across workers
 		// instead of letting the first poller swallow it whole.
 		MaxLeaseBatch: 1,
+		Tracer:        tracer,
 	})
 	mgr, err := jobs.Open(jobs.Options{
 		Engine:  eng,
 		Compile: server.Compiler(eng),
 		Workers: 2,
 		Execute: coord.Execute,
+		Tracer:  tracer,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { mgr.Shutdown(context.Background()) }) //nolint:errcheck
 	srv := server.New(eng).AttachJobs(mgr).AttachCluster(coord)
+	if tracer != nil {
+		srv.AttachTracer(tracer)
+	}
 	if reg != nil {
 		srv.AttachTraces(reg)
 	}
@@ -105,7 +116,7 @@ func startWorker(t *testing.T, url, name string, reg *traceset.Registry) (*clust
 		Concurrency:  1,
 		Name:         name,
 		PollInterval: 10 * time.Millisecond,
-		Logf:         func(string, ...any) {},
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error)
@@ -220,7 +231,7 @@ func etagOf(t *testing.T, base, query string) string {
 // succeed, and both the result-store bytes and the analytics ETag must
 // equal a single-node run of the same sweep.
 func TestClusterSweepSurvivesWorkerLoss(t *testing.T) {
-	node := newCoordNode(t, nil)
+	node := newCoordNode(t, nil, nil)
 
 	w0, cancel0, errc0 := startWorker(t, node.ts.URL, "doomed", nil)
 	startWorker(t, node.ts.URL, "survivor", nil)
@@ -297,7 +308,7 @@ func TestClusterSweepSurvivesWorkerLoss(t *testing.T) {
 // identical documents through the real handler stack: one "completed",
 // the rest "duplicate", never an error.
 func TestClusterDuplicateUploadOverHTTP(t *testing.T) {
-	node := newCoordNode(t, nil)
+	node := newCoordNode(t, nil, nil)
 	client := cluster.NewClient(node.ts.URL, cluster.ClientOptions{})
 	ctx := context.Background()
 
@@ -402,7 +413,7 @@ func TestClusterTraceReplication(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	node := newCoordNode(t, coordReg)
+	node := newCoordNode(t, coordReg, nil)
 	workerReg, err := traceset.Open(t.TempDir(), traceset.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -424,5 +435,179 @@ func TestClusterTraceReplication(t *testing.T) {
 	}
 	if got := w.Counters().Replicated; got < 1 {
 		t.Errorf("worker replicated counter = %d, want >= 1", got)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the worker's slog handler
+// and the tracer's NDJSON log both write from worker/handler goroutines
+// while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestClusterTraceContinuity is the tracing acceptance criterion: one
+// trace ID spans submit → lease → worker execution → upload → adopt.
+// The coordinator's ring (via GET /debug/traces?job=) holds the job and
+// lease spans; the worker's own tracer and its structured log lines
+// carry the SAME trace ID, received over the wire via the work unit's
+// traceparent; and every span lands in the coordinator's NDJSON log.
+func TestClusterTraceContinuity(t *testing.T) {
+	var ndjson syncBuffer
+	tracer := obs.NewTracer(obs.TracerOptions{Log: &ndjson})
+	node := newCoordNode(t, nil, tracer)
+
+	var workerLog syncBuffer
+	wTracer := obs.NewTracer(obs.TracerOptions{})
+	w := cluster.NewWorker(cluster.WorkerOptions{
+		Client:       cluster.NewClient(node.ts.URL, cluster.ClientOptions{Backoff: 5 * time.Millisecond}),
+		Engine:       engine.New(engine.Options{Scale: tiny}),
+		Concurrency:  1,
+		Name:         "traced",
+		PollInterval: 10 * time.Millisecond,
+		Logger:       slog.New(slog.NewTextHandler(&workerLog, nil)),
+		Tracer:       wTracer,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error)
+	go func() {
+		done <- w.Run(ctx)
+		close(done)
+	}()
+	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			cancel()
+			for range done {
+			}
+		}
+	}
+	t.Cleanup(stop)
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	body := `{"type":"simulate","request":{"trace":"lbm-1274","prefetcher":"Gaze"}}`
+	if code := postJSON(t, node.ts.URL+"/jobs", body, &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitJob(t, node.ts.URL, submitted.ID, nil)
+
+	// The terminal job reports the trace ID every later assertion keys on.
+	r, err := http.Get(node.ts.URL + "/jobs/" + submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		TraceID string `json:"trace_id"`
+	}
+	err = json.NewDecoder(r.Body).Decode(&st)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID == "" {
+		t.Fatal("terminal job has no trace_id")
+	}
+
+	// Coordinator side: GET /debug/traces?job= resolves the same trace and
+	// shows the job spans plus the synthesized lease spans.
+	r, err = http.Get(node.ts.URL + "/debug/traces?job=" + submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("debug traces: status %d", r.StatusCode)
+	}
+	var doc struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			TraceID string            `json:"trace_id"`
+			Name    string            `json:"name"`
+			Attrs   map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(r.Body).Decode(&doc)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceID != st.TraceID {
+		t.Fatalf("debug traces resolved %q, job reports %q", doc.TraceID, st.TraceID)
+	}
+	names := make(map[string]int)
+	for _, sp := range doc.Spans {
+		if sp.TraceID != st.TraceID {
+			t.Fatalf("span %q carries trace %q, want %q", sp.Name, sp.TraceID, st.TraceID)
+		}
+		names[sp.Name]++
+	}
+	for _, want := range []string{"job.run", "job.execute", "cluster.lease"} {
+		if names[want] == 0 {
+			t.Errorf("coordinator trace lacks a %q span (got %v)", want, names)
+		}
+	}
+
+	// Worker side: stop it, then check its own spans and log lines carry
+	// the coordinator's trace ID — continuity over the wire.
+	stop()
+	units := 0
+	for _, sp := range wTracer.Recent(0) {
+		if sp.Name != "worker.unit" {
+			continue
+		}
+		units++
+		if sp.TraceID != st.TraceID {
+			t.Errorf("worker.unit span carries trace %q, want coordinator trace %q", sp.TraceID, st.TraceID)
+		}
+	}
+	if units == 0 {
+		t.Error("worker tracer recorded no worker.unit spans")
+	}
+	logText := workerLog.String()
+	completedLine := ""
+	for _, line := range strings.Split(logText, "\n") {
+		if strings.Contains(line, "unit completed") {
+			completedLine = line
+			break
+		}
+	}
+	if completedLine == "" {
+		t.Fatalf("worker log has no completion line:\n%s", logText)
+	}
+	if !strings.Contains(completedLine, "trace_id="+st.TraceID) {
+		t.Errorf("worker completion line lacks the coordinator's trace id %s:\n%s", st.TraceID, completedLine)
+	}
+
+	// NDJSON export: every line is a valid span document, and the job's
+	// root span is among them.
+	sawRoot := false
+	for _, line := range strings.Split(strings.TrimSuffix(ndjson.String(), "\n"), "\n") {
+		var sp struct {
+			TraceID string `json:"trace_id"`
+			Name    string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("NDJSON line does not parse: %v\n%s", err, line)
+		}
+		if sp.Name == "job.run" && sp.TraceID == st.TraceID {
+			sawRoot = true
+		}
+	}
+	if !sawRoot {
+		t.Error("NDJSON log has no job.run line for the job's trace")
 	}
 }

@@ -4,12 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/traceset"
 	"repro/internal/workload"
 )
@@ -36,9 +37,14 @@ type WorkerOptions struct {
 	PollInterval time.Duration
 	// Clock drives sleeps and heartbeat pacing (default RealClock).
 	Clock Clock
-	// Logf observes worker lifecycle events (default log.Printf; set a
-	// no-op to silence).
-	Logf func(format string, args ...any)
+	// Logger observes worker lifecycle events (default slog.Default()).
+	// The worker wraps it with obs.ContextHandler, so lines logged while
+	// executing a leased unit carry the coordinator's trace ID.
+	Logger *slog.Logger
+	// Tracer, when set, records worker-side spans ("worker.unit" around
+	// each leased execution), parented on the coordinator trace the
+	// unit's traceparent names.
+	Tracer *obs.Tracer
 }
 
 // WorkerCounters is a snapshot of one worker's lifetime totals.
@@ -62,7 +68,8 @@ type Worker struct {
 	name   string
 	poll   time.Duration
 	clock  Clock
-	logf   func(string, ...any)
+	log    *slog.Logger
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	counters WorkerCounters
@@ -92,8 +99,8 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.Clock == nil {
 		opts.Clock = RealClock
 	}
-	if opts.Logf == nil {
-		opts.Logf = log.Printf
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
 	}
 	return &Worker{
 		client:      opts.Client,
@@ -103,7 +110,8 @@ func NewWorker(opts WorkerOptions) *Worker {
 		name:        opts.Name,
 		poll:        opts.PollInterval,
 		clock:       opts.Clock,
-		logf:        opts.Logf,
+		log:         slog.New(obs.ContextHandler(opts.Logger.Handler())),
+		tracer:      opts.Tracer,
 		repInflight: make(map[string]chan struct{}),
 	}
 }
@@ -127,10 +135,10 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			return err
 		}
-		w.logf("cluster worker: registered as %s (lease ttl %v)", id, ttl)
+		w.log.Info("cluster worker: registered", "worker_id", id, "lease_ttl", ttl.String())
 		err = w.serve(ctx, id, ttl)
 		if errors.Is(err, errReregister) {
-			w.logf("cluster worker: coordinator dropped %s, re-registering", id)
+			w.log.Info("cluster worker: coordinator dropped registration, re-registering", "worker_id", id)
 			continue
 		}
 		if ctx.Err() != nil {
@@ -193,7 +201,7 @@ func (w *Worker) serve(ctx context.Context, id string, ttl time.Duration) error 
 			// Transient even after the client's retries (coordinator
 			// restarting, network partition): keep polling rather than
 			// dying — the whole point of the worker is to survive this.
-			w.logf("cluster worker: lease failed: %v", err)
+			w.log.Warn("cluster worker: lease failed", "error", err.Error())
 			if err := w.clock.Sleep(ctx, w.poll); err != nil {
 				return err
 			}
@@ -250,7 +258,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, id string, ttl time.Duration
 			if ctx.Err() != nil {
 				return
 			}
-			w.logf("cluster worker: heartbeat failed: %v", err)
+			w.log.Warn("cluster worker: heartbeat failed", "error", err.Error())
 		}
 	}
 }
@@ -277,6 +285,17 @@ func (w *Worker) returnReplicatedDelta(d uint64) {
 // trace, simulation error) is reported so waiting sweeps fail fast
 // instead of bouncing the unit between workers forever.
 func (w *Worker) runUnit(ctx context.Context, id string, u WorkUnit) {
+	// Join the coordinator's trace: the unit carries the traceparent of
+	// the sweep that enqueued it, so every span and log line below lands
+	// under the same trace ID the submitting client saw.
+	ctx = obs.WithTracer(ctx, w.tracer)
+	if sc, ok := obs.ParseTraceparent(u.Traceparent); ok {
+		ctx = obs.WithRemoteParent(ctx, sc)
+	}
+	ctx, span := obs.Start(ctx, "worker.unit",
+		obs.String("worker", id), obs.String("unit", short(u.Address)))
+	defer span.End()
+
 	scale := w.eng.Scale()
 	key := u.Job.CanonicalJSON(scale)
 	if engineAddress(key) != u.Address {
@@ -296,7 +315,8 @@ func (w *Worker) runUnit(ctx context.Context, id string, u WorkUnit) {
 			w.failUnit(ctx, id, u.Address, pe.Error())
 			return
 		}
-		w.logf("cluster worker: replicating traces for %s: %v (lease will expire)", u.Address[:12], err)
+		w.log.WarnContext(ctx, "cluster worker: trace replication failed; lease will expire",
+			"unit", short(u.Address), "error", err.Error())
 		return
 	}
 	res, err := w.eng.RunContext(ctx, u.Job)
@@ -314,13 +334,23 @@ func (w *Worker) runUnit(ctx context.Context, id string, u WorkUnit) {
 	}
 	if _, err := w.client.UploadResult(ctx, u.Address, doc); err != nil {
 		if ctx.Err() == nil {
-			w.logf("cluster worker: uploading %s: %v (lease will expire)", u.Address[:12], err)
+			w.log.WarnContext(ctx, "cluster worker: upload failed; lease will expire",
+				"unit", short(u.Address), "error", err.Error())
 		}
 		return
 	}
 	w.mu.Lock()
 	w.counters.Completed++
 	w.mu.Unlock()
+	w.log.InfoContext(ctx, "cluster worker: unit completed", "worker_id", id, "unit", short(u.Address))
+}
+
+// short abbreviates a content address for log lines and span attrs.
+func short(addr string) string {
+	if len(addr) > 12 {
+		return addr[:12]
+	}
+	return addr
 }
 
 // failUnit reports a deterministic failure, best-effort.
@@ -329,7 +359,8 @@ func (w *Worker) failUnit(ctx context.Context, id, addr, msg string) {
 	w.counters.Failed++
 	w.mu.Unlock()
 	if err := w.client.ReportFailure(ctx, addr, FailRequest{WorkerID: id, Error: msg}); err != nil && ctx.Err() == nil {
-		w.logf("cluster worker: reporting failure for %s: %v", addr[:12], err)
+		w.log.WarnContext(ctx, "cluster worker: reporting failure failed",
+			"unit", short(addr), "error", err.Error())
 	}
 }
 
@@ -393,6 +424,8 @@ func (w *Worker) replicateOne(ctx context.Context, digest string) error {
 		close(ch)
 	}()
 
+	ctx, sp := obs.Start(ctx, "worker.replicate", obs.String("trace", short(digest)))
+	defer sp.End()
 	rc, err := w.client.FetchTrace(ctx, digest)
 	if err != nil {
 		if IsStatus(err, 404) {
@@ -416,7 +449,7 @@ func (w *Worker) replicateOne(ctx context.Context, digest string) error {
 	w.counters.Replicated++
 	w.pendingReplicated++
 	w.mu.Unlock()
-	w.logf("cluster worker: replicated trace %s", digest[:12])
+	w.log.InfoContext(ctx, "cluster worker: replicated trace", "trace", short(digest))
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prefetchers"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -365,6 +366,11 @@ type Options struct {
 	// SliceShards > 1) fans out to (0 = GOMAXPROCS). It only throttles
 	// execution — a sliced job's result is identical at every setting.
 	SliceWorkers int
+	// Phases, when set, observes per-phase durations (queue_wait,
+	// materialize, simulate, slice, merge, store_commit, shard) into a
+	// phase-labeled latency histogram. Observability-only: results and
+	// content addresses are identical with or without it.
+	Phases *obs.HistogramVec
 }
 
 // Engine executes and memoizes simulations. It is safe for concurrent use.
@@ -375,6 +381,7 @@ type Engine struct {
 	workers      int
 	sliceWorkers int
 	progress     func(Progress)
+	phases       *obs.HistogramVec
 
 	limit chan struct{}
 
@@ -403,6 +410,7 @@ func New(opts Options) *Engine {
 		workers:      opts.Workers,
 		sliceWorkers: opts.SliceWorkers,
 		progress:     opts.Progress,
+		phases:       opts.Phases,
 		limit:        make(chan struct{}, opts.Workers),
 		memo:         make(map[string]sim.Result),
 		inflight:     make(map[string]chan struct{}),
@@ -575,16 +583,19 @@ func (e *Engine) run(ctx context.Context, j Job) (res sim.Result, cached bool, e
 		// simulation starts it runs to completion, so a cancelled sweep
 		// stops at the next job boundary rather than corrupting state
 		// mid-step.
+		_, _, queued := e.phase(ctx, "queue_wait")
 		select {
 		case e.limit <- struct{}{}:
+			queued()
 		case <-ctx.Done():
+			queued()
 			return sim.Result{}, false, ctx.Err()
 		}
 		defer func() { <-e.limit }()
 		if err := ctx.Err(); err != nil {
 			return sim.Result{}, false, err
 		}
-		res, err = e.execute(j)
+		res, err = e.execute(ctx, j)
 		if err != nil {
 			// Not memoized: the failure may be transient state (a trace
 			// deleted mid-flight), and completed stays false so waiters
@@ -593,9 +604,11 @@ func (e *Engine) run(ctx context.Context, j Job) (res sim.Result, cached bool, e
 		}
 	}
 	if !cached && e.store != nil {
+		_, _, committed := e.phase(ctx, "store_commit")
 		// Persistence is best-effort: a read-only cache dir must not
 		// fail the sweep.
 		e.store.Put(key, res) //nolint:errcheck
+		committed()
 	}
 	completed = true
 	return res, cached, nil
@@ -609,9 +622,23 @@ func (e *Engine) config(cores int) sim.Config {
 	return cfg
 }
 
-func (e *Engine) execute(j Job) (sim.Result, error) {
+// phase opens an engine-phase span ("engine."+name) under ctx and
+// returns it plus a completion func that ends the span and feeds the
+// phase histogram. Instrumentation stops at this granularity — phases
+// wrap whole simulations, materializations and merges, never the
+// per-record step loop, so the hot path stays allocation-free.
+func (e *Engine) phase(ctx context.Context, name string, attrs ...obs.Attr) (context.Context, *obs.Span, func()) {
+	start := time.Now()
+	ctx, sp := obs.Start(ctx, "engine."+name, attrs...)
+	return ctx, sp, func() {
+		sp.End()
+		e.phases.Observe(name, time.Since(start).Seconds())
+	}
+}
+
+func (e *Engine) execute(ctx context.Context, j Job) (sim.Result, error) {
 	if k := j.Overrides.SliceShards; k > 1 && len(j.Traces) == 1 {
-		return e.executeSliced(j, k)
+		return e.executeSliced(ctx, j, k)
 	}
 	cores := len(j.Traces)
 	cfg := j.Overrides.Apply(e.config(cores))
@@ -627,9 +654,9 @@ func (e *Engine) execute(j Job) (sim.Result, error) {
 		// registry-backed traces (deleted or damaged after validation), so
 		// it flows through the error return rather than panicking —
 		// catalogue generation remains infallible for validated jobs.
-		recs, err := workload.MaterializeRecords(name, e.scale.TraceLen)
+		recs, err := e.materialize(ctx, name, j)
 		if err != nil {
-			return sim.Result{}, fmt.Errorf("engine: materializing trace for %s: %w", j, err)
+			return sim.Result{}, err
 		}
 		spec := sim.CoreSpec{
 			Trace:        trace.NewLooping(trace.NewRecordsReader(recs)),
@@ -644,7 +671,28 @@ func (e *Engine) execute(j Job) (sim.Result, error) {
 	if err != nil {
 		panic(fmt.Sprintf("engine: building system for %s: %v", j, err))
 	}
-	return sys.Run(), nil
+	_, _, simulated := e.phase(ctx, "simulate", obs.Int("cores", cores))
+	res := sys.Run()
+	simulated()
+	return res, nil
+}
+
+// materialize wraps workload.MaterializeRecordsCached in a
+// trace-attributed phase span recording whether the slab was a cache
+// hit or a fresh generation.
+func (e *Engine) materialize(ctx context.Context, name string, j Job) (trace.Records, error) {
+	_, sp, done := e.phase(ctx, "materialize", obs.String("trace", name))
+	recs, hit, err := workload.MaterializeRecordsCached(name, e.scale.TraceLen)
+	if hit {
+		sp.SetAttr("cache", "hit")
+	} else {
+		sp.SetAttr("cache", "miss")
+	}
+	done()
+	if err != nil {
+		return nil, fmt.Errorf("engine: materializing trace for %s: %w", j, err)
+	}
+	return recs, nil
 }
 
 // RunAll executes a sweep: jobs are split round-robin into one shard per
@@ -734,13 +782,15 @@ func (e *Engine) RunAllContext(ctx context.Context, jobs []Job, progress func(Pr
 					panicOnce.Do(func() { panicked = r })
 				}
 			}()
+			sctx, _, shardDone := e.phase(ctx, "shard", obs.Int("shard", shard), obs.Int("jobs", len(idx)))
+			defer shardDone()
 			src := rng.New(e.seed ^ (uint64(shard+1) * 0x9e3779b97f4a7c15))
 			for _, k := range src.Perm(len(idx)) {
 				if ctx.Err() != nil {
 					return
 				}
 				i := idx[k]
-				res, cached, err := e.run(ctx, jobs[i])
+				res, cached, err := e.run(sctx, jobs[i])
 				if err != nil {
 					if ctx.Err() == nil {
 						errOnce.Do(func() { jobErr = err })

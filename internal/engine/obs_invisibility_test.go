@@ -1,0 +1,70 @@
+package engine_test
+
+// Instrumentation must be invisible to content addressing: arming the
+// full observability stack — tracer, timings collector, open parent
+// span, phase histograms — changes neither the result values nor one
+// byte of what the store persists. Spans and histograms observe the
+// computation; they must never become part of it.
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestObsInstrumentationKeyInvisible(t *testing.T) {
+	scale := engine.Scale{TracesPerSuite: 1, TraceLen: 10_000, Warmup: 5_000, Sim: 20_000}
+	job := engine.Job{Traces: []string{"lbm-1274"}, L1: []string{"Gaze"}}
+
+	run := func(dir string, traced bool) (sim.Result, map[string][]byte) {
+		store, err := engine.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := engine.Options{Scale: scale, Store: store}
+		ctx := context.Background()
+		if traced {
+			opts.Phases = obs.NewMetrics().EnginePhase
+			ctx = obs.WithTracer(ctx, obs.NewTracer(obs.TracerOptions{}))
+			ctx = obs.WithTimings(ctx, obs.NewTimings())
+			var span *obs.Span
+			ctx, span = obs.Start(ctx, "test.run")
+			defer span.End()
+		}
+		res, err := engine.New(opts).RunContext(ctx, job)
+		if err != nil {
+			t.Fatalf("traced=%v: %v", traced, err)
+		}
+		return res, storeBytes(t, dir)
+	}
+
+	base := t.TempDir()
+	bareRes, bareStore := run(filepath.Join(base, "bare"), false)
+	tracedRes, tracedStore := run(filepath.Join(base, "traced"), true)
+
+	if !reflect.DeepEqual(bareRes, tracedRes) {
+		t.Errorf("results differ with instrumentation armed:\nbare   %+v\ntraced %+v", bareRes, tracedRes)
+	}
+	if len(bareStore) == 0 {
+		t.Fatal("bare run committed no store entries")
+	}
+	if len(tracedStore) != len(bareStore) {
+		t.Fatalf("store entry count: bare %d, traced %d", len(bareStore), len(tracedStore))
+	}
+	for rel, want := range bareStore {
+		got, ok := tracedStore[rel]
+		if !ok {
+			t.Errorf("traced store lacks %s — instrumentation changed a content address", rel)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("store file %s differs byte-wise with instrumentation armed", rel)
+		}
+	}
+}

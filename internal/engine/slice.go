@@ -15,15 +15,16 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/prefetchers"
 	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // sliceWindow is one slice's replay plan: start the trace reader at slab
@@ -111,11 +112,11 @@ func planSlices(slab trace.Records, warmup, simBudget uint64, k int) []sliceWind
 // same prefetcher wiring, same translator salt — each slice is core 0 of
 // its own single-core system, so no state is shared and the merged
 // document depends only on the plan, never on scheduling.
-func (e *Engine) executeSliced(j Job, k int) (sim.Result, error) {
+func (e *Engine) executeSliced(ctx context.Context, j Job, k int) (sim.Result, error) {
 	name := j.Traces[0]
-	slab, err := workload.MaterializeRecords(name, e.scale.TraceLen)
+	slab, err := e.materialize(ctx, name, j)
 	if err != nil {
-		return sim.Result{}, fmt.Errorf("engine: materializing trace for %s: %w", j, err)
+		return sim.Result{}, err
 	}
 	cfg := j.Overrides.Apply(e.config(1))
 	wins := planSlices(slab, cfg.WarmupInstructions, cfg.SimInstructions, k)
@@ -148,7 +149,9 @@ func (e *Engine) executeSliced(j Job, k int) (sim.Result, error) {
 			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			_, _, sliced := e.phase(ctx, "slice", obs.Int("slice", i))
 			parts[i] = e.runSlice(j, cfg, slab, wins[i])
+			sliced()
 		}(i)
 	}
 	wg.Wait()
@@ -157,7 +160,10 @@ func (e *Engine) executeSliced(j Job, k int) (sim.Result, error) {
 		// cleanup and the HTTP layer's recover can see it.
 		panic(panicked)
 	}
-	return sim.MergeSlices(parts), nil
+	_, _, merged := e.phase(ctx, "merge", obs.Int("slices", len(parts)))
+	res := sim.MergeSlices(parts)
+	merged()
+	return res, nil
 }
 
 // runSlice simulates one slice window as a standalone single-core system.

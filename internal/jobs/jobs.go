@@ -26,10 +26,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -137,6 +140,25 @@ type Record struct {
 	Started   time.Time
 	Finished  time.Time
 	Progress  Progress
+	// TraceID correlates the job with its spans (GET /debug/traces?job=).
+	// Set when the job starts running under a tracer; the submitter's
+	// trace ID when the submission carried one.
+	TraceID string
+	// Timings is the terminal phase breakdown (nil until the job
+	// finishes). Persisted in the journal, so it survives restarts.
+	Timings *Timings
+}
+
+// Timings is a finished job's phase-duration breakdown in milliseconds.
+// Phases decomposes the job's wall clock — queue_wait + execute +
+// finalize sums to ≈ TotalMS. Spans aggregates the durations of every
+// instrumentation span recorded under the job (engine.materialize,
+// engine.simulate, engine.shard, cluster.* ...); those ran concurrently
+// across shards and slices, so their sum routinely exceeds wall time.
+type Timings struct {
+	TotalMS int64            `json:"total_ms"`
+	Phases  map[string]int64 `json:"phases"`
+	Spans   map[string]int64 `json:"spans,omitempty"`
 }
 
 // record is the manager-internal mutable job. Everything is guarded by
@@ -148,6 +170,9 @@ type record struct {
 	cancelRequested bool
 	doc             any
 	subs            map[chan Record]struct{}
+	// traceCtx is the submitter's span identity, captured by
+	// SubmitContext so the background run continues the same trace.
+	traceCtx obs.SpanContext
 }
 
 // Sentinel errors, mapped to HTTP statuses by internal/server.
@@ -193,6 +218,13 @@ type Options struct {
 	// (Engine.RunAllContext); a cluster coordinator injects its
 	// lease-to-workers executor here.
 	Execute Executor
+	// Tracer, when set, records a root span per job run (continuing the
+	// submitter's trace when SubmitContext captured one) plus compile
+	// spans at submission. Observability-only.
+	Tracer *obs.Tracer
+	// QueueWait, when set, observes each dispatched job's submit→start
+	// wait into a latency histogram.
+	QueueWait *obs.Histogram
 }
 
 // Manager owns the job table, the dispatch lanes and the journal. It is
@@ -205,6 +237,8 @@ type Manager struct {
 	queueDepth int
 	journal    *journal
 	dir        string
+	tracer     *obs.Tracer
+	queueWait  *obs.Histogram
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -244,6 +278,8 @@ func Open(opts Options) (*Manager, error) {
 		workers:        opts.Workers,
 		queueDepth:     opts.QueueDepth,
 		dir:            opts.Dir,
+		tracer:         opts.Tracer,
+		queueWait:      opts.QueueWait,
 		recs:           make(map[string]*record),
 		lanes:          map[Priority][]string{High: nil, Normal: nil},
 		dispatcherDone: make(chan struct{}),
@@ -308,17 +344,29 @@ func (m *Manager) idFor(spec Spec, plan *Plan) string {
 // A previous attempt that failed, was canceled or was interrupted is
 // re-queued under the same ID.
 func (m *Manager) Submit(spec Spec) (Record, bool, error) {
+	return m.SubmitContext(context.Background(), spec)
+}
+
+// SubmitContext is Submit carrying the submitter's context for
+// observability only: the compile span lands under the caller's trace,
+// and the span identity is captured so the background run continues the
+// same trace end to end. Execution is unaffected — the job never
+// inherits the request's cancellation.
+func (m *Manager) SubmitContext(ctx context.Context, spec Spec) (Record, bool, error) {
 	if spec.Priority == "" {
 		spec.Priority = Normal
 	}
 	if spec.Priority != Normal && spec.Priority != High {
 		return Record{}, false, fmt.Errorf("jobs: unknown priority %q (want %q or %q)", spec.Priority, Normal, High)
 	}
+	_, csp := obs.Start(obs.WithTracer(ctx, m.tracer), "job.compile", obs.String("type", spec.Type))
 	plan, err := m.compile(spec)
+	csp.End()
 	if err != nil {
 		return Record{}, false, err
 	}
 	id := m.idFor(spec, plan)
+	traceCtx := obs.SpanContextFrom(ctx)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -349,6 +397,8 @@ func (m *Manager) Submit(spec Spec) (Record, bool, error) {
 		rec.Progress = Progress{}
 		rec.cancelRequested = false
 		rec.doc = nil
+		rec.TraceID, rec.Timings = "", nil
+		rec.traceCtx = traceCtx
 		m.enqueueLocked(rec)
 		return rec.Record, false, nil
 	}
@@ -356,8 +406,9 @@ func (m *Manager) Submit(spec Spec) (Record, bool, error) {
 		return Record{}, false, err
 	}
 	rec := &record{
-		Record: Record{ID: id, Spec: spec, State: Queued, Created: time.Now()},
-		plan:   plan,
+		Record:   Record{ID: id, Spec: spec, State: Queued, Created: time.Now()},
+		plan:     plan,
+		traceCtx: traceCtx,
 	}
 	m.recs[id] = rec
 	m.order = append(m.order, id)
@@ -431,10 +482,30 @@ func (m *Manager) peekLocked() string {
 // runJob executes one job on the shared engine and records its terminal
 // state. Runs on its own goroutine; one per running job.
 func (m *Manager) runJob(ctx context.Context, rec *record) {
+	// The root span continues the submitter's trace (when one was
+	// captured) and every span ended under this context feeds the job's
+	// phase-timing collector. Spec/Created/Started are stable while the
+	// job runs, so they are read without m.mu like rec.plan below.
+	ctx = obs.WithTracer(ctx, m.tracer)
+	ctx = obs.WithRemoteParent(ctx, rec.traceCtx)
+	collector := obs.NewTimings()
+	ctx = obs.WithTimings(ctx, collector)
+	ctx, root := obs.Start(ctx, "job.run",
+		obs.String("job", rec.ID), obs.String("type", rec.Spec.Type))
+	queueWait := rec.Started.Sub(rec.Created)
+	m.queueWait.Observe(queueWait.Seconds())
+	if m.tracer != nil {
+		root.SetAttr("queue_wait_ms", strconv.FormatInt(queueWait.Milliseconds(), 10))
+		m.mu.Lock()
+		rec.TraceID = root.TraceID
+		m.mu.Unlock()
+	}
+
 	var (
 		results []sim.Result
 		runErr  error
 	)
+	executeStart := time.Now()
 	func() {
 		// An engine panic (programmer error) must land the job in failed,
 		// not kill the process.
@@ -443,10 +514,14 @@ func (m *Manager) runJob(ctx context.Context, rec *record) {
 				runErr = fmt.Errorf("jobs: engine panic: %v", p)
 			}
 		}()
-		results, runErr = m.execute(ctx, rec.plan.Jobs, func(p engine.Progress) {
+		ectx, esp := obs.Start(ctx, "job.execute")
+		defer esp.End()
+		results, runErr = m.execute(ectx, rec.plan.Jobs, func(p engine.Progress) {
 			m.observeProgress(rec, p)
 		})
 	}()
+	executeDur := time.Since(executeStart)
+	finalizeStart := time.Now()
 	var doc any
 	if runErr == nil {
 		func() {
@@ -455,14 +530,19 @@ func (m *Manager) runJob(ctx context.Context, rec *record) {
 					runErr = fmt.Errorf("jobs: assembling result: %v", p)
 				}
 			}()
+			_, fsp := obs.Start(ctx, "job.finalize")
+			defer fsp.End()
 			doc = rec.plan.Finalize(results)
 		}()
 	}
+	finalizeDur := time.Since(finalizeStart)
+	root.End()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
 	rec.Finished = time.Now()
+	rec.Timings = newTimings(rec.Finished.Sub(rec.Created), queueWait, executeDur, finalizeDur, collector)
 	switch {
 	case rec.cancelRequested:
 		// An acknowledged Cancel (the client's 202) is authoritative even
@@ -497,6 +577,31 @@ func (m *Manager) runJob(ctx context.Context, rec *record) {
 	m.journalLocked(rec)
 	m.notifyLocked(rec)
 	m.cond.Broadcast()
+}
+
+// newTimings assembles a job's terminal phase breakdown: the wall-clock
+// decomposition (which sums to ≈ total) plus the aggregated span
+// durations collected during the run. job.* spans are excluded — they
+// duplicate the decomposition phases.
+func newTimings(total, queueWait, execute, finalize time.Duration, c *obs.Timings) *Timings {
+	t := &Timings{
+		TotalMS: total.Milliseconds(),
+		Phases: map[string]int64{
+			"queue_wait": queueWait.Milliseconds(),
+			"execute":    execute.Milliseconds(),
+			"finalize":   finalize.Milliseconds(),
+		},
+	}
+	for name, d := range c.Snapshot() {
+		if strings.HasPrefix(name, "job.") {
+			continue
+		}
+		if t.Spans == nil {
+			t.Spans = make(map[string]int64)
+		}
+		t.Spans[name] = d.Milliseconds()
+	}
+	return t
 }
 
 // resultAvailableLocked reports whether a succeeded job's document can

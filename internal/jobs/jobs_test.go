@@ -8,11 +8,13 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -560,5 +562,59 @@ func TestExecutorSeam(t *testing.T) {
 	defer mu.Unlock()
 	if calls != 1 || jobsSeen != 2 {
 		t.Errorf("executor saw %d calls / %d jobs, want 1 / 2", calls, jobsSeen)
+	}
+}
+
+// TestTimingsAndTracePersistAcrossReopen: a traced job's phase breakdown
+// and trace ID are journaled with the terminal state, so a restarted
+// manager — even one running without a tracer — still reports them.
+func TestTimingsAndTracePersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	tracer := obs.NewTracer(obs.TracerOptions{})
+	m := newManager(t, Options{Dir: dir, Tracer: tracer})
+
+	rec, _, err := m.Submit(fanSpec("IP-stride", 2, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, rec.ID, Succeeded)
+	if done.TraceID == "" {
+		t.Fatal("traced job has no trace id")
+	}
+	if done.Timings == nil {
+		t.Fatal("terminal job has no timings")
+	}
+	var sum int64
+	for _, ms := range done.Timings.Phases {
+		sum += ms
+	}
+	// The phase decomposition must account for the wall clock: no phase
+	// missing (sum far under total) and no double counting (sum over).
+	if total := done.Timings.TotalMS; sum > total+1 || total-sum > total/2+50 {
+		t.Errorf("phases sum to %dms, wall %dms", sum, total)
+	}
+	if done.Timings.Spans["engine.simulate"] == 0 {
+		t.Errorf("span aggregate lacks engine.simulate: %v", done.Timings.Spans)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newManager(t, Options{Dir: dir}) // no tracer on the reopened manager
+	got, ok := m2.Get(rec.ID)
+	if !ok || got.State != Succeeded {
+		t.Fatalf("after reopen, job = %+v", got)
+	}
+	if got.TraceID != done.TraceID {
+		t.Errorf("reopened trace id = %q, want %q", got.TraceID, done.TraceID)
+	}
+	if got.Timings == nil {
+		t.Fatal("timings lost across reopen")
+	}
+	if !reflect.DeepEqual(got.Timings, done.Timings) {
+		t.Errorf("timings changed across reopen:\nbefore %+v\nafter  %+v", done.Timings, got.Timings)
 	}
 }

@@ -21,13 +21,17 @@ import (
 // mid-append — is skipped on read and healed by the compacting rewrite at
 // Open.
 
-// entry is one journal line.
+// entry is one journal line. Terminal entries carry the job's phase
+// timings and trace ID so GET /jobs/{id} (and /debug/traces?job=) keep
+// reporting them after a restart.
 type entry struct {
-	Time  time.Time `json:"time"`
-	ID    string    `json:"id"`
-	State State     `json:"state"`
-	Error string    `json:"error,omitempty"`
-	Spec  *Spec     `json:"spec,omitempty"`
+	Time    time.Time `json:"time"`
+	ID      string    `json:"id"`
+	State   State     `json:"state"`
+	Error   string    `json:"error,omitempty"`
+	Spec    *Spec     `json:"spec,omitempty"`
+	Timings *Timings  `json:"timings,omitempty"`
+	TraceID string    `json:"trace_id,omitempty"`
 }
 
 // journal owns the append handle. Appends are serialized by Manager.mu.
@@ -117,6 +121,10 @@ func (m *Manager) journalLocked(rec *record) {
 		spec := rec.Spec
 		e.Spec = &spec
 	}
+	if rec.State.Terminal() {
+		e.Timings = rec.Timings
+		e.TraceID = rec.TraceID
+	}
 	m.journal.append(e) //nolint:errcheck // best-effort durability
 }
 
@@ -124,11 +132,13 @@ func (m *Manager) journalLocked(rec *record) {
 // before the dispatcher starts, so no locking is needed yet.
 func (m *Manager) recover(entries []entry) {
 	type folded struct {
-		spec  *Spec
-		state State
-		err   string
-		first time.Time
-		last  time.Time
+		spec    *Spec
+		state   State
+		err     string
+		first   time.Time
+		last    time.Time
+		timings *Timings
+		traceID string
 	}
 	byID := make(map[string]*folded)
 	var ids []string // first-appearance order
@@ -142,7 +152,7 @@ func (m *Manager) recover(entries []entry) {
 		if e.Spec != nil {
 			f.spec = e.Spec
 		}
-		f.state, f.err, f.last = e.State, e.Error, e.Time
+		f.state, f.err, f.last, f.timings, f.traceID = e.State, e.Error, e.Time, e.Timings, e.TraceID
 	}
 	for _, id := range ids {
 		f := byID[id]
@@ -151,7 +161,7 @@ func (m *Manager) recover(entries []entry) {
 		}
 		rec := &record{Record: Record{
 			ID: id, Spec: *f.spec, State: f.state, Error: f.err,
-			Created: f.first,
+			Created: f.first, Timings: f.timings, TraceID: f.traceID,
 		}}
 		switch f.state {
 		case Queued, Running:
@@ -207,7 +217,12 @@ func (m *Manager) compactedEntries() []entry {
 		spec := rec.Spec
 		out = append(out, entry{Time: rec.Created, ID: id, State: Queued, Spec: &spec})
 		if rec.State != Queued {
-			out = append(out, entry{Time: rec.Finished, ID: id, State: rec.State, Error: rec.Error})
+			e := entry{Time: rec.Finished, ID: id, State: rec.State, Error: rec.Error}
+			if rec.State.Terminal() {
+				e.Timings = rec.Timings
+				e.TraceID = rec.TraceID
+			}
+			out = append(out, e)
 		}
 	}
 	return out

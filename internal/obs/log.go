@@ -1,0 +1,53 @@
+// Structured logging: thin constructors over log/slog plus a handler
+// wrapper that stamps trace_id/span_id from the context onto every
+// record — so any *Context log call made under an active span is
+// joinable with the span log without the call site threading IDs.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the process logger. format is "json" for one JSON
+// object per line, anything else for logfmt-style text. The returned
+// logger injects trace/span IDs from the context on *Context calls.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(ContextHandler(h))
+}
+
+// ContextHandler wraps a slog.Handler so records logged with a context
+// carrying a span (or remote parent) gain trace_id and span_id attrs.
+// Idempotent: wrapping an already-wrapped handler returns it unchanged,
+// so components can defensively wrap loggers handed to them without
+// double-stamping the IDs.
+func ContextHandler(h slog.Handler) slog.Handler {
+	if _, ok := h.(ctxHandler); ok {
+		return h
+	}
+	return ctxHandler{h}
+}
+
+type ctxHandler struct{ slog.Handler }
+
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		r.AddAttrs(slog.String("trace_id", sc.TraceID), slog.String("span_id", sc.SpanID))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{h.Handler.WithGroup(name)}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	var logBuf bytes.Buffer
+	tr := NewTracer(TracerOptions{RingSize: 4, Log: &logBuf})
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "root", String("kind", "test"))
+	if root == nil {
+		t.Fatal("root span nil with tracer armed")
+	}
+	_, child := Start(ctx, "child")
+	if child.TraceID != root.TraceID {
+		t.Errorf("child trace %q != root trace %q", child.TraceID, root.TraceID)
+	}
+	if child.ParentID != root.SpanID {
+		t.Errorf("child parent %q != root span %q", child.ParentID, root.SpanID)
+	}
+	child.SetAttr("n", "1")
+	child.SetAttr("n", "2") // overwrite, not append
+	child.End()
+	root.End()
+
+	recent := tr.Recent(0)
+	if len(recent) != 2 {
+		t.Fatalf("ring has %d spans, want 2", len(recent))
+	}
+	if recent[0].Name != "root" || recent[1].Name != "child" {
+		t.Errorf("ring order = %q, %q, want newest first", recent[0].Name, recent[1].Name)
+	}
+
+	// NDJSON log: one parseable object per line, attrs as a map.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("span log has %d lines, want 2", len(lines))
+	}
+	var wire struct {
+		TraceID  string            `json:"trace_id"`
+		Name     string            `json:"name"`
+		Duration int64             `json:"duration_us"`
+		Attrs    map[string]string `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &wire); err != nil {
+		t.Fatalf("span log line not JSON: %v", err)
+	}
+	if wire.Name != "child" || wire.TraceID != root.TraceID || wire.Attrs["n"] != "2" {
+		t.Errorf("span log line = %+v", wire)
+	}
+
+	st := tr.Stats()
+	if st.SpansStarted != 2 || st.SpansFinished != 2 || st.SpansDropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RingOccupancy != 2 || st.TraceLogBytes != int64(logBuf.Len()) {
+		t.Errorf("stats = %+v, log bytes %d", st, logBuf.Len())
+	}
+}
+
+func TestTracerRingDrop(t *testing.T) {
+	tr := NewTracer(TracerOptions{RingSize: 2})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, s := Start(ctx, "s")
+		s.End()
+	}
+	if st := tr.Stats(); st.SpansDropped != 3 || st.RingOccupancy != 2 {
+		t.Errorf("stats = %+v, want 3 dropped, occupancy 2", st)
+	}
+	if got := len(tr.Recent(0)); got != 2 {
+		t.Errorf("recent = %d spans, want 2", got)
+	}
+	if got := len(tr.Recent(1)); got != 1 {
+		t.Errorf("recent(1) = %d spans, want 1", got)
+	}
+}
+
+// TestDisabledIsNil: without a tracer or timings collector in context,
+// Start returns nil and every span method is a safe no-op.
+func TestDisabledIsNil(t *testing.T) {
+	ctx, s := Start(context.Background(), "noop", String("k", "v"))
+	if s != nil {
+		t.Fatal("span non-nil without tracer")
+	}
+	s.SetAttr("a", "b")
+	s.SetName("renamed")
+	s.End()
+	if sc := s.Context(); sc.Valid() {
+		t.Error("nil span has valid context")
+	}
+	if _, s2 := Start(ctx, "child"); s2 != nil {
+		t.Error("child span non-nil without tracer")
+	}
+	var tr *Tracer
+	tr.Observe(SpanContext{}, "x", time.Now(), time.Second)
+	if tr.Stats() != (TracerStats{}) || tr.Recent(0) != nil {
+		t.Error("nil tracer not zero-valued")
+	}
+	var tm *Timings
+	tm.Add("x", time.Second)
+	if tm.Snapshot() != nil {
+		t.Error("nil timings snapshot not nil")
+	}
+	var h *Histogram
+	h.Observe(1)
+	var v *HistogramVec
+	v.Observe("a", 1)
+}
+
+func TestTimingsCollector(t *testing.T) {
+	tm := NewTimings()
+	ctx := WithTimings(context.Background(), tm)
+	ctx, s := Start(ctx, "phase")
+	if s == nil {
+		t.Fatal("timings collector alone should enable spans")
+	}
+	_, s2 := Start(ctx, "phase")
+	s2.End()
+	s.End()
+	snap := tm.Snapshot()
+	if len(snap) != 1 || snap["phase"] <= 0 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, s := Start(ctx, "root")
+	defer s.End()
+
+	h := http.Header{}
+	Inject(ctx, h)
+	v := h.Get(TraceparentHeader)
+	if want := "00-" + s.TraceID + "-" + s.SpanID + "-01"; v != want {
+		t.Fatalf("traceparent = %q, want %q", v, want)
+	}
+	sc, ok := ParseTraceparent(v)
+	if !ok || sc.TraceID != s.TraceID || sc.SpanID != s.SpanID {
+		t.Fatalf("parse(%q) = %+v, %v", v, sc, ok)
+	}
+
+	// A remote child continues the trace.
+	rctx := WithRemoteParent(WithTracer(context.Background(), tr), sc)
+	_, remote := Start(rctx, "remote")
+	if remote.TraceID != s.TraceID || remote.ParentID != s.SpanID {
+		t.Errorf("remote span = trace %q parent %q", remote.TraceID, remote.ParentID)
+	}
+	remote.End()
+
+	for _, bad := range []string{
+		"", "00", "00-zz-xx-01",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // missing flags
+		"00-0af7651916cd43dd8448eb211c80319Z-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-01", // short span
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTracerObserve(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	parent := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+	start := time.Now().Add(-time.Second)
+	tr.Observe(parent, "lease", start, time.Second, String("worker", "w1"))
+	spans := tr.Recent(0)
+	if len(spans) != 1 {
+		t.Fatalf("ring has %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.TraceID != parent.TraceID || s.ParentID != parent.SpanID || s.Duration != time.Second {
+		t.Errorf("observed span = %+v", s)
+	}
+	// Invalid parent starts a fresh trace instead of recording junk IDs.
+	tr.Observe(SpanContext{TraceID: "short"}, "orphan", start, time.Second)
+	if s := tr.Recent(0)[0]; len(s.TraceID) != 32 || s.ParentID != "" {
+		t.Errorf("orphan span ids = %q/%q", s.TraceID, s.ParentID)
+	}
+}
+
+func TestContextLogHandler(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "json")
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, s := Start(ctx, "op")
+	logger.InfoContext(ctx, "hello", "k", "v")
+	s.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["trace_id"] != s.TraceID || rec["span_id"] != s.SpanID {
+		t.Errorf("log record = %v, want trace %q span %q", rec, s.TraceID, s.SpanID)
+	}
+
+	// Text format, no span: no trace attrs, still logs.
+	buf.Reset()
+	tl := NewLogger(&buf, "text")
+	tl.With("component", "x").InfoContext(context.Background(), "plain")
+	if out := buf.String(); strings.Contains(out, "trace_id") || !strings.Contains(out, "component=x") {
+		t.Errorf("text log = %q", out)
+	}
+}

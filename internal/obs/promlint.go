@@ -1,0 +1,315 @@
+// A dependency-free lint for the Prometheus text exposition subset this
+// repo emits, shared by the server's /metrics tests and cmd/promlint
+// (which CI pipes a live scrape through). One parser, one set of rules:
+// HELP/TYPE precede samples, TYPE is counter|gauge|histogram, counters
+// are _total-suffixed, histogram families expose cumulative _bucket
+// samples in ascending le order ending at +Inf plus matching _sum and
+// _count, and nothing is declared or sampled twice.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromText is a parsed, validated exposition document. Samples are
+// keyed by bare metric name when unlabeled, or name{labels-as-written}
+// when labeled.
+type PromText struct {
+	// Types maps each declared family name to counter|gauge|histogram.
+	Types map[string]string
+	// Samples maps each sample line's identity to its value.
+	Samples map[string]float64
+}
+
+// LintProm parses and validates a Prometheus text-format document,
+// returning the parsed samples or the first convention violation.
+func LintProm(text string) (*PromText, error) {
+	doc := &PromText{Types: make(map[string]string), Samples: make(map[string]float64)}
+	hists := make(map[string]*histFamily)
+	var helpFor, typeFor string
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s: %q", ln+1, fmt.Sprintf(format, args...), line)
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !validMetricName(parts[0]) || parts[1] == "" {
+				return nil, fail("malformed HELP")
+			}
+			helpFor = parts[0]
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || !validMetricName(parts[0]) {
+				return nil, fail("malformed TYPE")
+			}
+			if parts[1] != "counter" && parts[1] != "gauge" && parts[1] != "histogram" {
+				return nil, fail("TYPE %q not counter|gauge|histogram", parts[1])
+			}
+			if parts[0] != helpFor {
+				return nil, fail("TYPE for %q without preceding HELP", parts[0])
+			}
+			if _, dup := doc.Types[parts[0]]; dup {
+				return nil, fail("metric %q declared twice", parts[0])
+			}
+			typeFor, doc.Types[parts[0]] = parts[0], parts[1]
+			if parts[1] == "histogram" {
+				hists[parts[0]] = newHistFamily()
+			}
+		case strings.HasPrefix(line, "#"):
+			return nil, fail("unexpected comment")
+		default:
+			name, labels, labelsRaw, value, err := parseSample(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			key := name
+			if labelsRaw != "" {
+				key = name + "{" + labelsRaw + "}"
+			}
+			if _, dup := doc.Samples[key]; dup {
+				return nil, fail("duplicate sample for %q", key)
+			}
+			doc.Samples[key] = value
+			family, suffix := name, ""
+			if h := hists[typeFor]; h != nil {
+				// Histogram samples are family_bucket/_sum/_count.
+				ok := false
+				for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+					if name == typeFor+sfx {
+						family, suffix, ok = typeFor, sfx, true
+						break
+					}
+				}
+				if !ok {
+					return nil, fail("sample %q is not a _bucket/_sum/_count of histogram %q", name, typeFor)
+				}
+				if err := h.add(suffix, labels, value); err != nil {
+					return nil, fail("%v", err)
+				}
+			} else {
+				if family != typeFor {
+					return nil, fail("sample %q without its TYPE header", name)
+				}
+				if len(labels) != 0 {
+					return nil, fail("unexpected labels on %s %q", doc.Types[family], name)
+				}
+			}
+			switch hasTotal := strings.HasSuffix(name, "_total"); {
+			case doc.Types[family] == "counter" && !hasTotal:
+				return nil, fail("counter %q not _total-suffixed", name)
+			case doc.Types[family] != "counter" && hasTotal:
+				return nil, fail("%s %q is _total-suffixed", doc.Types[family], name)
+			}
+		}
+	}
+	for name, h := range hists {
+		if err := h.check(); err != nil {
+			return nil, fmt.Errorf("histogram %s: %v", name, err)
+		}
+	}
+	return doc, nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits `name value` or `name{k="v",...} value` into its
+// parts. labels preserves declaration order; labelsRaw is the verbatim
+// text between the braces.
+func parseSample(line string) (name string, labels [][2]string, labelsRaw string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, "", 0, fmt.Errorf("unbalanced label braces")
+		}
+		name, labelsRaw, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+		if labels, err = parseLabels(labelsRaw); err != nil {
+			return "", nil, "", 0, err
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", nil, "", 0, fmt.Errorf("malformed sample")
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !validMetricName(name) {
+		return "", nil, "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if len(strings.Fields(rest)) != 1 {
+		return "", nil, "", 0, fmt.Errorf("malformed sample value %q", rest)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, "", 0, fmt.Errorf("unparseable value %q", rest)
+	}
+	return name, labels, labelsRaw, value, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` honoring backslash escapes inside
+// values.
+func parseLabels(s string) ([][2]string, error) {
+	var out [][2]string
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := s[:eq]
+		if !validMetricName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		i := 1
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		val, err := strconv.Unquote(s[:i+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value for %q: %v", key, err)
+		}
+		out = append(out, [2]string{key, val})
+		s = s[i+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// histFamily accumulates one histogram family's samples for the
+// post-pass structural checks, grouped by the non-le label set.
+type histFamily struct {
+	groups map[string]*histGroup
+	sums   map[string]bool
+	counts map[string]float64
+}
+
+type histGroup struct {
+	les  []float64
+	vals []float64
+}
+
+func newHistFamily() *histFamily {
+	return &histFamily{
+		groups: make(map[string]*histGroup),
+		sums:   make(map[string]bool),
+		counts: make(map[string]float64),
+	}
+}
+
+func groupKey(labels [][2]string) string {
+	var b strings.Builder
+	for _, kv := range labels {
+		if kv[0] == "le" {
+			continue
+		}
+		b.WriteString(kv[0])
+		b.WriteByte('=')
+		b.WriteString(kv[1])
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func (h *histFamily) add(suffix string, labels [][2]string, value float64) error {
+	key := groupKey(labels)
+	switch suffix {
+	case "_bucket":
+		le := ""
+		for _, kv := range labels {
+			if kv[0] == "le" {
+				le = kv[1]
+			}
+		}
+		if le == "" {
+			return fmt.Errorf("_bucket sample missing le label")
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			var err error
+			if bound, err = strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("unparseable le %q", le)
+			}
+		}
+		g := h.groups[key]
+		if g == nil {
+			g = &histGroup{}
+			h.groups[key] = g
+		}
+		g.les = append(g.les, bound)
+		g.vals = append(g.vals, value)
+	case "_sum":
+		h.sums[key] = true
+	case "_count":
+		h.counts[key] = value
+	}
+	return nil
+}
+
+func (h *histFamily) check() error {
+	for key, g := range h.groups {
+		name := key
+		if name == "" {
+			name = "(no labels)"
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("%s: le bounds not ascending", name)
+			}
+			if g.vals[i] < g.vals[i-1] {
+				return fmt.Errorf("%s: bucket counts not cumulative", name)
+			}
+		}
+		if len(g.les) == 0 || !math.IsInf(g.les[len(g.les)-1], 1) {
+			return fmt.Errorf("%s: terminal bucket is not le=\"+Inf\"", name)
+		}
+		if !h.sums[key] {
+			return fmt.Errorf("%s: missing _sum sample", name)
+		}
+		count, ok := h.counts[key]
+		if !ok {
+			return fmt.Errorf("%s: missing _count sample", name)
+		}
+		if g.vals[len(g.vals)-1] != count {
+			return fmt.Errorf("%s: +Inf bucket (%g) != _count (%g)", name, g.vals[len(g.vals)-1], count)
+		}
+	}
+	// _sum/_count without any buckets is also malformed.
+	for key := range h.counts {
+		if h.groups[key] == nil {
+			return fmt.Errorf("%s: _count without _bucket samples", key)
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/traceset"
 	"repro/internal/workload"
 )
@@ -56,7 +57,8 @@ func conformanceServer(t *testing.T) *httptest.Server {
 	workload.RegisterSource(reg)
 	t.Cleanup(workload.ResetSources)
 	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{Engine: eng})
-	ts := httptest.NewServer(New(eng).AttachJobs(mgr).AttachTraces(reg).AttachCluster(coord).Handler())
+	tracer := obs.NewTracer(obs.TracerOptions{})
+	ts := httptest.NewServer(New(eng).AttachJobs(mgr).AttachTraces(reg).AttachCluster(coord).AttachTracer(tracer).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -152,6 +154,13 @@ func TestHTTPConformance(t *testing.T) {
 		{name: "cluster fail unknown unit", method: "POST", path: "/cluster/failures/" + missingAddr,
 			body: `{"worker_id":"nope","error":"boom"}`, wantStatus: 200},
 
+		// Debug traces.
+		{name: "debug traces ok", method: "GET", path: "/debug/traces", wantStatus: 200},
+		{name: "debug traces bad limit", method: "GET", path: "/debug/traces?limit=x",
+			wantStatus: 400, wantJSONError: true},
+		{name: "debug traces unknown job", method: "GET", path: "/debug/traces?job=nope",
+			wantStatus: 404, wantJSONError: true},
+
 		// Router-level conformance: unknown path and wrong method come
 		// from net/http's mux as plain text.
 		{name: "unknown path", method: "GET", path: "/no/such/endpoint", wantStatus: 404, wantCT: "text/plain"},
@@ -217,6 +226,7 @@ func TestHTTPConformance(t *testing.T) {
 			"POST /simulate", "POST /sweep",
 			"POST /jobs", "GET /jobs", "DELETE /jobs",
 			"GET /cluster", "POST /cluster", "PUT /cluster", "DELETE /cluster",
+			"GET /debug",
 		} {
 			if !covered[route] {
 				t.Errorf("registered route %q has no conformance case", route)

@@ -1,0 +1,138 @@
+// Request instrumentation and the trace-inspection endpoint.
+//
+// instrument is the outermost layer of Handler(): it opens one root span
+// per request (joining an inbound traceparent when a downstream client
+// or cluster peer sent one), renames the span to the matched route
+// pattern after the mux has dispatched, observes the request duration in
+// the per-route histogram, and optionally logs one structured line per
+// request. GET /debug/traces serves the tracer's span ring buffer,
+// newest first, filterable by trace ID or by job ID (resolved through
+// the job's recorded trace).
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// statusWriter captures the response status for the span attribute and
+// the request log line. Flush forwards so streaming handlers (NDJSON
+// job events) keep working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the route mux with per-request tracing, the
+// per-route duration histogram, and optional request logging. With no
+// tracer attached the span path is a nil no-op; the histogram always
+// observes (it is how /metrics gets its HTTP family).
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		if s.tracer != nil {
+			ctx = obs.WithTracer(ctx, s.tracer)
+			if sc, ok := obs.Extract(r.Header); ok {
+				ctx = obs.WithRemoteParent(ctx, sc)
+			}
+		}
+		ctx, span := obs.Start(ctx, "http "+r.Method)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r = r.WithContext(ctx)
+		mux.ServeHTTP(sw, r)
+		// The mux sets r.Pattern during dispatch, so the route label is
+		// only known now — rename the span and label the histogram with
+		// the pattern ("GET /jobs/{id}"), never the raw path, to keep
+		// label cardinality bounded.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		span.SetName("http " + route)
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
+		dur := time.Since(start)
+		s.metrics.HTTPDuration.Observe(route, dur.Seconds())
+		if s.reqLog != nil {
+			s.reqLog.InfoContext(ctx, "http request",
+				"method", r.Method, "path", r.URL.Path, "route", route,
+				"status", sw.status, "duration_ms", dur.Milliseconds())
+		}
+	})
+}
+
+// DebugTracesResponse is the GET /debug/traces document.
+type DebugTracesResponse struct {
+	// TraceID echoes the filter the spans were selected by (from ?trace=
+	// or resolved from ?job=), empty for the unfiltered listing.
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans are newest-first ring-buffer entries.
+	Spans []obs.Span `json:"spans"`
+}
+
+// handleDebugTraces serves recent spans from the tracer's ring buffer.
+// ?trace=<id> filters to one trace; ?job=<id> resolves the job's
+// recorded trace ID first (404 for unknown jobs, 409 for jobs submitted
+// while tracing was off); ?limit=<n> caps the span count.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		httpError(w, http.StatusServiceUnavailable, "tracing not enabled on this server")
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", v)
+			return
+		}
+		limit = n
+	}
+	traceID := q.Get("trace")
+	if jobID := q.Get("job"); jobID != "" {
+		if !s.jobsEnabled(w) {
+			return
+		}
+		rec, ok := s.jobs.Get(jobID)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no job %q", jobID)
+			return
+		}
+		if rec.TraceID == "" {
+			httpError(w, http.StatusConflict, "job %q has no recorded trace", jobID)
+			return
+		}
+		traceID = rec.TraceID
+	}
+	resp := DebugTracesResponse{TraceID: traceID, Spans: []obs.Span{}}
+	if traceID == "" {
+		resp.Spans = append(resp.Spans, s.tracer.Recent(limit)...)
+	} else {
+		for _, sp := range s.tracer.Recent(0) {
+			if sp.TraceID != traceID {
+				continue
+			}
+			resp.Spans = append(resp.Spans, sp)
+			if limit > 0 && len(resp.Spans) == limit {
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+// tracedServer builds a server with tracing and jobs enabled, sharing
+// one tracer between the HTTP layer and the jobs manager — the
+// production wiring gazeserve uses.
+func tracedServer(t *testing.T) (*httptest.Server, *obs.Tracer) {
+	t.Helper()
+	tracer := obs.NewTracer(obs.TracerOptions{})
+	eng := engine.New(engine.Options{Scale: tiny})
+	mgr, err := jobs.Open(jobs.Options{Engine: eng, Compile: Compiler(eng), Workers: 1, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Shutdown(context.Background()) }) //nolint:errcheck
+	ts := httptest.NewServer(New(eng).AttachJobs(mgr).AttachTracer(tracer).Handler())
+	t.Cleanup(ts.Close)
+	return ts, tracer
+}
+
+// traceSpan/tracesDoc mirror the wire shape of GET /debug/traces
+// (obs.Span marshals through spanWire, so the exported struct cannot be
+// decoded back directly).
+type traceSpan struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id"`
+	Name     string            `json:"name"`
+	Attrs    map[string]string `json:"attrs"`
+}
+
+type tracesDoc struct {
+	TraceID string      `json:"trace_id"`
+	Spans   []traceSpan `json:"spans"`
+}
+
+func getTraces(t *testing.T, ts *httptest.Server, query string) (tracesDoc, *http.Response) {
+	t.Helper()
+	r, err := http.Get(ts.URL + "/debug/traces" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var resp tracesDoc
+	if r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, r
+}
+
+// TestDebugTracesDisabled: without a tracer the route answers 503, same
+// subsystem-missing discipline as /jobs and /cluster.
+func TestDebugTracesDisabled(t *testing.T) {
+	ts := newTestServer(t)
+	r, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 without a tracer", r.StatusCode)
+	}
+}
+
+// TestRequestTracing: every request gets a root span named by its
+// matched route pattern, and an inbound traceparent header is honored —
+// the server's spans join the caller's trace.
+func TestRequestTracing(t *testing.T) {
+	ts, _ := tracedServer(t)
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceparentHeader, parent)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	resp, _ := getTraces(t, ts, "?trace=4bf92f3577b34da6a3ce929d0e0e4736")
+	if len(resp.Spans) != 1 {
+		t.Fatalf("got %d spans for the propagated trace, want 1", len(resp.Spans))
+	}
+	sp := resp.Spans[0]
+	if sp.Name != "http GET /stats" {
+		t.Errorf("span name = %q, want %q", sp.Name, "http GET /stats")
+	}
+	if sp.ParentID != "00f067aa0ba902b7" {
+		t.Errorf("span parent = %q, want the inbound span id", sp.ParentID)
+	}
+	if got := sp.Attrs["status"]; got != "200" {
+		t.Errorf("status attr = %q, want 200", got)
+	}
+
+	// An unmatched path is labeled "unmatched", not its raw path (which
+	// would be unbounded histogram cardinality).
+	if _, err := http.Get(ts.URL + "/no/such/path"); err != nil {
+		t.Fatal(err)
+	}
+	all, _ := getTraces(t, ts, "")
+	found := false
+	for _, sp := range all.Spans {
+		if sp.Name == "http unmatched" {
+			found = true
+		}
+		if strings.Contains(sp.Name, "/no/such/path") {
+			t.Errorf("span name %q leaks the raw unmatched path", sp.Name)
+		}
+	}
+	if !found {
+		t.Error(`no "http unmatched" span recorded for the 404`)
+	}
+}
+
+// TestJobTraceCorrelation is the tentpole acceptance path in one
+// process: submit a job, follow its trace_id from GET /jobs/{id} into
+// GET /debug/traces?job=, and check the span tree and phase timings.
+func TestJobTraceCorrelation(t *testing.T) {
+	ts, _ := tracedServer(t)
+
+	st, _ := submitJob(t, ts, JobSubmitRequest{
+		Type:    "simulate",
+		Request: json.RawMessage(`{"trace":"lbm-1274","prefetcher":"Gaze"}`),
+	})
+	done := waitJobState(t, ts, st.ID, string(jobs.Succeeded))
+
+	if done.TraceID == "" {
+		t.Fatal("terminal job has no trace_id")
+	}
+	if done.Timings == nil {
+		t.Fatal("terminal job has no timings")
+	}
+	// The phase breakdown must account for (approximately) the job's
+	// wall time: queue_wait + execute + finalize ≈ created→finished.
+	var phaseSum int64
+	for _, ms := range done.Timings.Phases {
+		phaseSum += ms
+	}
+	wall := done.Timings.TotalMS
+	if diff := wall - phaseSum; diff < 0 || diff > wall/2+50 {
+		t.Errorf("phases sum to %dms, wall %dms — breakdown does not account for the run", phaseSum, wall)
+	}
+
+	resp, r := getTraces(t, ts, "?job="+st.ID)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("debug traces by job: status = %d", r.StatusCode)
+	}
+	if resp.TraceID != done.TraceID {
+		t.Errorf("resolved trace id %q, want %q", resp.TraceID, done.TraceID)
+	}
+	names := make(map[string]int)
+	for _, sp := range resp.Spans {
+		if sp.TraceID != done.TraceID {
+			t.Fatalf("span %q carries trace %q, want %q", sp.Name, sp.TraceID, done.TraceID)
+		}
+		names[sp.Name]++
+	}
+	for _, want := range []string{"job.run", "job.execute", "engine.simulate", "engine.materialize"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q span (got %v)", want, names)
+		}
+	}
+}
+
+// TestDebugTracesLimit: ?limit= caps the listing, newest first.
+func TestDebugTracesLimit(t *testing.T) {
+	ts, _ := tracedServer(t)
+	for i := 0; i < 5; i++ {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	resp, _ := getTraces(t, ts, "?limit=2")
+	if len(resp.Spans) != 2 {
+		t.Fatalf("got %d spans with limit=2", len(resp.Spans))
+	}
+}

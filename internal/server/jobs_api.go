@@ -121,6 +121,13 @@ type JobStatus struct {
 	Started   *time.Time  `json:"started,omitempty"`
 	Finished  *time.Time  `json:"finished,omitempty"`
 	Progress  JobProgress `json:"progress"`
+	// TraceID is the job's run-trace identity — pass it (or the job ID)
+	// to GET /debug/traces to see the job's spans. Empty when tracing
+	// was off at execution time.
+	TraceID string `json:"trace_id,omitempty"`
+	// Timings is the per-phase duration breakdown, present once the job
+	// reaches a terminal state (and preserved across restarts).
+	Timings *jobs.Timings `json:"timings,omitempty"`
 }
 
 // JobListResponse wraps GET /jobs (jobs is [] when empty, never null).
@@ -157,6 +164,8 @@ func statusFor(rec jobs.Record) JobStatus {
 		t := rec.Finished
 		st.Finished = &t
 	}
+	st.TraceID = rec.TraceID
+	st.Timings = rec.Timings
 	return st
 }
 
@@ -180,7 +189,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	rec, coalesced, err := s.jobs.Submit(jobs.Spec{
+	rec, coalesced, err := s.jobs.SubmitContext(r.Context(), jobs.Spec{
 		Type:     req.Type,
 		Request:  req.Request,
 		Priority: jobs.Priority(req.Priority),

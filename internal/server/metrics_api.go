@@ -106,6 +106,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"External traces resident in the registry.", float64(s.traces.Len()))
 	}
 
+	// Latency histograms (the obs bundle). The HTTP and engine-phase
+	// families always render — New wires a default bundle — while the
+	// queue-wait and lease-hold families follow their subsystems'
+	// attachment, like the counter blocks above.
+	s.metrics.HTTPDuration.WriteProm(&p.b)
+	s.metrics.EnginePhase.WriteProm(&p.b)
+	if s.jobs != nil {
+		s.metrics.JobQueueWait.WriteProm(&p.b)
+	}
+	if s.cluster != nil {
+		s.metrics.LeaseHold.WriteProm(&p.b)
+	}
+
+	if s.tracer != nil {
+		o := s.tracer.Stats()
+		p.counter("gaze_obs_spans_started_total",
+			"Spans opened by the tracer.", float64(o.SpansStarted))
+		p.counter("gaze_obs_spans_finished_total",
+			"Spans ended and recorded.", float64(o.SpansFinished))
+		p.counter("gaze_obs_spans_dropped_total",
+			"Spans evicted from the ring buffer.", float64(o.SpansDropped))
+		p.gauge("gaze_obs_ring_occupancy",
+			"Spans currently held in the debug ring buffer.", float64(o.RingOccupancy))
+	}
+
 	entries, hits, misses := s.analytics.counters()
 	p.gauge("gaze_analytics_cache_entries",
 		"Assembled analytics documents cached in memory.", float64(entries))

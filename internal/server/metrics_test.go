@@ -5,94 +5,32 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
-// lintPromText validates a Prometheus text-exposition document the way
-// promtool's lint does, within the subset this server emits: every
-// sample line names a valid metric with a parseable float value, every
-// metric is preceded by matching # HELP and # TYPE lines, TYPE is
-// counter or gauge, counters are _total-suffixed and gauges are not,
-// and no metric name repeats.
-func lintPromText(t *testing.T, text string) map[string]float64 {
+// lintPromText validates a Prometheus text-exposition document via the
+// shared obs lint (the same parser cmd/promlint and CI use): HELP/TYPE
+// pairing, counter/gauge naming, and full histogram-family conformance
+// (le ordering, cumulative buckets, +Inf terminal, _sum/_count
+// presence).
+func lintPromText(t *testing.T, text string) *obs.PromText {
 	t.Helper()
-	samples := make(map[string]float64)
-	var helpFor, typeFor string
-	types := make(map[string]string)
-	validName := func(name string) bool {
-		if name == "" {
-			return false
-		}
-		for i := 0; i < len(name); i++ {
-			c := name[i]
-			ok := c == '_' || c == ':' ||
-				('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
-				(i > 0 && '0' <= c && c <= '9')
-			if !ok {
-				return false
-			}
-		}
-		return true
+	doc, err := obs.LintProm(text)
+	if err != nil {
+		t.Fatalf("prometheus lint: %v", err)
 	}
-	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-		switch {
-		case strings.HasPrefix(line, "# HELP "):
-			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
-			if len(parts) != 2 || !validName(parts[0]) || parts[1] == "" {
-				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
-			}
-			helpFor = parts[0]
-		case strings.HasPrefix(line, "# TYPE "):
-			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
-			if len(parts) != 2 || !validName(parts[0]) {
-				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
-			}
-			if parts[1] != "counter" && parts[1] != "gauge" {
-				t.Fatalf("line %d: TYPE %q not counter|gauge", ln+1, parts[1])
-			}
-			if parts[0] != helpFor {
-				t.Fatalf("line %d: TYPE for %q without preceding HELP", ln+1, parts[0])
-			}
-			if _, dup := types[parts[0]]; dup {
-				t.Fatalf("line %d: metric %q declared twice", ln+1, parts[0])
-			}
-			typeFor, types[parts[0]] = parts[0], parts[1]
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unexpected comment: %q", ln+1, line)
-		default:
-			fields := strings.Fields(line)
-			if len(fields) != 2 || !validName(fields[0]) {
-				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
-			}
-			v, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil {
-				t.Fatalf("line %d: unparseable value: %q", ln+1, line)
-			}
-			if fields[0] != typeFor {
-				t.Fatalf("line %d: sample %q without its TYPE header", ln+1, fields[0])
-			}
-			if _, dup := samples[fields[0]]; dup {
-				t.Fatalf("line %d: duplicate sample for %q", ln+1, fields[0])
-			}
-			switch hasTotal := strings.HasSuffix(fields[0], "_total"); {
-			case types[fields[0]] == "counter" && !hasTotal:
-				t.Errorf("counter %q not _total-suffixed", fields[0])
-			case types[fields[0]] == "gauge" && hasTotal:
-				t.Errorf("gauge %q is _total-suffixed", fields[0])
-			}
-			samples[fields[0]] = v
-		}
-	}
-	return samples
+	return doc
 }
 
-func scrape(t *testing.T, url string) map[string]float64 {
+// scrapeDoc fetches and lints /metrics, returning the parsed document
+// (unlabeled samples keyed by bare name, labeled ones by name{labels}).
+func scrapeDoc(t *testing.T, url string) *obs.PromText {
 	t.Helper()
 	r, err := http.Get(url + "/metrics")
 	if err != nil {
@@ -110,6 +48,11 @@ func scrape(t *testing.T, url string) map[string]float64 {
 		t.Fatal(err)
 	}
 	return lintPromText(t, string(body))
+}
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	return scrapeDoc(t, url).Samples
 }
 
 // TestMetricsEndpoint lints the exposition and checks the counters move
@@ -295,4 +238,70 @@ func TestAdminGCEndpoint(t *testing.T) {
 			t.Fatalf("empty body: status = %d, want 200", r.StatusCode)
 		}
 	})
+}
+
+// TestMetricsHistograms: the latency-histogram families render as valid
+// Prometheus histograms (the scrape passes the shared lint), the HTTP
+// family is labeled by route pattern — never raw path — and the
+// queue-wait and lease-hold families follow their subsystems.
+func TestMetricsHistograms(t *testing.T) {
+	m := obs.NewMetrics()
+	eng := engine.New(engine.Options{Scale: tiny, Phases: m.EnginePhase})
+	mgr, err := jobs.Open(jobs.Options{Engine: eng, Compile: Compiler(eng), Workers: 1, QueueWait: m.JobQueueWait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Shutdown(context.Background()) }) //nolint:errcheck
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{Engine: eng, LeaseHold: m.LeaseHold})
+	ts := httptest.NewServer(New(eng).AttachJobs(mgr).AttachCluster(coord).SetMetrics(m).Handler())
+	t.Cleanup(ts.Close)
+
+	doc := scrapeDoc(t, ts.URL)
+	for _, fam := range []string{
+		"gaze_http_request_duration_seconds",
+		"gaze_engine_phase_duration_seconds",
+		"gaze_jobs_queue_wait_seconds",
+		"gaze_cluster_lease_hold_seconds",
+	} {
+		if doc.Types[fam] != "histogram" {
+			t.Errorf("family %s: TYPE = %q, want histogram", fam, doc.Types[fam])
+		}
+	}
+
+	// A simulate populates the engine-phase family; the scrape above
+	// populates the HTTP family (durations observe after the response,
+	// so a request sees every request before it, not itself).
+	postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil)
+	doc = scrapeDoc(t, ts.URL)
+	if v := doc.Samples[`gaze_http_request_duration_seconds_count{route="GET /metrics"}`]; v < 1 {
+		t.Errorf("GET /metrics route count = %v, want >= 1", v)
+	}
+	if v := doc.Samples[`gaze_http_request_duration_seconds_count{route="POST /simulate"}`]; v != 1 {
+		t.Errorf("POST /simulate route count = %v, want 1", v)
+	}
+	for _, phase := range []string{"queue_wait", "simulate", "materialize"} {
+		key := `gaze_engine_phase_duration_seconds_count{phase="` + phase + `"}`
+		if v := doc.Samples[key]; v < 1 {
+			t.Errorf("engine phase %q count = %v, want >= 1", phase, v)
+		}
+	}
+}
+
+// TestMetricsHistogramsWithoutSubsystems: without a jobs manager or
+// coordinator, the conditional histogram families drop out while the
+// always-on HTTP and engine families remain.
+func TestMetricsHistogramsWithoutSubsystems(t *testing.T) {
+	ts := newTestServer(t)
+	doc := scrapeDoc(t, ts.URL)
+	if doc.Types["gaze_http_request_duration_seconds"] != "histogram" {
+		t.Error("HTTP duration family missing")
+	}
+	if doc.Types["gaze_engine_phase_duration_seconds"] != "histogram" {
+		t.Error("engine phase family missing")
+	}
+	for _, fam := range []string{"gaze_jobs_queue_wait_seconds", "gaze_cluster_lease_hold_seconds"} {
+		if _, ok := doc.Types[fam]; ok {
+			t.Errorf("family %s present without its subsystem", fam)
+		}
+	}
 }

@@ -10,12 +10,14 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/prefetchers"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -52,10 +54,54 @@ type Server struct {
 	// slice, when set, auto-slices big ingested-trace jobs at compile
 	// time (SetSlicePolicy).
 	slice *SlicePolicy
+
+	// tracer records request spans and serves GET /debug/traces (nil =
+	// tracing disabled; the route answers 503).
+	tracer *obs.Tracer
+
+	// metrics holds the latency-histogram bundle every request and
+	// engine phase observes into. Always non-nil (New creates a default
+	// bundle); share one bundle with the engine, jobs manager and
+	// coordinator via SetMetrics so /metrics renders all families.
+	metrics *obs.Metrics
+
+	// reqLog, when set, logs one line per completed request with the
+	// trace ID injected from the request's span context.
+	reqLog *slog.Logger
 }
 
 // New builds a server on the given engine.
-func New(e *engine.Engine) *Server { return &Server{eng: e} }
+func New(e *engine.Engine) *Server { return &Server{eng: e, metrics: obs.NewMetrics()} }
+
+// AttachTracer enables span collection: every request gets a root span
+// (joining an inbound traceparent when present), and GET /debug/traces
+// serves the tracer's ring buffer. Without it the route answers 503 and
+// request handling takes the zero-cost no-span path.
+func (s *Server) AttachTracer(t *obs.Tracer) *Server {
+	s.tracer = t
+	return s
+}
+
+// SetMetrics replaces the server's histogram bundle — pass the same
+// bundle wired into the engine (Options.Phases), jobs manager
+// (Options.QueueWait) and coordinator (Options.LeaseHold) so one
+// /metrics scrape renders every family.
+func (s *Server) SetMetrics(m *obs.Metrics) *Server {
+	if m != nil {
+		s.metrics = m
+	}
+	return s
+}
+
+// SetRequestLogger enables one structured log line per completed
+// request. The handler logs with the request's span context, so lines
+// carry trace_id when tracing is enabled.
+func (s *Server) SetRequestLogger(l *slog.Logger) *Server {
+	if l != nil {
+		s.reqLog = slog.New(obs.ContextHandler(l.Handler()))
+	}
+	return s
+}
 
 // SetAdmission enables per-client token-bucket admission control on the
 // expensive compile paths (POST /simulate, /sweep and /jobs): each client
@@ -116,7 +162,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
-	return mux
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	return s.instrument(mux)
 }
 
 // SimulateRequest selects one simulation. Either Trace (replicated on
@@ -234,6 +281,10 @@ type StatsResponse struct {
 	// Cluster summarizes the coordinator (null when this process is not
 	// one, following the store_entries/jobs null-vs-0 discipline).
 	Cluster *cluster.Counters `json:"cluster"`
+	// Obs summarizes the tracing subsystem — spans started/finished/
+	// dropped, ring occupancy and NDJSON log bytes (null when no tracer
+	// is attached, same null-vs-0 discipline as the blocks above).
+	Obs *obs.TracerStats `json:"obs"`
 }
 
 // StatsSchemaVersion stamps the /stats document shape. Bump it whenever
@@ -244,7 +295,8 @@ type StatsResponse struct {
 // v1: first stamped schema (PR 6) — everything before it was unversioned.
 // v2: added "cluster" (coordinator lease/worker counters, PR 7).
 // v3: added "trace_cache_mapped_bytes" (mmap-backed slab accounting, PR 8).
-const StatsSchemaVersion = 3
+// v4: added "obs" (tracer span/ring/log counters, PR 9).
+const StatsSchemaVersion = 4
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -317,6 +369,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cluster != nil {
 		c := s.cluster.Counters()
 		resp.Cluster = &c
+	}
+	if s.tracer != nil {
+		o := s.tracer.Stats()
+		resp.Obs = &o
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -9,16 +9,17 @@ import (
 	"testing"
 )
 
-// statsSchemaV3 is the golden top-level field set of the /stats document
-// at stats_schema_version 3 (v2 added "cluster"; v3 added
-// "trace_cache_mapped_bytes"). Changing StatsResponse without bumping
-// StatsSchemaVersion — or bumping without updating this list — fails
-// here. Keep the list sorted.
-var statsSchemaV3 = []string{
+// statsSchemaV4 is the golden top-level field set of the /stats document
+// at stats_schema_version 4 (v2 added "cluster"; v3 added
+// "trace_cache_mapped_bytes"; v4 added "obs"). Changing StatsResponse
+// without bumping StatsSchemaVersion — or bumping without updating this
+// list — fails here. Keep the list sorted.
+var statsSchemaV4 = []string{
 	"cluster",
 	"counters",
 	"ingested_traces",
 	"jobs",
+	"obs",
 	"scale",
 	"stats_schema_version",
 	"store_dir",
@@ -35,8 +36,8 @@ var statsSchemaV3 = []string{
 }
 
 func TestStatsSchemaGolden(t *testing.T) {
-	if StatsSchemaVersion != 3 {
-		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV3 (or add a v%d golden) to match the new shape",
+	if StatsSchemaVersion != 4 {
+		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV4 (or add a v%d golden) to match the new shape",
 			StatsSchemaVersion, StatsSchemaVersion)
 	}
 
@@ -72,11 +73,11 @@ func TestStatsSchemaGolden(t *testing.T) {
 		}
 	}
 	sort.Strings(tags)
-	if !reflect.DeepEqual(tags, statsSchemaV3) {
-		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV3)
+	if !reflect.DeepEqual(tags, statsSchemaV4) {
+		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV4)
 	}
-	golden := make(map[string]bool, len(statsSchemaV3))
-	for _, k := range statsSchemaV3 {
+	golden := make(map[string]bool, len(statsSchemaV4))
+	for _, k := range statsSchemaV4 {
 		golden[k] = true
 	}
 	for k := range doc {

@@ -131,8 +131,10 @@ func evictLocked(keep *traceEntry) {
 
 // materializeSlab is the single-flight core under Materialize and
 // MaterializeRecords: one cache slot per key, exactly one generation per
-// cold key, byte accounting by slab kind.
-func materializeSlab(key traceKey, gen func() (trace.Records, error)) (trace.Records, error) {
+// cold key, byte accounting by slab kind. hit reports whether an
+// existing (or in-flight) slab served the call — the engine's
+// materialize spans record it as a cache=hit|miss attribute.
+func materializeSlab(key traceKey, gen func() (trace.Records, error)) (_ trace.Records, hit bool, _ error) {
 	traceCache.mu.Lock()
 	if e, ok := traceCache.entries[key]; ok {
 		traceCache.hits++
@@ -140,7 +142,7 @@ func materializeSlab(key traceKey, gen func() (trace.Records, error)) (trace.Rec
 		e.lastUse = traceCache.clock
 		traceCache.mu.Unlock()
 		<-e.ready
-		return e.slab, e.err
+		return e.slab, true, e.err
 	}
 	e := &traceEntry{ready: make(chan struct{})}
 	traceCache.entries[key] = e
@@ -169,7 +171,7 @@ func materializeSlab(key traceKey, gen func() (trace.Records, error)) (trace.Rec
 	}
 	traceCache.mu.Unlock()
 	close(e.ready)
-	return e.slab, e.err
+	return e.slab, false, e.err
 }
 
 // slabFootprint splits a slab's memory cost into budget-relevant heap
@@ -191,7 +193,7 @@ func slabFootprint(s trace.Records) (heap, mapped int64) {
 // modify it (wrap it in trace.NewSliceReader / trace.NewLooping to consume
 // it). It is safe for concurrent use from any number of goroutines.
 func Materialize(name string, n int) ([]trace.Record, error) {
-	slab, err := materializeSlab(traceKey{name: name, n: n}, func() (trace.Records, error) {
+	slab, _, err := materializeSlab(traceKey{name: name, n: n}, func() (trace.Records, error) {
 		recs, err := produce(name, n)
 		if err != nil {
 			return nil, err
@@ -211,13 +213,24 @@ func Materialize(name string, n int) ([]trace.Record, error) {
 // names, plain Sources) it returns the heap slab Materialize would. The
 // engine's step loop iterates either kind through the same accessor.
 func MaterializeRecords(name string, n int) (trace.Records, error) {
+	slab, _, err := MaterializeRecordsCached(name, n)
+	return slab, err
+}
+
+// MaterializeRecordsCached is MaterializeRecords plus a cache-hit flag:
+// whether the slab was already resident (or in flight) rather than
+// generated by this call. Observability-only — the slab is identical
+// either way.
+func MaterializeRecordsCached(name string, n int) (trace.Records, bool, error) {
 	ss, _ := sourceFor(name).(SlabSource)
 	if ss == nil {
-		recs, err := Materialize(name, n)
-		if err != nil {
-			return nil, err
-		}
-		return trace.RecSlice(recs), nil
+		return materializeSlab(traceKey{name: name, n: n}, func() (trace.Records, error) {
+			recs, err := produce(name, n)
+			if err != nil {
+				return nil, err
+			}
+			return trace.RecSlice(recs), nil
+		})
 	}
 	return materializeSlab(traceKey{name: name, n: n, mapped: true}, func() (trace.Records, error) {
 		return ss.LoadSlab(name, n)
