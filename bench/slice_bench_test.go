@@ -154,7 +154,8 @@ func runBigTrace(b *testing.B, shards int) {
 	for i := 0; i < b.N; i++ {
 		// A fresh engine per iteration defeats the memo: every iteration
 		// simulates. The persisted store is off for the same reason.
-		eng := engine.New(engine.Options{Scale: bigScale})
+		// Telemetry rides armed, as it does in the service defaults.
+		eng := engine.New(engine.Options{Scale: bigScale, TelemetryInterval: sim.DefaultTelemetryInterval})
 		eng.Run(job)
 	}
 }

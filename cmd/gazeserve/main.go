@@ -27,6 +27,8 @@
 //	GET  /metrics           the same counters in Prometheus text format
 //	GET  /analytics/matrix  cached metric matrix over completed results (ETag/304)
 //	GET  /analytics/speedup cached speedup matrix + per-prefetcher geomeans (ETag/304)
+//	GET  /analytics/timeline           per-prefetcher interval-timeline overlay for one trace
+//	GET  /results/{addr}/timeline      one run's interval telemetry (?format=json|csv)
 //	POST /admin/gc          one result-store GC cycle ({"max_age":"30m"} optional)
 //	POST /simulate          {"trace","prefetcher","l2","cores","overrides"} → §IV-A3 metrics
 //	POST /sweep             {"suite"|"traces","prefetchers","overrides","axis"} → rows + geomeans
@@ -75,6 +77,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/sim"
 	"repro/internal/traceset"
 	"repro/internal/workload"
 )
@@ -87,6 +90,7 @@ func main() {
 		noCache     = flag.Bool("no-cache", false, "disable the persisted result store")
 		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		seed        = flag.Uint64("seed", 0, "sweep scheduling seed")
+		telInterval = flag.Uint64("telemetry-interval", sim.DefaultTelemetryInterval, "interval-telemetry sampling period in measured instructions per core (0 = disabled)")
 		jobsWorkers = flag.Int("jobs-workers", 2, "concurrently running background jobs")
 		jobsQueue   = flag.Int("jobs-queue", 64, "max queued background jobs")
 		jobsDir     = flag.String("jobs-dir", "", `job journal directory ("" = beside the result store, "none" = not durable)`)
@@ -131,7 +135,7 @@ func main() {
 	}
 
 	if *workerURL != "" {
-		os.Exit(runWorker(*workerURL, *workerConc, *workerName, *cacheDir, *noCache, *traceDir, *workers, *seed, logger, tracer))
+		os.Exit(runWorker(*workerURL, *workerConc, *workerName, *cacheDir, *noCache, *traceDir, *workers, *seed, *telInterval, logger, tracer))
 	}
 
 	// One histogram bundle feeds every layer: the engine's phase
@@ -153,7 +157,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := engine.Options{Scale: sc, Workers: *workers, Seed: *seed, Phases: metrics.EnginePhase}
+	opts := engine.Options{
+		Scale: sc, Workers: *workers, Seed: *seed, Phases: metrics.EnginePhase,
+		TelemetryInterval: *telInterval,
+	}
 	if !*noCache {
 		store, err := engine.Open(*cacheDir)
 		if err != nil {

@@ -27,7 +27,7 @@ import (
 // pointed at one explicitly: on a shared machine the default directories
 // would interleave with a coordinator's, and the coordinator's store is
 // the authoritative one anyway.
-func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceDir string, engWorkers int, seed uint64, logger *slog.Logger, tracer *obs.Tracer) int {
+func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceDir string, engWorkers int, seed, telInterval uint64, logger *slog.Logger, tracer *obs.Tracer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -45,7 +45,9 @@ func runWorker(url string, conc int, name, cacheDir string, noCache bool, traceD
 	logger.Info("worker mode", "coordinator", url, "scale", fmt.Sprintf("%+v", info.Scale),
 		"lease_ttl", time.Duration(info.LeaseTTLMS)*time.Millisecond)
 
-	opts := engine.Options{Scale: info.Scale, Workers: engWorkers, Seed: seed}
+	// Telemetry arms on the worker too: its engine is the one computing,
+	// so the timeline is collected here and uploaded beside the result.
+	opts := engine.Options{Scale: info.Scale, Workers: engWorkers, Seed: seed, TelemetryInterval: telInterval}
 	if cacheDir != "" && !noCache {
 		store, err := engine.Open(cacheDir)
 		if err != nil {

@@ -50,6 +50,8 @@ func main() {
 		l2KB       = flag.Int("l2-kb", 0, "override per-core L2C size in KB (Fig 16c)")
 		pq         = flag.Int("pq", 0, "override prefetch-queue capacity")
 		shards     = flag.Int("slice-shards", 0, "split a single-core run into this many parallel time slices (changes results: part of the cache key)")
+		telEvery   = flag.Uint64("telemetry-interval", 0, "sample interval telemetry every N measured instructions per core (0 = disabled; never changes results or cache keys)")
+		telOut     = flag.String("telemetry-out", "", "write each run's interval-timeline document (JSON) to this path (suite runs write <path>.<trace>)")
 		cacheDir   = flag.String("cache-dir", "", "result store directory (default: $GAZE_CACHE_DIR or the user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persisted result store")
 		traceDir   = flag.String("trace-dir", "", "ingested-trace registry directory (enables -trace ingested:<address>)")
@@ -120,8 +122,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *telOut != "" && *telEvery == 0 {
+		fmt.Fprintln(os.Stderr, "-telemetry-out requires -telemetry-interval > 0")
+		os.Exit(1)
+	}
 	opts := engine.Options{
-		Scale: engine.Scale{TraceLen: *length, Warmup: *warmup, Sim: *instr},
+		Scale:             engine.Scale{TraceLen: *length, Warmup: *warmup, Sim: *instr},
+		TelemetryInterval: *telEvery,
 	}
 	// Suite runs can take minutes; report sweep progress like
 	// cmd/experiments does so the terminal isn't silent until the end.
@@ -171,6 +178,29 @@ func main() {
 			name, *pf, res.MeanIPC(), engine.Speedup(res, base),
 			100*res.Accuracy(), 100*res.Coverage(), 100*res.LateFraction(),
 			res.IssuedPrefetches())
+	}
+
+	if *telOut != "" {
+		scale := eng.Scale()
+		for i, name := range names {
+			target := jobs[2*i+1]
+			doc, ok := eng.Telemetry(target.ContentAddress(scale))
+			if !ok {
+				// Telemetry exists only for runs computed this invocation —
+				// a store or memo hit replays the result without simulating.
+				fmt.Fprintf(os.Stderr, "gazesim: no timeline for %s (cached result; re-run with -no-cache to simulate)\n", name)
+				continue
+			}
+			path := *telOut
+			if len(names) > 1 {
+				path = *telOut + "." + name
+			}
+			if err := engine.WriteFileAtomic(path, doc); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "gazesim: timeline for %s written to %s\n", name, path)
+		}
 	}
 }
 

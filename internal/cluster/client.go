@@ -103,7 +103,12 @@ func retryableStatus(code int) bool {
 // json.RawMessage passes through verbatim (result-document uploads).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
-	if in != nil {
+	if raw, ok := in.(json.RawMessage); ok {
+		// json.Marshal would compact (and re-escape) a RawMessage, but
+		// uploaded documents must reach the coordinator byte-identical
+		// to what the worker's engine persisted.
+		body = raw
+	} else if in != nil {
 		var err error
 		body, err = json.Marshal(in)
 		if err != nil {
@@ -211,6 +216,17 @@ func (c *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, er
 func (c *Client) UploadResult(ctx context.Context, addr string, doc []byte) (UploadResponse, error) {
 	var resp UploadResponse
 	err := c.do(ctx, http.MethodPut, PathResults+addr, json.RawMessage(doc), &resp)
+	return resp, err
+}
+
+// UploadTelemetry uploads a telemetry document (engine.ExportTelemetry
+// bytes) under its content address. Telemetry rides the same verified
+// pull-through path as results; it is uploaded before the result so a
+// unit observable as complete already has its timeline on the
+// coordinator.
+func (c *Client) UploadTelemetry(ctx context.Context, addr string, doc []byte) (UploadResponse, error) {
+	var resp UploadResponse
+	err := c.do(ctx, http.MethodPut, PathTelemetry+addr, json.RawMessage(doc), &resp)
 	return resp, err
 }
 

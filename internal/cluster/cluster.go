@@ -19,6 +19,7 @@
 //	POST   /cluster/workers/{id}/heartbeat  renew worker + lease deadlines, report replication counters
 //	POST   /cluster/lease                 lease up to max pending units
 //	PUT    /cluster/results/{addr}        upload a result document (verified against addr before commit)
+//	PUT    /cluster/telemetry/{addr}      upload a telemetry timeline document (same verification)
 //	POST   /cluster/failures/{addr}       report a deterministic execution failure
 //
 // Ingested traces replicate on demand: `ingested:<addr>` names are
@@ -44,9 +45,10 @@ const (
 	PathInfo      = "/cluster"
 	PathWorkers   = "/cluster/workers"
 	PathLease     = "/cluster/lease"
-	PathResults   = "/cluster/results/"  // + {addr}
-	PathFailures  = "/cluster/failures/" // + {addr}
-	heartbeatPath = "/heartbeat"         // PathWorkers + "/{id}" + heartbeatPath
+	PathResults   = "/cluster/results/"   // + {addr}
+	PathTelemetry = "/cluster/telemetry/" // + {addr}
+	PathFailures  = "/cluster/failures/"  // + {addr}
+	heartbeatPath = "/heartbeat"          // PathWorkers + "/{id}" + heartbeatPath
 )
 
 // Sentinel errors, mapped to HTTP statuses by internal/server.
@@ -61,6 +63,9 @@ var (
 	ErrIncompatible = errors.New("cluster: incompatible worker")
 	// ErrBadResult rejects an uploaded document that fails verification.
 	ErrBadResult = errors.New("cluster: invalid result document")
+	// ErrBadTelemetry rejects an uploaded telemetry document that fails
+	// verification.
+	ErrBadTelemetry = errors.New("cluster: invalid telemetry document")
 )
 
 // RegisterRequest is the worker's handshake: its identity label, how

@@ -346,6 +346,22 @@ func (c *Coordinator) CompleteResult(addr string, doc []byte) (bool, error) {
 	return u != nil, nil
 }
 
+// CompleteTelemetry verifies and adopts an uploaded telemetry document.
+// The same verification shape as CompleteResult protects it: the
+// document's embedded key must hash to addr (engine.ImportTelemetry), so
+// an upload can only attach a timeline to the work the address names.
+// Telemetry is a sidecar of the result, not a unit outcome — it settles
+// no lease and wakes no waiters, it just lands byte-identically in the
+// coordinator's telemetry memo and store.
+func (c *Coordinator) CompleteTelemetry(addr string, doc []byte) error {
+	key, _, err := engine.ImportTelemetry(addr, doc)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTelemetry, err)
+	}
+	c.eng.AdoptTelemetry(key, doc)
+	return nil
+}
+
 // FailUnit settles a unit as failed on a worker's deterministic-error
 // report, failing every sweep waiting on it. Reports for unknown or
 // already-settled units are ignored (false): the unit may have been

@@ -332,6 +332,16 @@ func (w *Worker) runUnit(ctx context.Context, id string, u WorkUnit) {
 		w.failUnit(ctx, id, u.Address, fmt.Sprintf("encoding result: %v", err))
 		return
 	}
+	// Telemetry uploads BEFORE the result: a unit the coordinator can
+	// observe as complete then already has its timeline. Best-effort —
+	// telemetry is derived data, and a missing timeline must never fail
+	// (or re-lease) a unit whose result is in hand.
+	if tdoc, ok := w.eng.Telemetry(u.Address); ok {
+		if _, err := w.client.UploadTelemetry(ctx, u.Address, tdoc); err != nil && ctx.Err() == nil {
+			w.log.WarnContext(ctx, "cluster worker: telemetry upload failed; timeline stays local",
+				"unit", short(u.Address), "error", err.Error())
+		}
+	}
 	if _, err := w.client.UploadResult(ctx, u.Address, doc); err != nil {
 		if ctx.Err() == nil {
 			w.log.WarnContext(ctx, "cluster worker: upload failed; lease will expire",

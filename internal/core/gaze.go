@@ -170,6 +170,16 @@ type Gaze struct {
 	dc   *denseCounter
 	pb   *prefetchBuffer
 
+	// reuse* back the region-reuse distance histogram of
+	// prefetch.Introspector: a direct-mapped table of recently activated
+	// regions keyed region→slot, recording the activation sequence
+	// number each region was last seen at. Fixed arrays, one masked
+	// index per region activation — nothing the hot loop notices.
+	reuseSeq  uint64
+	reuseTags []uint64 // region+1; 0 = empty slot
+	reuseSeen []uint64
+	reuseHist [16]uint64
+
 	stats Stats
 }
 
@@ -209,9 +219,15 @@ func New(cfg Config) *Gaze {
 		dpct:   newDPCT(cfg.DPCTEntries),
 		dc:     newDenseCounter(),
 		pb:     newPrefetchBuffer(cfg.PBEntries, cfg.RegionSize/mem.LineSize),
+
+		reuseTags: make([]uint64, reuseSlots),
+		reuseSeen: make([]uint64, reuseSlots),
 	}
 	return g
 }
+
+// reuseSlots sizes the direct-mapped region-reuse tracker (power of two).
+const reuseSlots = 256
 
 func pow2Sets(entries, ways int) int {
 	sets := entries / ways
@@ -258,6 +274,7 @@ func (g *Gaze) Train(a prefetch.Access, issue prefetch.IssueFunc) {
 		}
 	} else {
 		// Newly activated region (➋): start filtering in the FT.
+		g.recordActivation(region)
 		g.ft.Insert(g.ft.SetIndex(region), region, ftEntry{hashedPC: hpc, trigger: uint16(off)})
 		if g.cfg.MatchAccesses == 1 && !g.cfg.StreamingOnly {
 			// Offset-only characterization awakens on the trigger access,
@@ -552,4 +569,40 @@ func footprintSimilarity(a, b bitvec) float64 {
 	return float64(inter) / float64(union)
 }
 
-var _ prefetch.Prefetcher = (*Gaze)(nil)
+// recordActivation feeds the region-reuse distance histogram: when a
+// region re-activates and its previous activation is still resident in
+// the direct-mapped tracker, the distance between the two activation
+// sequence numbers is log2-bucketed. Direct-mapped conflicts drop the
+// older region silently — the histogram is a characterization signal,
+// not an exact count.
+func (g *Gaze) recordActivation(region uint64) {
+	i := region & uint64(len(g.reuseTags)-1)
+	if g.reuseTags[i] == region+1 {
+		dist := g.reuseSeq - g.reuseSeen[i]
+		b := 0
+		for d := dist; d > 1 && b < len(g.reuseHist)-1; d >>= 1 {
+			b++
+		}
+		g.reuseHist[b]++
+	}
+	g.reuseTags[i] = region + 1
+	g.reuseSeen[i] = g.reuseSeq
+	g.reuseSeq++
+}
+
+// Introspect implements prefetch.Introspector: PHT occupancy, the
+// streaming-vs-pattern issue mix, and the region-reuse histogram.
+func (g *Gaze) Introspect() prefetch.Introspection {
+	return prefetch.Introspection{
+		PatternEntries:  g.pht.Len(),
+		PatternCapacity: g.pht.Sets() * g.pht.Ways(),
+		StreamHits:      g.stats.Stage1Full + g.stats.Stage1Half + g.stats.Stage2Promotions,
+		PatternHits:     g.stats.PHTHits,
+		ReuseHistogram:  g.reuseHist,
+	}
+}
+
+var (
+	_ prefetch.Prefetcher   = (*Gaze)(nil)
+	_ prefetch.Introspector = (*Gaze)(nil)
+)

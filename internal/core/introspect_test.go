@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestIntrospectCharacterizesLearnedState drives Gaze through pattern
+// learning and region reuse, then checks the prefetch.Introspector view
+// agrees with the internal statistics it summarizes.
+func TestIntrospectCharacterizesLearnedState(t *testing.T) {
+	g := NewDefault()
+	c := &collect{}
+
+	in := g.Introspect()
+	if in.PatternEntries != 0 {
+		t.Fatalf("fresh Gaze reports %d pattern entries", in.PatternEntries)
+	}
+	if in.PatternCapacity == 0 {
+		t.Fatal("pattern capacity = 0: occupancy would be meaningless")
+	}
+
+	// Learn a sparse pattern on one page, replay it on another: one PHT
+	// entry, one pattern hit. Page numbers get distinct low bytes so the
+	// direct-mapped reuse tracker (indexed by region low bits) never
+	// conflict-evicts between them.
+	order := []int{5, 9, 12, 20, 33}
+	runRegion(g, c, 0x100, 0x1001, order)
+	g.EvictNotify(0x1001 * mem.PageSize)
+	access(g, c, 0x100, 0x2002, 5)
+	access(g, c, 0x100, 0x2002, 9)
+
+	in = g.Introspect()
+	if in.PatternEntries != 1 {
+		t.Errorf("PatternEntries = %d, want 1 learned pattern", in.PatternEntries)
+	}
+	if in.PatternHits != uint64(g.InternalStats().PHTHits) {
+		t.Errorf("PatternHits = %d, InternalStats().PHTHits = %d", in.PatternHits, g.InternalStats().PHTHits)
+	}
+
+	// A dense streaming page exercises the stage-1/2 streaming paths.
+	for off := 0; off < 48; off++ {
+		access(g, c, 0x200, 0x3003, off)
+	}
+	in = g.Introspect()
+	if in.StreamHits == 0 {
+		t.Error("StreamHits = 0 after a dense streaming page")
+	}
+
+	// Re-activating a previously tracked region feeds the reuse histogram.
+	g.EvictNotify(0x2002 * mem.PageSize)
+	access(g, c, 0x100, 0x2002, 5)
+	access(g, c, 0x100, 0x2002, 9)
+	in = g.Introspect()
+	var reuses uint64
+	for _, n := range in.ReuseHistogram {
+		reuses += n
+	}
+	if reuses == 0 {
+		t.Error("ReuseHistogram empty after a region re-activation")
+	}
+}

@@ -371,17 +371,25 @@ type Options struct {
 	// phase-labeled latency histogram. Observability-only: results and
 	// content addresses are identical with or without it.
 	Phases *obs.HistogramVec
+	// TelemetryInterval arms interval-sampled simulation telemetry: every
+	// executed job additionally produces a timeline document sampled
+	// every N measured instructions (0 = disabled). Derived data only —
+	// content addresses, result bytes and cache behaviour are identical
+	// at every setting; sim.DefaultTelemetryInterval is the service
+	// default.
+	TelemetryInterval uint64
 }
 
 // Engine executes and memoizes simulations. It is safe for concurrent use.
 type Engine struct {
-	scale        Scale
-	store        *Store
-	seed         uint64
-	workers      int
-	sliceWorkers int
-	progress     func(Progress)
-	phases       *obs.HistogramVec
+	scale             Scale
+	store             *Store
+	seed              uint64
+	workers           int
+	sliceWorkers      int
+	progress          func(Progress)
+	phases            *obs.HistogramVec
+	telemetryInterval uint64
 
 	limit chan struct{}
 
@@ -393,6 +401,11 @@ type Engine struct {
 	inflight map[string]chan struct{}
 	counters Counters
 	gcTotals GCTotals
+	// telemetryMemo caches encoded timeline documents by content address
+	// (the store-less engines of cluster workers serve uploads from it);
+	// telemetryMemoBytes tracks their footprint for TelemetryStats.
+	telemetryMemo      map[string][]byte
+	telemetryMemoBytes int64
 }
 
 // New builds an engine.
@@ -404,16 +417,17 @@ func New(opts Options) *Engine {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		scale:        opts.Scale,
-		store:        opts.Store,
-		seed:         opts.Seed,
-		workers:      opts.Workers,
-		sliceWorkers: opts.SliceWorkers,
-		progress:     opts.Progress,
-		phases:       opts.Phases,
-		limit:        make(chan struct{}, opts.Workers),
-		memo:         make(map[string]sim.Result),
-		inflight:     make(map[string]chan struct{}),
+		scale:             opts.Scale,
+		store:             opts.Store,
+		seed:              opts.Seed,
+		workers:           opts.Workers,
+		sliceWorkers:      opts.SliceWorkers,
+		progress:          opts.Progress,
+		phases:            opts.Phases,
+		telemetryInterval: opts.TelemetryInterval,
+		limit:             make(chan struct{}, opts.Workers),
+		memo:              make(map[string]sim.Result),
+		inflight:          make(map[string]chan struct{}),
 	}
 }
 
@@ -595,12 +609,20 @@ func (e *Engine) run(ctx context.Context, j Job) (res sim.Result, cached bool, e
 		if err := ctx.Err(); err != nil {
 			return sim.Result{}, false, err
 		}
-		res, err = e.execute(ctx, j)
+		var tel *sim.Telemetry
+		res, tel, err = e.execute(ctx, j)
 		if err != nil {
 			// Not memoized: the failure may be transient state (a trace
 			// deleted mid-flight), and completed stays false so waiters
 			// retry rather than inheriting a zero result.
 			return sim.Result{}, false, err
+		}
+		if tel != nil {
+			// Persisted before the result commit: by the time a job is
+			// observable as complete its timeline already exists, so the
+			// serving layer's answer degrades 409 (computing) → 200, never
+			// through a complete-but-timeline-less window.
+			e.saveTelemetry(key, tel)
 		}
 	}
 	if !cached && e.store != nil {
@@ -615,10 +637,13 @@ func (e *Engine) run(ctx context.Context, j Job) (res sim.Result, cached bool, e
 }
 
 // config returns the default system config at this engine's scale.
+// Telemetry arming rides here — an engine option, never a job override,
+// so it stays outside every canonical encoding.
 func (e *Engine) config(cores int) sim.Config {
 	cfg := sim.DefaultConfig(cores)
 	cfg.WarmupInstructions = e.scale.Warmup
 	cfg.SimInstructions = e.scale.Sim
+	cfg.TelemetryInterval = e.telemetryInterval
 	return cfg
 }
 
@@ -636,7 +661,9 @@ func (e *Engine) phase(ctx context.Context, name string, attrs ...obs.Attr) (con
 	}
 }
 
-func (e *Engine) execute(ctx context.Context, j Job) (sim.Result, error) {
+// execute runs one job and returns its result plus the collected
+// telemetry timeline (nil when telemetry is disabled).
+func (e *Engine) execute(ctx context.Context, j Job) (sim.Result, *sim.Telemetry, error) {
 	if k := j.Overrides.SliceShards; k > 1 && len(j.Traces) == 1 {
 		return e.executeSliced(ctx, j, k)
 	}
@@ -656,7 +683,7 @@ func (e *Engine) execute(ctx context.Context, j Job) (sim.Result, error) {
 		// catalogue generation remains infallible for validated jobs.
 		recs, err := e.materialize(ctx, name, j)
 		if err != nil {
-			return sim.Result{}, err
+			return sim.Result{}, nil, err
 		}
 		spec := sim.CoreSpec{
 			Trace:        trace.NewLooping(trace.NewRecordsReader(recs)),
@@ -674,7 +701,7 @@ func (e *Engine) execute(ctx context.Context, j Job) (sim.Result, error) {
 	_, _, simulated := e.phase(ctx, "simulate", obs.Int("cores", cores))
 	res := sys.Run()
 	simulated()
-	return res, nil
+	return res, sys.Telemetry(), nil
 }
 
 // materialize wraps workload.MaterializeRecordsCached in a

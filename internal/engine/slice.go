@@ -112,16 +112,16 @@ func planSlices(slab trace.Records, warmup, simBudget uint64, k int) []sliceWind
 // same prefetcher wiring, same translator salt — each slice is core 0 of
 // its own single-core system, so no state is shared and the merged
 // document depends only on the plan, never on scheduling.
-func (e *Engine) executeSliced(ctx context.Context, j Job, k int) (sim.Result, error) {
+func (e *Engine) executeSliced(ctx context.Context, j Job, k int) (sim.Result, *sim.Telemetry, error) {
 	name := j.Traces[0]
 	slab, err := e.materialize(ctx, name, j)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
 	cfg := j.Overrides.Apply(e.config(1))
 	wins := planSlices(slab, cfg.WarmupInstructions, cfg.SimInstructions, k)
 	if len(wins) == 0 {
-		return sim.Result{}, fmt.Errorf("engine: empty trace %q for sliced %s", name, j)
+		return sim.Result{}, nil, fmt.Errorf("engine: empty trace %q for sliced %s", name, j)
 	}
 
 	workers := e.sliceWorkers
@@ -132,6 +132,10 @@ func (e *Engine) executeSliced(ctx context.Context, j Job, k int) (sim.Result, e
 		workers = len(wins)
 	}
 	parts := make([]sim.Result, len(wins))
+	// Per-slice telemetry lands in slice order regardless of execution
+	// order, so the concatenated timeline — like the merged result — is a
+	// pure function of the plan.
+	tels := make([]*sim.Telemetry, len(wins))
 	sem := make(chan struct{}, workers)
 	var (
 		wg        sync.WaitGroup
@@ -150,7 +154,7 @@ func (e *Engine) executeSliced(ctx context.Context, j Job, k int) (sim.Result, e
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			_, _, sliced := e.phase(ctx, "slice", obs.Int("slice", i))
-			parts[i] = e.runSlice(j, cfg, slab, wins[i])
+			parts[i], tels[i] = e.runSlice(j, cfg, slab, wins[i])
 			sliced()
 		}(i)
 	}
@@ -162,12 +166,13 @@ func (e *Engine) executeSliced(ctx context.Context, j Job, k int) (sim.Result, e
 	}
 	_, _, merged := e.phase(ctx, "merge", obs.Int("slices", len(parts)))
 	res := sim.MergeSlices(parts)
+	tel := sim.ConcatSliceTelemetry(tels)
 	merged()
-	return res, nil
+	return res, tel, nil
 }
 
 // runSlice simulates one slice window as a standalone single-core system.
-func (e *Engine) runSlice(j Job, cfg sim.Config, slab trace.Records, w sliceWindow) sim.Result {
+func (e *Engine) runSlice(j Job, cfg sim.Config, slab trace.Records, w sliceWindow) (sim.Result, *sim.Telemetry) {
 	scfg := cfg
 	scfg.WarmupInstructions = w.warmup
 	scfg.SimInstructions = w.sim
@@ -184,5 +189,6 @@ func (e *Engine) runSlice(j Job, cfg sim.Config, slab trace.Records, w sliceWind
 	if err != nil {
 		panic(fmt.Sprintf("engine: building sliced system for %s: %v", j, err))
 	}
-	return sys.Run()
+	res := sys.Run()
+	return res, sys.Telemetry()
 }

@@ -44,6 +44,12 @@ type Store struct {
 	// Other processes sharing the directory can make it drift; it is a
 	// monitoring number, not a correctness input.
 	entries atomic.Int64
+
+	// telemetryDocs/telemetryBytes count persisted .timeline sidecar
+	// documents the same way: one Open walk, incremental maintenance,
+	// monitoring-grade accuracy.
+	telemetryDocs  atomic.Int64
+	telemetryBytes atomic.Int64
 }
 
 // DefaultDir returns the store directory used when none is configured:
@@ -235,7 +241,9 @@ func (s *Store) Entries() []StoreEntry {
 // bytes reclaimed and whether an entry existed. It is the GC's delete
 // primitive; a concurrent Put of the same address can recreate the entry
 // immediately after, which is safe — the result is identical by
-// content-addressing.
+// content-addressing. A telemetry sidecar at the same address is deleted
+// with its result (and counted into the reclaimed bytes): derived data
+// never outlives the record it describes.
 func (s *Store) Remove(addr string) (reclaimed int64, existed bool) {
 	if !isAddress(addr) {
 		return 0, false
@@ -249,7 +257,62 @@ func (s *Store) Remove(addr string) (reclaimed int64, existed bool) {
 		return 0, false
 	}
 	s.entries.Add(-1)
-	return info.Size(), true
+	reclaimed = info.Size()
+	tp := s.telemetryPath(addr)
+	if tinfo, err := os.Stat(tp); err == nil && os.Remove(tp) == nil {
+		s.telemetryDocs.Add(-1)
+		s.telemetryBytes.Add(-tinfo.Size())
+		reclaimed += tinfo.Size()
+	}
+	return reclaimed, true
+}
+
+// telemetryPath returns the sidecar path for a content address. The
+// .timeline extension keeps sidecars invisible to every .json-keyed walk
+// (Entries, the Open-time sweep) — a telemetry document can never be
+// mistaken for, or swept as, a stale result record.
+func (s *Store) telemetryPath(addr string) string {
+	return filepath.Join(s.dir, addr[:2], addr[2:]+".timeline")
+}
+
+// PutTelemetry persists the canonical telemetry document for a job key
+// beside its result record, atomically, replacing any previous sidecar.
+func (s *Store) PutTelemetry(key string, doc []byte) error {
+	p := s.telemetryPath(hashKey(key))
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("engine: writing telemetry store: %w", err)
+	}
+	info, statErr := os.Stat(p)
+	if err := WriteFileAtomic(p, doc); err != nil {
+		return fmt.Errorf("engine: writing telemetry store: %w", err)
+	}
+	if statErr != nil {
+		s.telemetryDocs.Add(1)
+	} else {
+		s.telemetryBytes.Add(-info.Size())
+	}
+	s.telemetryBytes.Add(int64(len(doc)))
+	return nil
+}
+
+// GetTelemetry returns the persisted telemetry document bytes for a
+// content address. The bytes are returned verbatim — serving and ETag
+// layers hash them as-is.
+func (s *Store) GetTelemetry(addr string) ([]byte, bool) {
+	if !isAddress(addr) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.telemetryPath(addr))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// TelemetryLen returns the number of persisted telemetry sidecars and
+// their total bytes (counted at Open, tracked incrementally after).
+func (s *Store) TelemetryLen() (docs int64, bytes int64) {
+	return s.telemetryDocs.Load(), s.telemetryBytes.Load()
 }
 
 // recordPrefix is the exact leading bytes Put's MarshalIndent emits for a
@@ -342,6 +405,16 @@ func (s *Store) countEntries() int {
 				// empty on every Open. Leave it, don't count it.
 			default: // unparseable or older-schema garbage
 				os.Remove(path)
+			}
+		case filepath.Ext(path) == ".timeline":
+			// Telemetry sidecars: counted for monitoring, never swept —
+			// they are derived data verified on read, and GC removes them
+			// with their result records.
+			if addr := filepath.Base(filepath.Dir(path)) + strings.TrimSuffix(d.Name(), ".timeline"); isAddress(addr) {
+				if info, err := d.Info(); err == nil {
+					s.telemetryDocs.Add(1)
+					s.telemetryBytes.Add(info.Size())
+				}
 			}
 		case strings.HasPrefix(d.Name(), ".tmp-"):
 			if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > staleAfter {

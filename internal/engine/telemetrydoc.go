@@ -1,0 +1,180 @@
+// Telemetry documents: the persisted (and on-wire) form of one run's
+// interval timeline, stored content-addressed beside its result record.
+// Telemetry is derived data, like a trace's columnar sidecar: the
+// document lives at the result's address with a .timeline extension, is
+// written atomically, is garbage-collected with its result, and never
+// participates in content addressing — a store with telemetry armed
+// holds byte-identical result records to one without.
+//
+// Export and the local save path share one encoder, so a timeline
+// computed on a cluster worker lands on the coordinator's disk
+// byte-identical to one computed locally — the same store-equality
+// guarantee result documents carry.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TelemetrySchemaVersion stamps persisted telemetry documents; bump it
+// when the sample schema or concatenation rule changes observable bytes.
+const TelemetrySchemaVersion = 1
+
+// telemetryRecord is the on-disk schema. Key is the canonical job
+// encoding, stored in full like result records so a document verifies
+// against the address it claims.
+type telemetryRecord struct {
+	Version   int            `json:"version"`
+	Key       string         `json:"key"`
+	Telemetry *sim.Telemetry `json:"telemetry"`
+}
+
+// encodeTelemetryRecord renders the canonical document bytes. Every
+// producer (local save, worker export) goes through here.
+func encodeTelemetryRecord(key string, tel *sim.Telemetry) ([]byte, error) {
+	return json.MarshalIndent(telemetryRecord{
+		Version: TelemetrySchemaVersion, Key: key, Telemetry: tel,
+	}, "", "\t")
+}
+
+// ExportTelemetry encodes a collected timeline as a self-describing
+// document: the exact bytes the computing engine persisted locally.
+func ExportTelemetry(key string, tel *sim.Telemetry) ([]byte, error) {
+	data, err := encodeTelemetryRecord(key, tel)
+	if err != nil {
+		return nil, fmt.Errorf("engine: encoding telemetry document: %w", err)
+	}
+	return data, nil
+}
+
+// ImportTelemetry decodes and verifies a telemetry document uploaded
+// under a content address: the schema version must match and the
+// embedded key must hash to addr — the same untrusted-upload check
+// ImportResult applies, so a document that passes can only describe the
+// job the address names.
+func ImportTelemetry(addr string, data []byte) (key string, tel *sim.Telemetry, err error) {
+	if !isAddress(addr) {
+		return "", nil, fmt.Errorf("engine: %q is not a content address", addr)
+	}
+	var rec telemetryRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return "", nil, fmt.Errorf("engine: decoding telemetry document: %v", err)
+	}
+	if rec.Version != TelemetrySchemaVersion {
+		return "", nil, fmt.Errorf("engine: telemetry document has schema v%d, this process runs v%d",
+			rec.Version, TelemetrySchemaVersion)
+	}
+	if rec.Telemetry == nil {
+		return "", nil, fmt.Errorf("engine: telemetry document has no telemetry payload")
+	}
+	if hashKey(rec.Key) != addr {
+		return "", nil, fmt.Errorf("engine: telemetry document key hashes to %s, not the claimed address %s",
+			hashKey(rec.Key)[:12], addr[:12])
+	}
+	return rec.Key, rec.Telemetry, nil
+}
+
+// DecodeTelemetry parses a persisted telemetry document without address
+// verification — for consumers (CSV rendering, analytics overlays) that
+// already trust the bytes because they came from the local store.
+func DecodeTelemetry(data []byte) (*sim.Telemetry, error) {
+	var rec telemetryRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("engine: decoding telemetry document: %v", err)
+	}
+	if rec.Telemetry == nil {
+		return nil, fmt.Errorf("engine: telemetry document has no telemetry payload")
+	}
+	return rec.Telemetry, nil
+}
+
+// AdoptTelemetry installs an externally produced telemetry document
+// under its canonical key: into the in-process memo and the persisted
+// store when one is configured. The raw bytes are adopted verbatim —
+// never re-encoded — so worker-produced documents stay byte-identical on
+// the coordinator's disk. Callers must have verified the document
+// (ImportTelemetry); AdoptTelemetry trusts it.
+func (e *Engine) AdoptTelemetry(key string, doc []byte) {
+	addr := hashKey(key)
+	e.mu.Lock()
+	if e.telemetryMemo == nil {
+		e.telemetryMemo = make(map[string][]byte)
+	}
+	if old, ok := e.telemetryMemo[addr]; ok {
+		e.telemetryMemoBytes -= int64(len(old))
+	}
+	e.telemetryMemo[addr] = doc
+	e.telemetryMemoBytes += int64(len(doc))
+	e.mu.Unlock()
+	if e.store != nil {
+		e.store.PutTelemetry(key, doc) //nolint:errcheck // best-effort, like run's Put
+	}
+}
+
+// saveTelemetry encodes and adopts a locally collected timeline. Errors
+// are swallowed: telemetry is derived data and must never fail a run.
+func (e *Engine) saveTelemetry(key string, tel *sim.Telemetry) {
+	doc, err := encodeTelemetryRecord(key, tel)
+	if err != nil {
+		return
+	}
+	e.AdoptTelemetry(key, doc)
+}
+
+// Telemetry returns the persisted timeline document for a content
+// address, from the in-process memo or the store. The bytes are the
+// canonical document — servable (and ETag-able) verbatim.
+func (e *Engine) Telemetry(addr string) ([]byte, bool) {
+	e.mu.Lock()
+	doc, ok := e.telemetryMemo[addr]
+	e.mu.Unlock()
+	if ok {
+		return doc, true
+	}
+	if e.store != nil {
+		return e.store.GetTelemetry(addr)
+	}
+	return nil, false
+}
+
+// Computing reports whether the engine is executing the job the address
+// names right now — the signal behind the timeline API's 409-until-done
+// answer for in-flight jobs.
+func (e *Engine) Computing(addr string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key := range e.inflight {
+		if hashKey(key) == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// TelemetryStats summarizes the telemetry subsystem for /stats and
+// /metrics: the armed sampling interval (0 = disabled) and how many
+// documents exist with their byte footprint — on disk when a store is
+// attached, in the process memo otherwise.
+type TelemetryStats struct {
+	Interval  uint64 `json:"interval"`
+	Documents int64  `json:"documents"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// TelemetryStats returns a snapshot of the telemetry counters.
+func (e *Engine) TelemetryStats() TelemetryStats {
+	st := TelemetryStats{Interval: e.telemetryInterval}
+	if e.store != nil {
+		st.Documents = e.store.telemetryDocs.Load()
+		st.Bytes = e.store.telemetryBytes.Load()
+		return st
+	}
+	e.mu.Lock()
+	st.Documents = int64(len(e.telemetryMemo))
+	st.Bytes = e.telemetryMemoBytes
+	e.mu.Unlock()
+	return st
+}

@@ -147,6 +147,11 @@ type Record struct {
 	// Timings is the terminal phase breakdown (nil until the job
 	// finishes). Persisted in the journal, so it survives restarts.
 	Timings *Timings
+	// Addresses lists the content addresses of the engine jobs a
+	// succeeded job ran (deduped, plan order) — the correlation handles
+	// for per-result artifacts like timeline documents. Persisted in the
+	// journal like Timings.
+	Addresses []string
 }
 
 // Timings is a finished job's phase-duration breakdown in milliseconds.
@@ -397,7 +402,7 @@ func (m *Manager) SubmitContext(ctx context.Context, spec Spec) (Record, bool, e
 		rec.Progress = Progress{}
 		rec.cancelRequested = false
 		rec.doc = nil
-		rec.TraceID, rec.Timings = "", nil
+		rec.TraceID, rec.Timings, rec.Addresses = "", nil, nil
 		rec.traceCtx = traceCtx
 		m.enqueueLocked(rec)
 		return rec.Record, false, nil
@@ -554,6 +559,7 @@ func (m *Manager) runJob(ctx context.Context, rec *record) {
 	case runErr == nil:
 		rec.State = Succeeded
 		rec.doc = doc
+		rec.Addresses = planAddresses(m.eng.Scale(), rec.plan)
 		if m.journal != nil {
 			// Result durability is best-effort like the engine store: a
 			// full disk must not fail the job whose results are still in
@@ -577,6 +583,21 @@ func (m *Manager) runJob(ctx context.Context, rec *record) {
 	m.journalLocked(rec)
 	m.notifyLocked(rec)
 	m.cond.Broadcast()
+}
+
+// planAddresses lists the plan's engine-job content addresses, deduped
+// in plan order (grids can repeat an address through shared baselines).
+func planAddresses(scale engine.Scale, plan *Plan) []string {
+	seen := make(map[string]bool, len(plan.Jobs))
+	var out []string
+	for _, j := range plan.Jobs {
+		addr := j.ContentAddress(scale)
+		if !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	return out
 }
 
 // newTimings assembles a job's terminal phase breakdown: the wall-clock

@@ -32,6 +32,9 @@ type entry struct {
 	Spec    *Spec     `json:"spec,omitempty"`
 	Timings *Timings  `json:"timings,omitempty"`
 	TraceID string    `json:"trace_id,omitempty"`
+	// Addresses rides terminal entries of succeeded jobs so artifact
+	// links (timeline documents) survive restarts like Timings does.
+	Addresses []string `json:"addresses,omitempty"`
 }
 
 // journal owns the append handle. Appends are serialized by Manager.mu.
@@ -124,6 +127,7 @@ func (m *Manager) journalLocked(rec *record) {
 	if rec.State.Terminal() {
 		e.Timings = rec.Timings
 		e.TraceID = rec.TraceID
+		e.Addresses = rec.Addresses
 	}
 	m.journal.append(e) //nolint:errcheck // best-effort durability
 }
@@ -139,6 +143,7 @@ func (m *Manager) recover(entries []entry) {
 		last    time.Time
 		timings *Timings
 		traceID string
+		addrs   []string
 	}
 	byID := make(map[string]*folded)
 	var ids []string // first-appearance order
@@ -153,6 +158,7 @@ func (m *Manager) recover(entries []entry) {
 			f.spec = e.Spec
 		}
 		f.state, f.err, f.last, f.timings, f.traceID = e.State, e.Error, e.Time, e.Timings, e.TraceID
+		f.addrs = e.Addresses
 	}
 	for _, id := range ids {
 		f := byID[id]
@@ -162,6 +168,7 @@ func (m *Manager) recover(entries []entry) {
 		rec := &record{Record: Record{
 			ID: id, Spec: *f.spec, State: f.state, Error: f.err,
 			Created: f.first, Timings: f.timings, TraceID: f.traceID,
+			Addresses: f.addrs,
 		}}
 		switch f.state {
 		case Queued, Running:
@@ -221,6 +228,7 @@ func (m *Manager) compactedEntries() []entry {
 			if rec.State.Terminal() {
 				e.Timings = rec.Timings
 				e.TraceID = rec.TraceID
+				e.Addresses = rec.Addresses
 			}
 			out = append(out, e)
 		}

@@ -37,7 +37,9 @@ func LintProm(text string) (*PromText, error) {
 		switch {
 		case strings.HasPrefix(line, "# HELP "):
 			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
-			if len(parts) != 2 || !validMetricName(parts[0]) || parts[1] == "" {
+			// TrimSpace, not == "": "# HELP name  " (whitespace-only help)
+			// split as a non-empty second field and passed silently.
+			if len(parts) != 2 || !validMetricName(parts[0]) || strings.TrimSpace(parts[1]) == "" {
 				return nil, fail("malformed HELP")
 			}
 			helpFor = parts[0]

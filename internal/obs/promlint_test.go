@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintPromAcceptsWellFormed(t *testing.T) {
+	doc, err := LintProm(strings.Join([]string{
+		"# HELP gaze_telemetry_documents Timeline documents held by the engine.",
+		"# TYPE gaze_telemetry_documents gauge",
+		"gaze_telemetry_documents 3",
+		"# HELP gaze_engine_simulated_total Simulations executed.",
+		"# TYPE gaze_engine_simulated_total counter",
+		"gaze_engine_simulated_total 12",
+		"",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Samples["gaze_telemetry_documents"] != 3 || doc.Types["gaze_engine_simulated_total"] != "counter" {
+		t.Errorf("parsed doc = %+v", doc)
+	}
+}
+
+// TestLintPromRejectsWhitespaceHelp: "# HELP name  " splits into a
+// non-empty second field, so a plain emptiness check passes it silently —
+// the lint must reject help text that is only whitespace, not just help
+// text that is absent.
+func TestLintPromRejectsWhitespaceHelp(t *testing.T) {
+	for name, text := range map[string]string{
+		"missing help":         "# HELP gaze_x\n# TYPE gaze_x gauge\ngaze_x 1\n",
+		"single space help":    "# HELP gaze_x \n# TYPE gaze_x gauge\ngaze_x 1\n",
+		"whitespace-only help": "# HELP gaze_x    \n# TYPE gaze_x gauge\ngaze_x 1\n",
+		"tab-only help":        "# HELP gaze_x \t\n# TYPE gaze_x gauge\ngaze_x 1\n",
+	} {
+		if _, err := LintProm(text); err == nil {
+			t.Errorf("%s accepted", name)
+		} else if !strings.Contains(err.Error(), "malformed HELP") {
+			t.Errorf("%s: error %q, want a malformed-HELP diagnosis", name, err)
+		}
+	}
+}
+
+func TestLintPromRejectsStructuralViolations(t *testing.T) {
+	for name, text := range map[string]string{
+		"sample without TYPE":   "gaze_x 1\n",
+		"TYPE without HELP":     "# TYPE gaze_x gauge\ngaze_x 1\n",
+		"unknown type":          "# HELP gaze_x x.\n# TYPE gaze_x summary\ngaze_x 1\n",
+		"counter not _total":    "# HELP gaze_x x.\n# TYPE gaze_x counter\ngaze_x 1\n",
+		"gauge with _total":     "# HELP gaze_x_total x.\n# TYPE gaze_x_total gauge\ngaze_x_total 1\n",
+		"duplicate sample":      "# HELP gaze_x x.\n# TYPE gaze_x gauge\ngaze_x 1\ngaze_x 2\n",
+		"duplicate TYPE":        "# HELP gaze_x x.\n# TYPE gaze_x gauge\n# HELP gaze_x x.\n# TYPE gaze_x gauge\n",
+		"unparseable value":     "# HELP gaze_x x.\n# TYPE gaze_x gauge\ngaze_x one\n",
+		"bad metric name":       "# HELP 1gaze x.\n# TYPE 1gaze gauge\n1gaze 1\n",
+		"histogram sans +Inf":   "# HELP gaze_h h.\n# TYPE gaze_h histogram\ngaze_h_bucket{le=\"1\"} 1\ngaze_h_sum 1\ngaze_h_count 1\n",
+		"non-cumulative hist":   "# HELP gaze_h h.\n# TYPE gaze_h histogram\ngaze_h_bucket{le=\"1\"} 5\ngaze_h_bucket{le=\"+Inf\"} 3\ngaze_h_sum 1\ngaze_h_count 3\n",
+		"hist missing _sum":     "# HELP gaze_h h.\n# TYPE gaze_h histogram\ngaze_h_bucket{le=\"+Inf\"} 1\ngaze_h_count 1\n",
+		"hist count mismatch":   "# HELP gaze_h h.\n# TYPE gaze_h histogram\ngaze_h_bucket{le=\"+Inf\"} 1\ngaze_h_sum 1\ngaze_h_count 2\n",
+		"labels on plain gauge": "# HELP gaze_x x.\n# TYPE gaze_x gauge\ngaze_x{a=\"b\"} 1\n",
+	} {
+		if _, err := LintProm(text); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

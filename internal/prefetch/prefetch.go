@@ -105,6 +105,36 @@ type EvictObserver interface {
 	EvictDetail(vline uint64, wasUselessPrefetch bool)
 }
 
+// Introspection is a point-in-time characterization of a prefetcher's
+// learned state, exposed to the telemetry layer. The fields are the
+// paper-level questions a timeline viewer asks of a spatial prefetcher:
+// how full its pattern storage is, how its issue traffic splits between
+// the streaming and pattern-history paths, and how quickly spatial
+// regions recur.
+type Introspection struct {
+	// PatternEntries is the number of live pattern-table entries;
+	// PatternCapacity the table's total capacity.
+	PatternEntries  int `json:"pattern_entries"`
+	PatternCapacity int `json:"pattern_capacity"`
+	// StreamHits counts prefetch decisions taken by a streaming/stride
+	// path; PatternHits those taken on a pattern-table hit.
+	StreamHits  uint64 `json:"stream_hits"`
+	PatternHits uint64 `json:"pattern_hits"`
+	// ReuseHistogram is a log2-bucketed histogram of region re-activation
+	// distances (bucket i counts reuses at distance [2^i, 2^(i+1)) region
+	// activations; the last bucket absorbs the tail) — the internal
+	// temporal-correlation signal the paper characterizes.
+	ReuseHistogram [16]uint64 `json:"reuse_histogram"`
+}
+
+// Introspector is implemented by prefetchers that can characterize their
+// learned state for telemetry. The simulator binds it once at
+// construction, like the eviction and bandwidth hooks, and queries it
+// only after the run — never on the hot path.
+type Introspector interface {
+	Introspect() Introspection
+}
+
 // Nil is the no-prefetching baseline.
 type Nil struct{}
 

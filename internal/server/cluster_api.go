@@ -13,6 +13,7 @@
 //	POST   /cluster/workers/{id}/heartbeat  renew liveness + leases
 //	POST   /cluster/lease                   lease pending units
 //	PUT    /cluster/results/{addr}          upload a verified result document
+//	PUT    /cluster/telemetry/{addr}        upload a verified telemetry timeline document
 //	POST   /cluster/failures/{addr}         report a deterministic failure
 package server
 
@@ -162,6 +163,26 @@ func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
 		status = "duplicate"
 	}
 	writeJSON(w, http.StatusOK, cluster.UploadResponse{Status: status})
+}
+
+func (s *Server) handleClusterTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterEnabled(w) {
+		return
+	}
+	doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultDocBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading telemetry document: %v", err)
+		return
+	}
+	if err := s.cluster.CompleteTelemetry(r.PathValue("addr"), doc); err != nil {
+		if errors.Is(err, cluster.ErrBadTelemetry) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.UploadResponse{Status: "adopted"})
 }
 
 func (s *Server) handleClusterFail(w http.ResponseWriter, r *http.Request) {

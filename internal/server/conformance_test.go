@@ -114,6 +114,22 @@ func TestHTTPConformance(t *testing.T) {
 		{name: "analytics speedup rejects axis", method: "GET",
 			path:       "/analytics/speedup?traces=lbm-1274&param=llc_mb_per_core&values=1",
 			wantStatus: 400, wantJSONError: true},
+		{name: "analytics timeline ok", method: "GET",
+			path: "/analytics/timeline?trace=lbm-1274&prefetchers=Gaze", wantStatus: 200},
+		{name: "analytics timeline unknown param", method: "GET",
+			path: "/analytics/timeline?trace=lbm-1274&bogus=1", wantStatus: 400, wantJSONError: true},
+		{name: "analytics timeline unknown trace", method: "GET",
+			path: "/analytics/timeline?trace=nope", wantStatus: 400, wantJSONError: true},
+		{name: "analytics timeline missing trace", method: "GET",
+			path: "/analytics/timeline?prefetchers=Gaze", wantStatus: 400, wantJSONError: true},
+
+		// Timeline documents.
+		{name: "timeline missing", method: "GET", path: "/results/" + missingAddr + "/timeline",
+			wantStatus: 404, wantJSONError: true},
+		{name: "timeline unknown param", method: "GET", path: "/results/" + missingAddr + "/timeline?bogus=1",
+			wantStatus: 400, wantJSONError: true},
+		{name: "timeline unknown format", method: "GET", path: "/results/" + missingAddr + "/timeline?format=xml",
+			wantStatus: 400, wantJSONError: true},
 
 		// Jobs API.
 		{name: "job submit malformed", method: "POST", path: "/jobs",
@@ -151,6 +167,8 @@ func TestHTTPConformance(t *testing.T) {
 			body: `{"worker_id":"nope"}`, wantStatus: 404, wantJSONError: true},
 		{name: "cluster result garbage", method: "PUT", path: "/cluster/results/" + missingAddr,
 			body: "not a result document", wantStatus: 400, wantJSONError: true},
+		{name: "cluster telemetry garbage", method: "PUT", path: "/cluster/telemetry/" + missingAddr,
+			body: "not a telemetry document", wantStatus: 400, wantJSONError: true},
 		{name: "cluster fail unknown unit", method: "POST", path: "/cluster/failures/" + missingAddr,
 			body: `{"worker_id":"nope","error":"boom"}`, wantStatus: 200},
 
@@ -222,7 +240,7 @@ func TestHTTPConformance(t *testing.T) {
 		for _, route := range []string{
 			"GET /healthz", "GET /readyz", "GET /traces", "POST /traces", "DELETE /traces",
 			"GET /prefetchers", "GET /stats", "GET /metrics",
-			"GET /analytics", "POST /admin",
+			"GET /analytics", "GET /results", "POST /admin",
 			"POST /simulate", "POST /sweep",
 			"POST /jobs", "GET /jobs", "DELETE /jobs",
 			"GET /cluster", "POST /cluster", "PUT /cluster", "DELETE /cluster",

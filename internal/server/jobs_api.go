@@ -128,6 +128,11 @@ type JobStatus struct {
 	// Timings is the per-phase duration breakdown, present once the job
 	// reaches a terminal state (and preserved across restarts).
 	Timings *jobs.Timings `json:"timings,omitempty"`
+	// Timelines links the interval-telemetry documents of this job's
+	// completed engine runs (GET /results/{addr}/timeline paths).
+	// Populated by GET /jobs/{id} only, for succeeded jobs whose runs
+	// executed with telemetry armed; cached replays have no timelines.
+	Timelines []string `json:"timelines,omitempty"`
 }
 
 // JobListResponse wraps GET /jobs (jobs is [] when empty, never null).
@@ -275,7 +280,16 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, statusFor(rec))
+	st := statusFor(rec)
+	// Link only timelines that actually exist: a job's runs produce
+	// documents exactly when they executed with telemetry armed, so
+	// cached replays and telemetry-off runs link nothing.
+	for _, addr := range rec.Addresses {
+		if _, ok := s.eng.Telemetry(addr); ok {
+			st.Timelines = append(st.Timelines, "/results/"+addr+"/timeline")
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {

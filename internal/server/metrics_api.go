@@ -106,6 +106,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"External traces resident in the registry.", float64(s.traces.Len()))
 	}
 
+	// Telemetry renders unconditionally: the engine always has a telemetry
+	// configuration, and interval 0 is itself the "disabled" signal.
+	ts := s.eng.TelemetryStats()
+	p.gauge("gaze_telemetry_sampling_interval_instructions",
+		"Armed interval-telemetry sampling period in measured instructions (0 = disabled).",
+		float64(ts.Interval))
+	p.gauge("gaze_telemetry_documents",
+		"Timeline documents held by the engine (persisted store when attached, in-process memo otherwise).",
+		float64(ts.Documents))
+	p.gauge("gaze_telemetry_bytes",
+		"Byte footprint of the engine's timeline documents.", float64(ts.Bytes))
+
 	// Latency histograms (the obs bundle). The HTTP and engine-phase
 	// families always render — New wires a default bundle — while the
 	// queue-wait and lease-hold families follow their subsystems'

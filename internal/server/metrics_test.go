@@ -81,6 +81,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"gaze_store_gc_reclaimed_entries_total", "gaze_store_gc_reclaimed_bytes_total",
 		"gaze_jobs_queued", "gaze_jobs_running", "gaze_jobs_succeeded_total",
 		"gaze_analytics_cache_entries", "gaze_analytics_cache_hits_total", "gaze_analytics_cache_misses_total",
+		"gaze_telemetry_sampling_interval_instructions", "gaze_telemetry_documents", "gaze_telemetry_bytes",
 	} {
 		if _, ok := before[name]; !ok {
 			t.Errorf("metric %s missing", name)
@@ -238,6 +239,34 @@ func TestAdminGCEndpoint(t *testing.T) {
 			t.Fatalf("empty body: status = %d, want 200", r.StatusCode)
 		}
 	})
+}
+
+// TestMetricsTelemetry: the gaze_telemetry_* family (validated by the
+// lint every scrape runs through) reports the armed sampling interval
+// and counts documents with their byte footprint as runs persist
+// timelines.
+func TestMetricsTelemetry(t *testing.T) {
+	eng := engine.New(engine.Options{Scale: tiny, TelemetryInterval: 5_000})
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+
+	before := scrape(t, ts.URL)
+	if v := before["gaze_telemetry_sampling_interval_instructions"]; v != 5_000 {
+		t.Errorf("sampling interval gauge = %v, want 5000", v)
+	}
+	if v := before["gaze_telemetry_documents"]; v != 0 {
+		t.Errorf("documents before any run = %v, want 0", v)
+	}
+
+	postJSON(t, ts.URL+"/simulate", SimulateRequest{Trace: "lbm-1274", Prefetcher: "Gaze"}, nil)
+	after := scrape(t, ts.URL)
+	// The simulate computes baseline + target: two timeline documents.
+	if v := after["gaze_telemetry_documents"]; v != 2 {
+		t.Errorf("documents after a simulate = %v, want 2", v)
+	}
+	if v := after["gaze_telemetry_bytes"]; v <= 0 {
+		t.Errorf("telemetry bytes = %v, want > 0", v)
+	}
 }
 
 // TestMetricsHistograms: the latency-histogram families render as valid

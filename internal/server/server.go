@@ -142,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST "+cluster.PathWorkers+"/{id}/heartbeat", s.handleClusterHeartbeat)
 	mux.HandleFunc("POST "+cluster.PathLease, s.handleClusterLease)
 	mux.HandleFunc("PUT "+cluster.PathResults+"{addr}", s.handleClusterResult)
+	mux.HandleFunc("PUT "+cluster.PathTelemetry+"{addr}", s.handleClusterTelemetry)
 	mux.HandleFunc("POST "+cluster.PathFailures+"{addr}", s.handleClusterFail)
 	mux.HandleFunc("GET /traces", s.handleTraces)
 	mux.HandleFunc("POST /traces", s.handleTraceUpload)
@@ -151,8 +152,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /prefetchers", s.handlePrefetchers)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /results/{addr}/timeline", s.handleResultTimeline)
 	mux.HandleFunc("GET /analytics/matrix", s.handleAnalyticsMatrix)
 	mux.HandleFunc("GET /analytics/speedup", s.handleAnalyticsSpeedup)
+	mux.HandleFunc("GET /analytics/timeline", s.handleAnalyticsTimeline)
 	mux.HandleFunc("POST /admin/gc", s.handleAdminGC)
 	mux.HandleFunc("POST /simulate", s.admitted(s.handleSimulate))
 	mux.HandleFunc("POST /sweep", s.admitted(s.handleSweep))
@@ -285,6 +288,11 @@ type StatsResponse struct {
 	// dropped, ring occupancy and NDJSON log bytes (null when no tracer
 	// is attached, same null-vs-0 discipline as the blocks above).
 	Obs *obs.TracerStats `json:"obs"`
+	// Telemetry summarizes the interval-timeline subsystem: the armed
+	// sampling interval (0 = disabled) plus how many timeline documents
+	// exist and their byte footprint. Always present — the engine always
+	// has a telemetry configuration, even when it is "off".
+	Telemetry engine.TelemetryStats `json:"telemetry"`
 }
 
 // StatsSchemaVersion stamps the /stats document shape. Bump it whenever
@@ -296,7 +304,8 @@ type StatsResponse struct {
 // v2: added "cluster" (coordinator lease/worker counters, PR 7).
 // v3: added "trace_cache_mapped_bytes" (mmap-backed slab accounting, PR 8).
 // v4: added "obs" (tracer span/ring/log counters, PR 9).
-const StatsSchemaVersion = 4
+// v5: added "telemetry" (interval-timeline documents and interval, PR 10).
+const StatsSchemaVersion = 5
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -349,6 +358,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TraceCacheBytes:     stats.TraceCacheBytes,
 		TraceCacheMapped:    stats.TraceCacheMapped,
 		TraceCacheEvictions: stats.TraceCacheEvictions,
+		Telemetry:           s.eng.TelemetryStats(),
 	}
 	if st := s.eng.Store(); st != nil {
 		resp.StoreDir = st.Dir()

@@ -9,12 +9,12 @@ import (
 	"testing"
 )
 
-// statsSchemaV4 is the golden top-level field set of the /stats document
-// at stats_schema_version 4 (v2 added "cluster"; v3 added
-// "trace_cache_mapped_bytes"; v4 added "obs"). Changing StatsResponse
-// without bumping StatsSchemaVersion — or bumping without updating this
-// list — fails here. Keep the list sorted.
-var statsSchemaV4 = []string{
+// statsSchemaV5 is the golden top-level field set of the /stats document
+// at stats_schema_version 5 (v2 added "cluster"; v3 added
+// "trace_cache_mapped_bytes"; v4 added "obs"; v5 added "telemetry").
+// Changing StatsResponse without bumping StatsSchemaVersion — or bumping
+// without updating this list — fails here. Keep the list sorted.
+var statsSchemaV5 = []string{
 	"cluster",
 	"counters",
 	"ingested_traces",
@@ -26,6 +26,7 @@ var statsSchemaV4 = []string{
 	"store_entries",
 	"store_gc",
 	"store_schema_version",
+	"telemetry",
 	"trace_cache_bytes",
 	"trace_cache_entries",
 	"trace_cache_evictions",
@@ -36,8 +37,8 @@ var statsSchemaV4 = []string{
 }
 
 func TestStatsSchemaGolden(t *testing.T) {
-	if StatsSchemaVersion != 4 {
-		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV4 (or add a v%d golden) to match the new shape",
+	if StatsSchemaVersion != 5 {
+		t.Fatalf("StatsSchemaVersion = %d: update statsSchemaV5 (or add a v%d golden) to match the new shape",
 			StatsSchemaVersion, StatsSchemaVersion)
 	}
 
@@ -73,11 +74,11 @@ func TestStatsSchemaGolden(t *testing.T) {
 		}
 	}
 	sort.Strings(tags)
-	if !reflect.DeepEqual(tags, statsSchemaV4) {
-		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV4)
+	if !reflect.DeepEqual(tags, statsSchemaV5) {
+		t.Errorf("StatsResponse fields changed without a schema bump:\n got  %v\n want %v", tags, statsSchemaV5)
 	}
-	golden := make(map[string]bool, len(statsSchemaV4))
-	for _, k := range statsSchemaV4 {
+	golden := make(map[string]bool, len(statsSchemaV5))
+	for _, k := range statsSchemaV5 {
 		golden[k] = true
 	}
 	for k := range doc {

@@ -37,6 +37,13 @@ type Config struct {
 	// TranslatorSalt seeds the virtual→physical mapping; core i uses
 	// TranslatorSalt+i.
 	TranslatorSalt uint64
+
+	// TelemetryInterval samples per-core interval telemetry every N
+	// measured instructions (0 = disabled). Telemetry is derived data:
+	// the knob is deliberately absent from job Overrides and canonical
+	// encodings, so arming it never changes a content address or a
+	// result, and Validate accepts any value.
+	TelemetryInterval uint64
 }
 
 // DefaultConfig returns the paper's Table II system for the given core

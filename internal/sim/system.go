@@ -66,6 +66,17 @@ type coreState struct {
 	issuedL2  uint64
 	redundant uint64
 
+	// telNext is the next telemetry boundary in measured instructions;
+	// telemetryDisabled when collection is off, so the Run loop's only
+	// per-step telemetry cost is one always-false compare. Samples and
+	// the interval baseline live here; intro is the prefetcher's
+	// introspection seam, bound once at construction like the eviction
+	// and bandwidth hooks.
+	telNext    uint64
+	telSamples []IntervalSample
+	telPrev    telSnapshot
+	intro      prefetch.Introspector
+
 	snapshot CoreResult
 }
 
@@ -140,6 +151,12 @@ func New(cfg Config, specs []CoreSpec) (*System, error) {
 			core := c
 			ba.SetBandwidthProbe(func() float64 { return s.dram.Pressure(core.core.Now()) })
 		}
+		c.telNext = telemetryDisabled
+		if cfg.TelemetryInterval > 0 {
+			c.telNext = cfg.TelemetryInterval
+			c.telSamples = make([]IntervalSample, 0, telemetryPrealloc(cfg))
+			c.intro, _ = pf.(prefetch.Introspector)
+		}
 		s.cores = append(s.cores, c)
 	}
 	return s, nil
@@ -194,6 +211,20 @@ func (s *System) Run() Result {
 				PQDropsFull:         c.pq.DropsFull,
 				PQDropsDup:          c.pq.DropsDup,
 			}
+			if c.telNext != telemetryDisabled {
+				// Final (possibly partial) interval, taken after FlushStats
+				// so the end-of-run useless sweep lands in the last row and
+				// the rows sum to the snapshot.
+				c.telNext = telemetryDisabled
+				s.telemetryRecord(c)
+			}
+		} else if c.measuring && c.core.MeasuredInstructions() >= c.telNext {
+			// Telemetry boundary: one row per step even when a long record
+			// crosses several boundaries, then re-arm at the next boundary
+			// beyond the current position.
+			s.telemetryRecord(c)
+			m := c.core.MeasuredInstructions()
+			c.telNext += s.cfg.TelemetryInterval * ((m-c.telNext)/s.cfg.TelemetryInterval + 1)
 		}
 	}
 	res := Result{LLC: s.llc.Stats}
@@ -210,6 +241,13 @@ func (s *System) Run() Result {
 func (s *System) resetSharedStats() {
 	s.llc.ResetStats()
 	s.dram.ResetStats()
+	// Cores that warmed up (and possibly sampled) before this reset hold
+	// shared-counter baselines that no longer exist; rebase them so the
+	// next interval's deltas stay non-negative.
+	for _, c := range s.cores {
+		c.telPrev.llc = cache.Stats{}
+		c.telPrev.dram = dram.Stats{}
+	}
 }
 
 // schedHeapMin is the core count above which nextCore switches from a

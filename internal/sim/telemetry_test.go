@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// telemetryRun executes one single-core run with the given sampling
+// interval and returns both the result and the collected telemetry.
+func telemetryRun(t *testing.T, interval uint64, pf prefetch.Prefetcher) (Result, *Telemetry) {
+	t.Helper()
+	cfg := smallCfg(1)
+	cfg.TelemetryInterval = interval
+	specs := []CoreSpec{{
+		Trace:        trace.NewLooping(trace.NewSliceReader(streamTrace(8192, 9))),
+		L1Prefetcher: pf,
+	}}
+	sys, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Run(), sys.Telemetry()
+}
+
+func TestTelemetryDisabledReturnsNil(t *testing.T) {
+	_, tel := telemetryRun(t, 0, nextLinePF{degree: 2})
+	if tel != nil {
+		t.Fatalf("Telemetry() with interval 0 = %+v, want nil", tel)
+	}
+}
+
+// TestTelemetryRowsPartitionAndSum is the core conservation invariant:
+// a core's rows tile its measurement window exactly, and every windowed
+// counter column sums to the run's CoreResult value — so the timeline is
+// a lossless decomposition of the result, not an approximation of it.
+func TestTelemetryRowsPartitionAndSum(t *testing.T) {
+	res, tel := telemetryRun(t, 10_000, nextLinePF{degree: 2})
+	if tel == nil || len(tel.Cores) != 1 {
+		t.Fatalf("telemetry = %+v, want 1 core", tel)
+	}
+	ct := tel.Cores[0]
+	if len(ct.Samples) < 3 {
+		t.Fatalf("got %d samples for a 40k window at 10k interval", len(ct.Samples))
+	}
+
+	core := res.Cores[0]
+	var prevEnd uint64
+	var issued, useful, late uint64
+	for i, sm := range ct.Samples {
+		if sm.Start != prevEnd {
+			t.Errorf("sample %d starts at %d, previous ended at %d: rows must tile the window", i, sm.Start, prevEnd)
+		}
+		if sm.End < sm.Start {
+			t.Errorf("sample %d has End %d < Start %d", i, sm.End, sm.Start)
+		}
+		prevEnd = sm.End
+		issued += sm.PrefetchesIssued
+		useful += sm.UsefulPrefetches
+		late += sm.LatePrefetches
+		if sm.Accuracy < 0 || sm.Accuracy > 1 || sm.Coverage < 0 || sm.Coverage > 1 {
+			t.Errorf("sample %d ratios out of range: accuracy %v coverage %v", i, sm.Accuracy, sm.Coverage)
+		}
+	}
+	if ct.Samples[0].Start != 0 {
+		t.Errorf("first sample starts at %d, want 0", ct.Samples[0].Start)
+	}
+	if prevEnd != core.Instructions {
+		t.Errorf("last sample ends at %d, want the core's %d measured instructions", prevEnd, core.Instructions)
+	}
+	if want := core.PrefetchesIssuedL1 + core.PrefetchesIssuedL2; issued != want {
+		t.Errorf("issued column sums to %d, CoreResult says %d", issued, want)
+	}
+	if want := core.L1D.UsefulPrefetches + core.L2C.UsefulPrefetches; useful != want {
+		t.Errorf("useful column sums to %d, CoreResult says %d", useful, want)
+	}
+	if want := core.L1D.LatePrefetches + core.L2C.LatePrefetches; late != want {
+		t.Errorf("late column sums to %d, CoreResult says %d", late, want)
+	}
+}
+
+// TestTelemetryNeverPerturbsResult: collecting telemetry reads counters
+// the run maintains anyway, so arming it must leave every result bit
+// unchanged. This is the sim-level half of the content-address
+// invisibility guarantee (the engine-level half byte-compares stores).
+func TestTelemetryNeverPerturbsResult(t *testing.T) {
+	bare, _ := telemetryRun(t, 0, nextLinePF{degree: 2})
+	armed, tel := telemetryRun(t, 7_000, nextLinePF{degree: 2})
+	if tel == nil {
+		t.Fatal("no telemetry collected")
+	}
+	if !reflect.DeepEqual(bare, armed) {
+		t.Errorf("telemetry perturbed the run:\nbare  %+v\narmed %+v", bare, armed)
+	}
+}
+
+func TestConcatSliceTelemetryRebasesAndSums(t *testing.T) {
+	part := func(end uint64, stream uint64) *Telemetry {
+		return &Telemetry{Interval: 100, Cores: []CoreTelemetry{{
+			Prefetcher: "Gaze",
+			Samples: []IntervalSample{
+				{Start: 0, End: end / 2, PrefetchesIssued: 3},
+				{Start: end / 2, End: end, PrefetchesIssued: 4},
+			},
+			Introspection: &prefetch.Introspection{
+				PatternEntries: int(stream), PatternCapacity: 64,
+				StreamHits: stream, PatternHits: 1,
+			},
+		}}}
+	}
+	merged := ConcatSliceTelemetry([]*Telemetry{part(200, 10), nil, part(150, 5)})
+	if merged == nil || len(merged.Cores) != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	c := merged.Cores[0]
+	if c.Prefetcher != "Gaze" || merged.Interval != 100 {
+		t.Errorf("header not carried: %q interval %d", c.Prefetcher, merged.Interval)
+	}
+	wantBounds := [][2]uint64{{0, 100}, {100, 200}, {200, 275}, {275, 350}}
+	if len(c.Samples) != len(wantBounds) {
+		t.Fatalf("got %d samples, want %d", len(c.Samples), len(wantBounds))
+	}
+	for i, w := range wantBounds {
+		if c.Samples[i].Start != w[0] || c.Samples[i].End != w[1] {
+			t.Errorf("sample %d = [%d,%d), want [%d,%d): slice axes not rebased",
+				i, c.Samples[i].Start, c.Samples[i].End, w[0], w[1])
+		}
+	}
+	in := c.Introspection
+	if in == nil {
+		t.Fatal("introspection dropped")
+	}
+	// Event counters sum; occupancy is the last slice's.
+	if in.StreamHits != 15 || in.PatternHits != 2 {
+		t.Errorf("event counters = %d/%d, want 15/2", in.StreamHits, in.PatternHits)
+	}
+	if in.PatternEntries != 5 || in.PatternCapacity != 64 {
+		t.Errorf("occupancy = %d/%d, want the last slice's 5/64", in.PatternEntries, in.PatternCapacity)
+	}
+}
+
+func TestConcatSliceTelemetryAllNil(t *testing.T) {
+	if got := ConcatSliceTelemetry([]*Telemetry{nil, nil}); got != nil {
+		t.Errorf("all-nil concat = %+v, want nil", got)
+	}
+}
